@@ -1,0 +1,1 @@
+let () = exit (Cdw_cli.Cli.eval ())

@@ -1,0 +1,1 @@
+examples/bioinformatics.ml: Algorithms Audit Cdw_core Cdw_workload Constraint_set Format List Workflow

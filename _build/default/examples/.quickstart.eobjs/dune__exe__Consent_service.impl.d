@@ -1,0 +1,1 @@
+examples/consent_service.ml: Algorithms Array Cdw_core Cdw_graph Cdw_workload Cohorts Constraint_set Enforce Format Incremental List Policy String Utility Workflow

@@ -1,0 +1,1 @@
+examples/consent_service.mli:

@@ -1,0 +1,1 @@
+examples/gdpr_audit.ml: Algorithms Array Audit Cdw_core Cdw_graph Cdw_util Cdw_workload Constraint_set Format List Utility Valuation Workflow

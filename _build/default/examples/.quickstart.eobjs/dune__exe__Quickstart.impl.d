@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Audit Cdw_core Constraint_set Format Utility Workflow

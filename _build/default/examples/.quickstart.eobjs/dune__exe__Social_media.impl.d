@@ -1,0 +1,1 @@
+examples/social_media.ml: Algorithms Audit Cdw_core Cdw_workload Constraint_set Filename Format List Serialize Utility Workflow

@@ -1,0 +1,44 @@
+(* Quickstart: build a workflow, state a privacy constraint, solve it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cdw_core
+
+let () =
+  (* An online shop: two data sources feed a recommender pipeline. *)
+  let wf = Workflow.create () in
+  let address = Workflow.add_user ~name:"shipping_address" wf in
+  let history = Workflow.add_user ~name:"purchase_history" wf in
+  let profile = Workflow.add_algorithm ~name:"customer_profiling" wf in
+  let recommend = Workflow.add_purpose ~name:"product_recommendations" wf in
+  (* Advertising is worth less per data unit than recommendation
+     conversions — purpose weights express that (Eq. 1). *)
+  let ads = Workflow.add_purpose ~name:"general_advertising" ~weight:0.5 wf in
+  let _ = Workflow.connect ~value:5.0 wf address profile in
+  let _ = Workflow.connect ~value:8.0 wf history profile in
+  let _ = Workflow.connect wf profile recommend in
+  let _ = Workflow.connect wf profile ads in
+
+  (* "I'm happy for my shipping address to be used for recommending
+     products, but I don't want general advertising based on it." *)
+  let constraints =
+    match Constraint_set.of_names wf [ ("shipping_address", "general_advertising") ] with
+    | Ok cs -> cs
+    | Error msg -> failwith msg
+  in
+
+  Format.printf "Before: %a@." Workflow.pp wf;
+  Format.printf "Utility: %.1f@." (Utility.total wf);
+  Format.printf "Consented already? %b@.@."
+    (Constraint_set.satisfied wf constraints);
+
+  (* Solve optimally (the workflow is tiny, brute force is instant). *)
+  let outcome = Algorithms.brute_force wf constraints in
+  Format.printf "@[<v>%a@]@." (Audit.pp_solution_diff wf) outcome;
+
+  (* The solved copy is consented; the original is untouched. *)
+  assert (Constraint_set.satisfied outcome.Algorithms.workflow constraints);
+  assert (not (Constraint_set.satisfied wf constraints));
+  Format.printf "The solver cut advertising off the profiling output;@.";
+  Format.printf "recommendations keep using the address. Utility kept: %.1f%%@."
+    (Algorithms.utility_percent outcome)

@@ -1,0 +1,1 @@
+lib/cli/cli.ml: Arg Cdw_core Cdw_expers Cdw_util Cdw_workload Cmd Cmdliner Format List Printf String Term

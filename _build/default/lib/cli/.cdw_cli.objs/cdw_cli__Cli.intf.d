@@ -1,0 +1,1 @@
+lib/cli/cli.mli: Cmdliner

@@ -1,0 +1,247 @@
+(* cdw — consent management in data workflows, command-line interface.
+
+   Subcommands: generate synthetic workflows, inspect/audit workflow
+   files, solve them under privacy constraints with any of the paper's
+   algorithms, and reproduce the paper's experiments. Lives in a
+   library so the test suite can drive it via [eval ~argv]. *)
+
+open Cmdliner
+module Algorithms = Cdw_core.Algorithms
+module Audit = Cdw_core.Audit
+module Constraint_set = Cdw_core.Constraint_set
+module Serialize = Cdw_core.Serialize
+module Workflow = Cdw_core.Workflow
+module Generator = Cdw_workload.Generator
+module Gen_params = Cdw_workload.Gen_params
+
+let load_file path =
+  match Serialize.load path with
+  | Ok (wf, cs) -> `Ok (wf, cs)
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+(* ---------------------------------------------------------------- *)
+(* generate                                                           *)
+
+let generate_cmd =
+  let vertices =
+    Arg.(value & opt int 100 & info [ "vertices"; "v" ] ~doc:"Number of vertices.")
+  in
+  let constraints =
+    Arg.(value & opt int 10 & info [ "constraints"; "n" ] ~doc:"Number of privacy constraints.")
+  in
+  let stages =
+    Arg.(value & opt int 5 & info [ "stages"; "k" ] ~doc:"Workflow stages (path length).")
+  in
+  let density =
+    Arg.(value & opt float 0.0 & info [ "density"; "d" ] ~doc:"Minimum inter-stage edge density in [0,1].")
+  in
+  let uniform =
+    Arg.(value & flag & info [ "uniform" ] ~doc:"Uniform stage widths (default: the paper's non-uniform vector).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+  in
+  let run vertices constraints stages density uniform seed output =
+    let params =
+      {
+        Gen_params.default with
+        Gen_params.n_vertices = vertices;
+        n_constraints = constraints;
+        stages;
+        density;
+        distribution =
+          (if uniform then Gen_params.Uniform else Gen_params.Non_uniform);
+      }
+    in
+    match Generator.generate ~seed params with
+    | instance ->
+        (match output with
+        | None ->
+            print_string
+              (Serialize.to_string ~constraints:instance.Generator.constraints
+                 instance.Generator.workflow)
+        | Some path ->
+            (* A .json extension selects the JSON interchange format. *)
+            Serialize.save ~constraints:instance.Generator.constraints path
+              instance.Generator.workflow;
+            Printf.printf "wrote %s\n" path);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic workflow (§7.1 of the paper).")
+    Term.(
+      ret
+        (const run $ vertices $ constraints $ stages $ density $ uniform $ seed
+       $ output))
+
+(* ---------------------------------------------------------------- *)
+(* show                                                               *)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Workflow file.")
+
+let show_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of a report.")
+  in
+  let run path dot =
+    match load_file path with
+    | `Error _ as e -> e
+    | `Ok (wf, cs) ->
+        if dot then print_string (Serialize.to_dot ~constraints:cs wf)
+        else begin
+          Format.printf "@[<v>%a@," Workflow.pp wf;
+          (match Workflow.validate wf with
+          | Ok () -> Format.printf "model invariants: ok@,"
+          | Error errs ->
+              List.iter (fun e -> Format.printf "invariant violation: %s@," e) errs);
+          let report = Audit.report wf cs in
+          Audit.pp wf Format.std_formatter report;
+          Format.printf "@]@."
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Summarise and audit a workflow file.")
+    Term.(ret (const run $ file_arg $ dot))
+
+(* ---------------------------------------------------------------- *)
+(* solve                                                              *)
+
+let algo_conv =
+  let parse s =
+    match Algorithms.of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown algorithm %S (try: %s)" s
+                (String.concat ", " (List.map Algorithms.to_string Algorithms.all_names))))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Algorithms.to_string a))
+
+let solve_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Algorithms.Remove_min_mc
+      & info [ "algorithm"; "a" ] ~doc:"Solving algorithm.")
+  in
+  let timeout =
+    Arg.(value & opt float 60_000.0 & info [ "timeout" ] ~doc:"Timeout in milliseconds.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the consented workflow here.")
+  in
+  let run path algo timeout output =
+    match load_file path with
+    | `Error _ as e -> e
+    | `Ok (wf, cs) when cs = [] ->
+        ignore wf;
+        `Error (false, "the file declares no constraints; nothing to solve")
+    | `Ok (wf, cs) -> (
+        let deadline = Cdw_util.Timing.deadline_after_ms timeout in
+        match Algorithms.run ~deadline algo wf cs with
+        | outcome ->
+            Format.printf "@[<v>algorithm: %s@,"
+              (Algorithms.to_string algo);
+            Audit.pp_solution_diff wf Format.std_formatter outcome;
+            Format.printf "@]@.";
+            (match output with
+            | None -> ()
+            | Some out ->
+                Serialize.save ~constraints:cs out outcome.Algorithms.workflow;
+                Printf.printf "wrote %s\n" out);
+            `Ok ()
+        | exception Cdw_util.Timing.Timeout ->
+            `Error (false, "timed out; raise --timeout or pick a heuristic"))
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute a consented workflow maximising utility.")
+    Term.(ret (const run $ file_arg $ algo $ timeout $ output))
+
+(* ---------------------------------------------------------------- *)
+(* experiment                                                         *)
+
+let experiment_cmd =
+  let profile_conv =
+    Arg.conv
+      ( (fun s ->
+          match Cdw_expers.Profile.of_string s with
+          | Some p -> Ok p
+          | None -> Error (`Msg "profile must be `quick' or `full'")),
+        fun ppf p -> Format.pp_print_string ppf p.Cdw_expers.Profile.label )
+  in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Cdw_expers.Profile.quick
+      & info [ "profile" ] ~doc:"Sweep profile: quick (laptop) or full (paper-scale).")
+  in
+  let results_dir =
+    Arg.(value & opt string "results" & info [ "results-dir" ] ~doc:"CSV output directory.")
+  in
+  let exp_name =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"all, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, table3, fig7, \
+                fig8, fig9, ablation-bnb, ablation-minmc, ablation-weights")
+  in
+  let run name profile results_dir =
+    let module E = Cdw_expers.Experiments in
+    let module T = Cdw_expers.Table in
+    let emit csv_name table =
+      T.print table;
+      ignore (T.write_csv ~dir:results_dir ~name:csv_name table)
+    in
+    let fig56 ds pick =
+      let t5, t6 = E.fig5_6 profile ds in
+      match pick with
+      | `Five ->
+          emit (Printf.sprintf "fig5%s" (String.sub (E.dataset1_label ds) 1 1)) t5
+      | `Six ->
+          emit (Printf.sprintf "fig6%s" (String.sub (E.dataset1_label ds) 1 1)) t6
+    in
+    match name with
+    | "all" ->
+        E.run_all ~results_dir profile;
+        `Ok ()
+    | "fig5a" -> fig56 E.D1a `Five; `Ok ()
+    | "fig5b" -> fig56 E.D1b `Five; `Ok ()
+    | "fig5c" -> fig56 E.D1c `Five; `Ok ()
+    | "fig6a" -> fig56 E.D1a `Six; `Ok ()
+    | "fig6b" -> fig56 E.D1b `Six; `Ok ()
+    | "fig6c" -> fig56 E.D1c `Six; `Ok ()
+    | "table3" -> emit "table3" (E.table3 profile); `Ok ()
+    | "fig7" -> emit "fig7" (E.fig7 profile); `Ok ()
+    | "fig8" -> emit "fig8" (E.fig8 profile); `Ok ()
+    | "fig9" ->
+        let t, u = E.fig9 profile in
+        emit "fig9_time" t;
+        emit "fig9_utility" u;
+        `Ok ()
+    | "ablation-bnb" -> emit "ablation_bnb" (E.ablation_bnb profile); `Ok ()
+    | "ablation-minmc" ->
+        emit "ablation_minmc_backends" (E.ablation_minmc_backends profile);
+        `Ok ()
+    | "ablation-weights" ->
+        emit "ablation_weight_scheme" (E.ablation_weight_scheme profile);
+        `Ok ()
+    | other -> `Error (false, Printf.sprintf "unknown experiment %S" other)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures.")
+    Term.(ret (const run $ exp_name $ profile $ results_dir))
+
+(* ---------------------------------------------------------------- *)
+
+let main =
+  let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
+  Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
+    [ generate_cmd; show_cmd; solve_cmd; experiment_cmd ]
+
+let eval ?argv () = Cmd.eval ?argv main

@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Array Cdw_cut Cdw_flow Cdw_graph Cdw_util Constraint_set Format Hashtbl List String Utility Valuation Valuation_tracker Workflow

@@ -1,0 +1,1 @@
+lib/core/algorithms.mli: Cdw_cut Cdw_graph Cdw_util Constraint_set Format Utility Workflow

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Algorithms Array Cdw_graph Constraint_set Format List Queue Utility Workflow

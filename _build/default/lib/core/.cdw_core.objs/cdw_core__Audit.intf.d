@@ -1,0 +1,1 @@
+lib/core/audit.mli: Algorithms Cdw_graph Constraint_set Format Workflow

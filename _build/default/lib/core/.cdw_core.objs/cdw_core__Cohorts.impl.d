@@ -1,0 +1,1 @@
+lib/core/cohorts.ml: Algorithms Constraint_set Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/cohorts.mli: Algorithms Constraint_set Workflow

@@ -1,0 +1,1 @@
+lib/core/constraint_set.ml: Cdw_graph Format Hashtbl List Printf Workflow

@@ -1,0 +1,1 @@
+lib/core/constraint_set.mli: Format Workflow

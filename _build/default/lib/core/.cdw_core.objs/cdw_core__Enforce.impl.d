@@ -1,0 +1,1 @@
+lib/core/enforce.ml: Cdw_graph Constraint_set Format List Printf Workflow

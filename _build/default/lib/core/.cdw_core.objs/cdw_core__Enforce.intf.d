@@ -1,0 +1,1 @@
+lib/core/enforce.mli: Constraint_set Format Workflow

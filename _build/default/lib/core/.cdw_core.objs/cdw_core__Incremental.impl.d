@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Algorithms Constraint_set List Printf Result Utility Workflow

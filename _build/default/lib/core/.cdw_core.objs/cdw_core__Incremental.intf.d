@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Algorithms Constraint_set Workflow

@@ -1,0 +1,1 @@
+lib/core/models.ml: Array Cdw_graph Cdw_util List Utility Valuation Workflow

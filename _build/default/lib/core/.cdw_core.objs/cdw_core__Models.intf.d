@@ -1,0 +1,1 @@
+lib/core/models.mli: Cdw_graph Workflow

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Algorithms Cdw_graph Constraint_set List Printf Result Workflow

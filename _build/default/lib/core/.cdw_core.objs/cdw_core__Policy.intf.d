@@ -1,0 +1,1 @@
+lib/core/policy.mli: Algorithms Constraint_set Workflow

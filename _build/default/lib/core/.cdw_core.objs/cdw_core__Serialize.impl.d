@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Cdw_graph Cdw_util Constraint_set Filename Format List Printf Result String Valuation Workflow

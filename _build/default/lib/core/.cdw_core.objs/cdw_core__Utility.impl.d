@@ -1,0 +1,1 @@
+lib/core/utility.ml: Array Cdw_graph Cdw_util List Valuation Workflow

@@ -1,0 +1,1 @@
+lib/core/valuation.ml: Array Cdw_graph Float List Queue Workflow

@@ -1,0 +1,1 @@
+lib/core/valuation.mli: Cdw_graph Workflow

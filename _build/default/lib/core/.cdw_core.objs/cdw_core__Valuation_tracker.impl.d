@@ -1,0 +1,1 @@
+lib/core/valuation_tracker.ml: Array Cdw_graph List Set Utility Valuation Workflow

@@ -1,0 +1,1 @@
+lib/core/valuation_tracker.mli: Cdw_graph Workflow

@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Cdw_graph Cdw_util Format Hashtbl List Printf String

@@ -1,0 +1,345 @@
+module Digraph = Cdw_graph.Digraph
+module Paths = Cdw_graph.Paths
+module Reach = Cdw_graph.Reach
+module Mincut = Cdw_flow.Mincut
+module Multicut = Cdw_cut.Multicut
+module Splitmix = Cdw_util.Splitmix
+module Timing = Cdw_util.Timing
+
+type outcome = {
+  workflow : Workflow.t;
+  removed : Digraph.edge list;
+  utility_before : float;
+  utility_after : float;
+  candidates : int;
+}
+
+let utility_percent o =
+  Utility.percent ~original:o.utility_before o.utility_after
+
+let pp_outcome wf ppf o =
+  let pp_edge ppf e =
+    Format.fprintf ppf "%s→%s"
+      (Workflow.name wf (Digraph.edge_src e))
+      (Workflow.name wf (Digraph.edge_dst e))
+  in
+  Format.fprintf ppf "removed {%a}, utility %.2f → %.2f (%.1f%%)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_edge)
+    o.removed o.utility_before o.utility_after (utility_percent o)
+
+(* Run [solve] on a private copy and package the result. [solve] returns
+   the number of candidates it evaluated. [utility] is the system
+   utility evaluator — Eq. 1 over the linear model unless a caller
+   supplies a general CDW model. *)
+let on_copy ?(utility = fun wf -> Utility.total wf) wf solve =
+  let utility_before = utility wf in
+  let copy = Workflow.copy wf in
+  let before_ids = Digraph.removed_edge_ids (Workflow.graph copy) in
+  let candidates = solve copy in
+  let g = Workflow.graph copy in
+  let removed =
+    List.filter
+      (fun id -> not (List.mem id before_ids))
+      (Digraph.removed_edge_ids g)
+    |> List.map (Digraph.edge g)
+  in
+  {
+    workflow = copy;
+    removed;
+    utility_before;
+    utility_after = utility copy;
+    candidates;
+  }
+
+(* Paths of one constraint on the current live graph. *)
+let constraint_paths ?max_paths ?deadline wf (pair : Constraint_set.pair) =
+  Paths.all_paths ?max_paths ?deadline (Workflow.graph wf)
+    ~src:pair.Constraint_set.source ~dst:pair.Constraint_set.target
+
+(* Algorithms 1 and 2 share their structure: pick one edge of each path
+   of each constraint and remove it (dependencies cascade), skipping
+   edges a previous step already removed. *)
+let per_path_removal pick wf cs =
+  on_copy wf (fun copy ->
+      List.iter
+        (fun pair ->
+          let paths = constraint_paths copy pair in
+          List.iter
+            (fun path ->
+              let e = pick path in
+              if not (Digraph.edge_removed e) then
+                ignore (Valuation.remove_with_cascade copy [ e ]))
+            paths)
+        cs;
+      1)
+
+let remove_random_edge ?rng wf cs =
+  let rng = match rng with Some r -> r | None -> Splitmix.create 0xC0FFEE in
+  per_path_removal
+    (fun path -> Splitmix.pick rng (Array.of_list path))
+    wf cs
+
+let first_of_path = function
+  | e :: _ -> e
+  | [] -> invalid_arg "Algorithms: empty path"
+
+let rec last_of_path = function
+  | [ e ] -> e
+  | _ :: rest -> last_of_path rest
+  | [] -> invalid_arg "Algorithms: empty path"
+
+let remove_first_edge wf cs = per_path_removal first_of_path wf cs
+let remove_last_edge wf cs = per_path_removal last_of_path wf cs
+
+let remove_min_cuts ?scheme wf cs =
+  on_copy wf (fun copy ->
+      let g = Workflow.graph copy in
+      List.iter
+        (fun { Constraint_set.source; target } ->
+          if Reach.exists_path g source target then begin
+            (* Refresh weights so they reflect removals made for earlier
+               constraints (the paper's §6 worked example does this). *)
+            let w = Utility.cut_weights ?scheme copy in
+            let cut =
+              Mincut.compute g
+                ~capacity:(fun e -> w.(Digraph.edge_id e))
+                ~src:source ~dst:target
+            in
+            ignore (Valuation.remove_with_cascade copy cut.Mincut.edges)
+          end)
+        cs;
+      1)
+
+let default_minmc_backend = Multicut.Auto 5_000.0
+
+let remove_min_mc ?(backend = default_minmc_backend) ?scheme ?deadline wf cs =
+  on_copy wf (fun copy ->
+      let g = Workflow.graph copy in
+      let w = Utility.cut_weights ?scheme copy in
+      let result =
+        Multicut.solve ~backend ?deadline g
+          ~weight:(fun e -> w.(Digraph.edge_id e))
+          ~pairs:(Constraint_set.pairs cs)
+      in
+      ignore (Valuation.remove_with_cascade copy result.Multicut.edges);
+      1)
+
+(* All constraint paths that must be broken, over the initial graph. *)
+let all_constraint_paths ?max_paths ?deadline wf cs =
+  List.concat_map
+    (fun pair -> constraint_paths ?max_paths ?deadline wf pair)
+    cs
+
+let candidate_key edges =
+  let ids = List.sort compare (List.map Digraph.edge_id edges) in
+  String.concat "," (List.map string_of_int ids)
+
+let dedup_candidate edges =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun e ->
+      let id = Digraph.edge_id e in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    edges
+
+(* Algorithm 5: enumerate the Cartesian product of the path sets; each
+   choice function yields a candidate multicut (the union of the chosen
+   edges). Candidates are deduplicated, evaluated by soft-removal +
+   utility recomputation, and the best kept. *)
+let brute_force ?(deadline = infinity) ?max_paths ?utility wf cs =
+  on_copy ?utility wf (fun copy ->
+      let paths =
+        Array.of_list
+          (List.map Array.of_list (all_constraint_paths ?max_paths ~deadline copy cs))
+      in
+      let k = Array.length paths in
+      if k = 0 then 0
+      else begin
+        (* Candidate evaluation: a custom model re-runs the evaluator
+           after a cascade removal; the default linear model uses the
+           incremental tracker (touches only the affected region). *)
+        let eval_candidate =
+          match utility with
+          | Some f ->
+              fun candidate ->
+                let removed = Valuation.remove_with_cascade copy candidate in
+                let u = f copy in
+                Valuation.restore copy removed;
+                u
+          | None ->
+              let tracker = Valuation_tracker.create copy in
+              fun candidate ->
+                let token = Valuation_tracker.remove tracker candidate in
+                let u = Valuation_tracker.utility tracker in
+                Valuation_tracker.undo tracker token;
+                u
+        in
+        let indices = Array.make k 0 in
+        let seen = Hashtbl.create 1024 in
+        let best_utility = ref neg_infinity in
+        let best_candidate = ref [] in
+        let evaluated = ref 0 in
+        let continue = ref true in
+        while !continue do
+          Timing.check_deadline deadline;
+          let candidate =
+            dedup_candidate
+              (Array.to_list (Array.mapi (fun i j -> paths.(i).(j)) indices))
+          in
+          let key = candidate_key candidate in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            incr evaluated;
+            let u = eval_candidate candidate in
+            if u > !best_utility then begin
+              best_utility := u;
+              best_candidate := candidate
+            end
+          end;
+          (* Odometer step over the Cartesian product. *)
+          let rec bump i =
+            if i < 0 then continue := false
+            else if indices.(i) + 1 < Array.length paths.(i) then
+              indices.(i) <- indices.(i) + 1
+            else begin
+              indices.(i) <- 0;
+              bump (i - 1)
+            end
+          in
+          bump (k - 1)
+        done;
+        ignore (Valuation.remove_with_cascade copy !best_candidate);
+        !evaluated
+      end)
+
+(* Branch-and-bound variant: depth-first over the paths, branching on
+   which edge of the next still-unbroken path to remove. Removing edges
+   can only lower the (non-negative, additive) utility, so the current
+   utility is an admissible upper bound for the subtree. *)
+let brute_force_bnb ?(deadline = infinity) ?max_paths ?utility wf cs =
+  on_copy ?utility wf (fun copy ->
+      let g = Workflow.graph copy in
+      let paths =
+        List.map Array.of_list (all_constraint_paths ?max_paths ~deadline copy cs)
+      in
+      (* Shorter paths first: fewer branches near the root. *)
+      let paths =
+        Array.of_list
+          (List.sort
+             (fun a b -> compare (Array.length a) (Array.length b))
+             paths)
+      in
+      let k = Array.length paths in
+      if k = 0 then 0
+      else begin
+        (* Persistent push/pop evaluation along the DFS: the default
+           linear model keeps an incremental tracker; custom models
+           recompute at every node. *)
+        let current_utility, push_edge, pop_edge =
+          match utility with
+          | Some f ->
+              let stack = ref [] in
+              ( (fun () -> f copy),
+                (fun e ->
+                  stack := Valuation.remove_with_cascade copy [ e ] :: !stack),
+                fun () ->
+                  match !stack with
+                  | removed :: rest ->
+                      Valuation.restore copy removed;
+                      stack := rest
+                  | [] -> assert false )
+          | None ->
+              let tracker = Valuation_tracker.create copy in
+              let stack = ref [] in
+              ( (fun () -> Valuation_tracker.utility tracker),
+                (fun e ->
+                  stack := Valuation_tracker.remove tracker [ e ] :: !stack),
+                fun () ->
+                  match !stack with
+                  | token :: rest ->
+                      Valuation_tracker.undo tracker token;
+                      stack := rest
+                  | [] -> assert false )
+        in
+        let baseline = Digraph.removed_edge_ids g in
+        let best_utility = ref neg_infinity in
+        let best_removed_ids = ref [] in
+        let evaluated = ref 0 in
+        let snapshot () =
+          List.filter
+            (fun id -> not (List.mem id baseline))
+            (Digraph.removed_edge_ids g)
+        in
+        let rec dfs i =
+          Timing.check_deadline deadline;
+          let u = current_utility () in
+          if u <= !best_utility then () (* cannot improve: prune *)
+          else if i >= k then begin
+            incr evaluated;
+            best_utility := u;
+            best_removed_ids := snapshot ()
+          end
+          else begin
+            let path = paths.(i) in
+            if Array.exists Digraph.edge_removed path then dfs (i + 1)
+            else
+              Array.iter
+                (fun e ->
+                  push_edge e;
+                  dfs (i + 1);
+                  pop_edge ())
+                path
+          end
+        in
+        dfs 0;
+        List.iter (fun id -> Digraph.remove_edge g (Digraph.edge g id)) !best_removed_ids;
+        !evaluated
+      end)
+
+type name =
+  | Remove_random_edge
+  | Remove_first_edge
+  | Remove_last_edge
+  | Remove_min_cuts
+  | Remove_min_mc
+  | Brute_force
+  | Brute_force_bnb
+
+let all_names =
+  [
+    Remove_random_edge;
+    Remove_first_edge;
+    Remove_last_edge;
+    Remove_min_cuts;
+    Remove_min_mc;
+    Brute_force;
+    Brute_force_bnb;
+  ]
+
+let to_string = function
+  | Remove_random_edge -> "remove-random-edge"
+  | Remove_first_edge -> "remove-first-edge"
+  | Remove_last_edge -> "remove-last-edge"
+  | Remove_min_cuts -> "remove-min-cuts"
+  | Remove_min_mc -> "remove-min-mc"
+  | Brute_force -> "brute-force"
+  | Brute_force_bnb -> "brute-force-bnb"
+
+let of_string s =
+  List.find_opt (fun n -> to_string n = s) all_names
+
+let run ?rng ?deadline ?max_paths name wf cs =
+  match name with
+  | Remove_random_edge -> remove_random_edge ?rng wf cs
+  | Remove_first_edge -> remove_first_edge wf cs
+  | Remove_last_edge -> remove_last_edge wf cs
+  | Remove_min_cuts -> remove_min_cuts wf cs
+  | Remove_min_mc -> remove_min_mc ?deadline wf cs
+  | Brute_force -> brute_force ?deadline ?max_paths wf cs
+  | Brute_force_bnb -> brute_force_bnb ?deadline ?max_paths wf cs

@@ -1,0 +1,108 @@
+(** The CDW-LA solving algorithms (§5 of the paper) and two extensions.
+
+    Every function leaves its input workflow untouched and returns an
+    {!outcome} holding a solved copy. All algorithms return *feasible*
+    solutions — no constrained user→purpose path survives — and differ
+    in utility and cost:
+
+    - {!remove_random_edge} (Alg. 1): random edge per path; baseline.
+    - {!remove_first_edge} (Alg. 2): first edge per path ("do not even
+      collect the data type"); {!remove_last_edge} is the variant
+      discussed in §6.
+    - {!remove_min_cuts} (Alg. 3): greedy per-constraint minimum s–t
+      cut, weights refreshed between constraints.
+    - {!remove_min_mc} (Alg. 4): one global minimum multicut with
+      valuation-derived weights; exact for MINMC but not always for
+      CDW-LA (§6), near-optimal in practice (Table 3).
+    - {!brute_force} (Alg. 5): exhaustive search over one-edge-per-path
+      choices; optimal, exponential.
+    - {!brute_force_bnb} (extension): same optimum via branch-and-bound
+      with the monotone-utility upper bound; usually far fewer
+      candidates.
+
+    Long-running searches honour a cooperative [deadline]
+    ({!Cdw_util.Timing.Timeout}) and a path-enumeration cap
+    ({!Cdw_graph.Paths.Too_many_paths}). *)
+
+type outcome = {
+  workflow : Workflow.t;  (** solved copy of the input *)
+  removed : Cdw_graph.Digraph.edge list;
+      (** edges removed from the copy, cascades included *)
+  utility_before : float;
+  utility_after : float;
+  candidates : int;
+      (** candidates evaluated (brute-force searches; 1 otherwise) *)
+}
+
+val utility_percent : outcome -> float
+(** [100 · after / before]. *)
+
+val pp_outcome : Workflow.t -> Format.formatter -> outcome -> unit
+
+val remove_random_edge :
+  ?rng:Cdw_util.Splitmix.t -> Workflow.t -> Constraint_set.t -> outcome
+
+val remove_first_edge : Workflow.t -> Constraint_set.t -> outcome
+
+val remove_last_edge : Workflow.t -> Constraint_set.t -> outcome
+
+val remove_min_cuts :
+  ?scheme:Utility.weight_scheme -> Workflow.t -> Constraint_set.t -> outcome
+
+val remove_min_mc :
+  ?backend:Cdw_cut.Multicut.backend ->
+  ?scheme:Utility.weight_scheme ->
+  ?deadline:float ->
+  Workflow.t ->
+  Constraint_set.t ->
+  outcome
+(** [backend] defaults to [Auto 5000.0]: exact ILP with a 5 s budget,
+    greedy fallback on dense instances where exact multicut blows up
+    (cf. the paper's dataset 1c discussion). *)
+
+val brute_force :
+  ?deadline:float ->
+  ?max_paths:int ->
+  ?utility:(Workflow.t -> float) ->
+  Workflow.t ->
+  Constraint_set.t ->
+  outcome
+(** [utility] generalises the objective to arbitrary CDW models
+    (§5: the exhaustive search works for any valuation/utility
+    functions); see {!Models}. Defaults to CDW-LA's Eq. 1. *)
+
+val brute_force_bnb :
+  ?deadline:float ->
+  ?max_paths:int ->
+  ?utility:(Workflow.t -> float) ->
+  Workflow.t ->
+  Constraint_set.t ->
+  outcome
+(** The monotone-pruning bound requires [utility] to be monotone
+    non-increasing under edge removal (true for every model in
+    {!Models}). *)
+
+type name =
+  | Remove_random_edge
+  | Remove_first_edge
+  | Remove_last_edge
+  | Remove_min_cuts
+  | Remove_min_mc
+  | Brute_force
+  | Brute_force_bnb
+
+val all_names : name list
+
+val to_string : name -> string
+
+val of_string : string -> name option
+
+val run :
+  ?rng:Cdw_util.Splitmix.t ->
+  ?deadline:float ->
+  ?max_paths:int ->
+  name ->
+  Workflow.t ->
+  Constraint_set.t ->
+  outcome
+(** Dispatch by name; used by the CLI and the experiment harness. *)

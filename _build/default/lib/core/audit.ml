@@ -1,0 +1,106 @@
+module Digraph = Cdw_graph.Digraph
+
+type status = {
+  pair : Constraint_set.pair;
+  satisfied : bool;
+  witness : Digraph.edge list;
+}
+
+type t = {
+  consented : bool;
+  statuses : status list;
+  utility : float;
+  per_purpose : (int * float) list;
+}
+
+(* One witness path via BFS (shortest in hops), or []. *)
+let find_witness g s t =
+  let n = Digraph.n_vertices g in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  seen.(s) <- true;
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while (not (Queue.is_empty queue)) && not seen.(t) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let u = Digraph.edge_dst e in
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          parent.(u) <- Some e;
+          Queue.add u queue
+        end)
+      (Digraph.out_edges g v)
+  done;
+  if not seen.(t) then []
+  else
+    let rec walk v acc =
+      match parent.(v) with
+      | None -> acc
+      | Some e -> walk (Digraph.edge_src e) (e :: acc)
+    in
+    walk t []
+
+let report wf cs =
+  let g = Workflow.graph wf in
+  let statuses =
+    List.map
+      (fun ({ Constraint_set.source; target } as pair) ->
+        let witness = find_witness g source target in
+        { pair; satisfied = witness = []; witness })
+      cs
+  in
+  {
+    consented = List.for_all (fun s -> s.satisfied) statuses;
+    statuses;
+    utility = Utility.total wf;
+    per_purpose = Utility.per_purpose wf;
+  }
+
+let pp_path wf ppf path =
+  match path with
+  | [] -> ()
+  | first :: _ ->
+      Format.pp_print_string ppf (Workflow.name wf (Digraph.edge_src first));
+      List.iter
+        (fun e ->
+          Format.fprintf ppf " → %s" (Workflow.name wf (Digraph.edge_dst e)))
+        path
+
+let pp wf ppf t =
+  Format.fprintf ppf "consented: %b@," t.consented;
+  List.iter
+    (fun s ->
+      let { Constraint_set.source; target } = s.pair in
+      if s.satisfied then
+        Format.fprintf ppf "  ok        %s ↛ %s@," (Workflow.name wf source)
+          (Workflow.name wf target)
+      else
+        Format.fprintf ppf "  VIOLATED  %s ↛ %s (witness: %a)@,"
+          (Workflow.name wf source) (Workflow.name wf target) (pp_path wf)
+          s.witness)
+    t.statuses;
+  Format.fprintf ppf "total utility: %.2f@," t.utility;
+  List.iter
+    (fun (p, u) -> Format.fprintf ppf "  %s: %.2f@," (Workflow.name wf p) u)
+    t.per_purpose
+
+let pp_solution_diff wf ppf (o : Algorithms.outcome) =
+  let before = Utility.per_purpose wf in
+  let after = Utility.per_purpose o.Algorithms.workflow in
+  Format.fprintf ppf "removed %d edge(s):@," (List.length o.Algorithms.removed);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  - %s → %s@,"
+        (Workflow.name wf (Digraph.edge_src e))
+        (Workflow.name wf (Digraph.edge_dst e)))
+    o.Algorithms.removed;
+  Format.fprintf ppf "per-purpose utility:@,";
+  List.iter2
+    (fun (p, ub) (_, ua) ->
+      Format.fprintf ppf "  %-24s %10.2f → %10.2f@," (Workflow.name wf p) ub ua)
+    before after;
+  Format.fprintf ppf "total: %.2f → %.2f (%.1f%% retained)@,"
+    o.Algorithms.utility_before o.Algorithms.utility_after
+    (Algorithms.utility_percent o)

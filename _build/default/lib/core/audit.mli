@@ -1,0 +1,30 @@
+(** Compliance auditing: is a workflow consented, and what does consent
+    cost each purpose?
+
+    This is the operational entry point a privacy engineer would use:
+    given a workflow and the user's constraints, report which
+    constraints hold, exhibit a witness path for each violation, and
+    show the utility each purpose retains. *)
+
+type status = {
+  pair : Constraint_set.pair;
+  satisfied : bool;
+  witness : Cdw_graph.Digraph.edge list;
+      (** a surviving source→target path when violated; [] otherwise *)
+}
+
+type t = {
+  consented : bool;
+  statuses : status list;
+  utility : float;
+  per_purpose : (int * float) list;
+}
+
+val report : Workflow.t -> Constraint_set.t -> t
+
+val pp : Workflow.t -> Format.formatter -> t -> unit
+
+val pp_solution_diff :
+  Workflow.t -> Format.formatter -> Algorithms.outcome -> unit
+(** Human-readable description of a solver outcome: removed edges (with
+    names), per-purpose utility before/after, and total retention. *)

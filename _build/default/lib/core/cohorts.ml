@@ -1,0 +1,46 @@
+type request = { user_id : string; pairs : (int * int) list }
+
+type group = {
+  constraints : Constraint_set.t;
+  members : string list;
+  outcome : Algorithms.outcome;
+}
+
+let canonical pairs = List.sort_uniq compare pairs
+
+let solve_grouped ?algorithm wf requests =
+  let algorithm =
+    match algorithm with
+    | Some f -> f
+    | None -> fun wf cs -> Algorithms.remove_min_mc wf cs
+  in
+  let order = ref [] in
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun { user_id; pairs } ->
+      let key = canonical pairs in
+      if not (Hashtbl.mem members key) then begin
+        Hashtbl.add members key [];
+        order := key :: !order
+      end;
+      Hashtbl.replace members key (user_id :: Hashtbl.find members key))
+    requests;
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | key :: rest -> (
+        match Constraint_set.make wf key with
+        | Error msg -> Error msg
+        | Ok constraints ->
+            let outcome = algorithm wf constraints in
+            build
+              ({
+                 constraints;
+                 members = List.rev (Hashtbl.find members key);
+                 outcome;
+               }
+              :: acc)
+              rest)
+  in
+  build [] (List.rev !order)
+
+let solver_calls groups = List.length groups

@@ -1,0 +1,30 @@
+(** Batching users with identical constraints (§8 scalability).
+
+    The paper observes that real systems have many users but few
+    distinct *types* of privacy preference, so the consented workflow
+    should be computed once per type, not once per user. [solve_grouped]
+    canonicalises each user's constraint set, groups identical ones, and
+    runs the solver once per group. *)
+
+type request = { user_id : string; pairs : (int * int) list }
+
+type group = {
+  constraints : Constraint_set.t;
+  members : string list;  (** user ids sharing this constraint set *)
+  outcome : Algorithms.outcome;
+}
+
+val solve_grouped :
+  ?algorithm:(Workflow.t -> Constraint_set.t -> Algorithms.outcome) ->
+  Workflow.t ->
+  request list ->
+  (group list, string) result
+(** Groups requests by canonical (sorted, deduplicated) pair sets and
+    solves each once with [algorithm] (default
+    {!Algorithms.remove_min_mc}). Order of groups follows first
+    appearance; members keep request order. Returns [Error] when some
+    request's pairs fail {!Constraint_set.make}. *)
+
+val solver_calls : group list -> int
+(** Number of solver invocations the grouping needed (= number of
+    groups) — the quantity the batching is meant to minimise. *)

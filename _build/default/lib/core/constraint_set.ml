@@ -1,0 +1,61 @@
+module Reach = Cdw_graph.Reach
+
+type pair = { source : int; target : int }
+type t = pair list
+
+let make wf raw =
+  let seen = Hashtbl.create 16 in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | (s, t) :: rest -> (
+        if Hashtbl.mem seen (s, t) then
+          Error
+            (Printf.sprintf "duplicate constraint (%s, %s)" (Workflow.name wf s)
+               (Workflow.name wf t))
+        else begin
+          Hashtbl.add seen (s, t) ();
+          match (Workflow.kind wf s, Workflow.kind wf t) with
+          | Workflow.User, Workflow.Purpose ->
+              loop ({ source = s; target = t } :: acc) rest
+          | ks, _ when ks <> Workflow.User ->
+              Error
+                (Printf.sprintf "constraint source %s is not a user vertex"
+                   (Workflow.name wf s))
+          | _ ->
+              Error
+                (Printf.sprintf "constraint target %s is not a purpose vertex"
+                   (Workflow.name wf t))
+        end)
+  in
+  loop [] raw
+
+let make_exn wf raw =
+  match make wf raw with Ok t -> t | Error msg -> invalid_arg msg
+
+let of_names wf raw =
+  let rec resolve acc = function
+    | [] -> make wf (List.rev acc)
+    | (sn, tn) :: rest -> (
+        match (Workflow.vertex_of_name wf sn, Workflow.vertex_of_name wf tn) with
+        | Some s, Some t -> resolve ((s, t) :: acc) rest
+        | None, _ -> Error (Printf.sprintf "unknown vertex %S" sn)
+        | _, None -> Error (Printf.sprintf "unknown vertex %S" tn))
+  in
+  resolve [] raw
+
+let pairs t = List.map (fun { source; target } -> (source, target)) t
+let size = List.length
+
+let violated wf t =
+  let g = Workflow.graph wf in
+  List.filter (fun { source; target } -> Reach.exists_path g source target) t
+
+let satisfied wf t = violated wf t = []
+
+let pp wf ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf { source; target } ->
+      Format.fprintf ppf "%s ↛ %s" (Workflow.name wf source)
+        (Workflow.name wf target))
+    ppf t

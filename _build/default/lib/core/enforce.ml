@@ -1,0 +1,56 @@
+module Digraph = Cdw_graph.Digraph
+
+type decision = { seq : int; src : int; dst : int; allowed : bool }
+
+type t = {
+  workflow : Workflow.t;
+  mutable log : decision list; (* newest first *)
+  mutable next_seq : int;
+}
+
+let create wf cs =
+  match Constraint_set.violated wf cs with
+  | [] -> Ok { workflow = Workflow.copy wf; log = []; next_seq = 0 }
+  | { Constraint_set.source; target } :: _ ->
+      Error
+        (Printf.sprintf
+           "workflow is not consented: %s still reaches %s (solve first)"
+           (Workflow.name wf source) (Workflow.name wf target))
+
+let check t ~src ~dst =
+  let allowed =
+    src >= 0
+    && dst >= 0
+    && src < Workflow.n_vertices t.workflow
+    && dst < Workflow.n_vertices t.workflow
+    && Digraph.find_edge (Workflow.graph t.workflow) src dst <> None
+  in
+  t.log <- { seq = t.next_seq; src; dst; allowed } :: t.log;
+  t.next_seq <- t.next_seq + 1;
+  allowed
+
+let check_by_name t ~src ~dst =
+  match
+    ( Workflow.vertex_of_name t.workflow src,
+      Workflow.vertex_of_name t.workflow dst )
+  with
+  | Some s, Some d -> Ok (check t ~src:s ~dst:d)
+  | None, _ -> Error (Printf.sprintf "unknown vertex %S" src)
+  | _, None -> Error (Printf.sprintf "unknown vertex %S" dst)
+
+let decisions t = List.rev t.log
+let denials t = List.filter (fun d -> not d.allowed) (decisions t)
+
+let pp_report wf ppf t =
+  let all = decisions t in
+  let denied = denials t in
+  Format.fprintf ppf "enforcement: %d checks, %d denied@," (List.length all)
+    (List.length denied);
+  List.iter
+    (fun { seq; src; dst; _ } ->
+      let name v =
+        if v >= 0 && v < Workflow.n_vertices wf then Workflow.name wf v
+        else Printf.sprintf "<unknown:%d>" v
+      in
+      Format.fprintf ppf "  #%d DENIED %s → %s@," seq (name src) (name dst))
+    denied

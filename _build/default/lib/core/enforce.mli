@@ -1,0 +1,38 @@
+(** Query-time enforcement of a consented workflow.
+
+    Related work (DataLawyer, Hippocratic databases — §9) checks policy
+    at processing time; this module is that runtime guard for our model.
+    A processing engine asks [check] before actually moving data along
+    an edge; the guard answers from the consented workflow — a transfer
+    is allowed iff its edge is live — and records every denial so a
+    compliance report can show which processing *attempted* to bypass
+    consent. *)
+
+type t
+
+type decision = {
+  seq : int;  (** monotonically increasing request number *)
+  src : int;
+  dst : int;
+  allowed : bool;
+}
+
+val create : Workflow.t -> Constraint_set.t -> (t, string) result
+(** The workflow must already be consented w.r.t. the constraints
+    (solve first; [Error] names a violated constraint otherwise). *)
+
+val check : t -> src:int -> dst:int -> bool
+(** Is the transfer [src → dst] permitted? Unknown edges (never part of
+    the workflow) and removed edges are denied; the decision is
+    logged. *)
+
+val check_by_name : t -> src:string -> dst:string -> (bool, string) result
+(** Name-based variant; [Error] for unknown vertex names (nothing is
+    logged in that case). *)
+
+val decisions : t -> decision list
+(** Every decision, oldest first. *)
+
+val denials : t -> decision list
+
+val pp_report : Workflow.t -> Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type stats = { solver_runs : int; free_hits : int; full_resolves : int }
+
+type t = {
+  base : Workflow.t;
+  algorithm : Workflow.t -> Constraint_set.t -> Algorithms.outcome;
+  mutable current : Workflow.t;
+  mutable accepted : Constraint_set.t;
+  mutable stats : stats;
+}
+
+let create ?algorithm wf =
+  let algorithm =
+    match algorithm with
+    | Some f -> f
+    | None -> fun wf cs -> Algorithms.remove_min_mc wf cs
+  in
+  {
+    base = Workflow.copy wf;
+    algorithm;
+    current = Workflow.copy wf;
+    accepted = [];
+    stats = { solver_runs = 0; free_hits = 0; full_resolves = 0 };
+  }
+
+let workflow t = t.current
+let constraints t = t.accepted
+let utility t = Utility.total t.current
+let stats t = t.stats
+
+let mem pair cs =
+  List.exists
+    (fun { Constraint_set.source; target } -> (source, target) = pair)
+    cs
+
+let solve_on t wf cs =
+  let outcome = t.algorithm wf cs in
+  t.stats <- { t.stats with solver_runs = t.stats.solver_runs + 1 };
+  outcome.Algorithms.workflow
+
+let add t pairs =
+  match Constraint_set.make t.base (List.sort_uniq compare pairs) with
+  | Error _ as e -> Result.map ignore e
+  | Ok validated ->
+      let fresh =
+        List.filter
+          (fun { Constraint_set.source; target } ->
+            not (mem (source, target) t.accepted))
+          validated
+      in
+      let still_violated = Constraint_set.violated t.current fresh in
+      t.stats <-
+        {
+          t.stats with
+          free_hits =
+            t.stats.free_hits + List.length fresh - List.length still_violated;
+        };
+      if still_violated <> [] then
+        t.current <- solve_on t t.current still_violated;
+      t.accepted <- t.accepted @ fresh;
+      Ok ()
+
+let resolve_all t =
+  t.stats <- { t.stats with full_resolves = t.stats.full_resolves + 1 };
+  if Constraint_set.violated t.base t.accepted = [] then
+    t.current <- Workflow.copy t.base
+  else t.current <- solve_on t t.base t.accepted
+
+let withdraw t pairs =
+  let unknown =
+    List.filter (fun pair -> not (mem pair t.accepted)) pairs
+  in
+  match unknown with
+  | (s, _) :: _ ->
+      Error
+        (Printf.sprintf "cannot withdraw unknown constraint from %s"
+           (Workflow.name t.base s))
+  | [] ->
+      t.accepted <-
+        List.filter
+          (fun { Constraint_set.source; target } ->
+            not (List.mem (source, target) pairs))
+          t.accepted;
+      resolve_all t;
+      Ok ()
+
+let resolve_batch t = resolve_all t

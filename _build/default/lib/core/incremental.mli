@@ -1,0 +1,57 @@
+(** Incremental consent maintenance (§8 scalability discussion).
+
+    In production, constraints arrive over time: users join, users
+    tighten their preferences. Recomputing the consented workflow from
+    scratch on every change wastes the work already done, so a session
+    keeps the current consented workflow and, on arrival of new
+    constraints, only solves for the pairs that are still connected —
+    pairs already disconnected by earlier cuts cost nothing.
+
+    Constraint *withdrawal* cannot reuse previous cuts (an edge removed
+    for a withdrawn constraint may have to come back), so it triggers a
+    full re-solve from the pristine base; {!stats} reports how often
+    each case occurred.
+
+    Incremental solving is order-greedy: the resulting utility can be
+    below what a batch solve of the same constraint set achieves
+    (tested in [test_incremental.ml]); {!resolve_batch} re-optimises in
+    place when that matters. *)
+
+type t
+
+type stats = {
+  solver_runs : int;  (** times the underlying algorithm executed *)
+  free_hits : int;  (** constraints satisfied with zero solver work *)
+  full_resolves : int;  (** scratch recomputations (withdrawals, batch) *)
+}
+
+val create :
+  ?algorithm:(Workflow.t -> Constraint_set.t -> Algorithms.outcome) ->
+  Workflow.t ->
+  t
+(** [algorithm] defaults to {!Algorithms.remove_min_mc}. The session
+    works on private copies; the input workflow is never modified. *)
+
+val workflow : t -> Workflow.t
+(** The current consented workflow (satisfies every accepted
+    constraint). *)
+
+val constraints : t -> Constraint_set.t
+
+val utility : t -> float
+
+val stats : t -> stats
+
+val add : t -> (int * int) list -> (unit, string) result
+(** Accept new constraints. Duplicates of already-accepted pairs are
+    ignored; invalid pairs reject the whole call without changing the
+    session. *)
+
+val withdraw : t -> (int * int) list -> (unit, string) result
+(** Remove accepted constraints (unknown pairs are an error) and
+    re-solve the remainder from the pristine base. *)
+
+val resolve_batch : t -> unit
+(** Re-solve all accepted constraints in one batch from the base,
+    replacing the incrementally built solution (counted as a full
+    resolve). *)

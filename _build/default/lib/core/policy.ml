@@ -1,0 +1,91 @@
+type rule =
+  | Disconnect of { source : int; target : int }
+  | No_combination of { sources : int list; target : int }
+
+let validate wf rules =
+  let check_user v =
+    if Workflow.kind wf v <> Workflow.User then
+      Error (Printf.sprintf "%s is not a user vertex" (Workflow.name wf v))
+    else Ok ()
+  in
+  let check_purpose v =
+    if Workflow.kind wf v <> Workflow.Purpose then
+      Error (Printf.sprintf "%s is not a purpose vertex" (Workflow.name wf v))
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let rec loop = function
+    | [] -> Ok ()
+    | Disconnect { source; target } :: rest ->
+        let* () = check_user source in
+        let* () = check_purpose target in
+        loop rest
+    | No_combination { sources; target } :: rest ->
+        let* () = check_purpose target in
+        let* () =
+          List.fold_left
+            (fun acc s -> Result.bind acc (fun () -> check_user s))
+            (Ok ()) sources
+        in
+        if List.length (List.sort_uniq compare sources) < 2 then
+          Error "no-combination rules need at least two distinct sources"
+        else loop rest
+  in
+  loop rules
+
+let compile ?(max_alternatives = 1024) wf rules =
+  (match validate wf rules with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Policy.compile: " ^ msg));
+  (* Each alternative is a raw pair list; rules multiply them. *)
+  let expand alternatives = function
+    | Disconnect { source; target } ->
+        List.map (fun alt -> (source, target) :: alt) alternatives
+    | No_combination { sources; target } ->
+        List.concat_map
+          (fun alt -> List.map (fun s -> (s, target) :: alt) sources)
+          alternatives
+  in
+  let alternatives = List.fold_left expand [ [] ] rules in
+  if List.length alternatives > max_alternatives then
+    invalid_arg
+      (Printf.sprintf "Policy.compile: %d alternatives exceed the cap of %d"
+         (List.length alternatives) max_alternatives);
+  (* Deduplicate pairs within an alternative, then whole alternatives. *)
+  let canon alt = List.sort_uniq compare alt in
+  List.sort_uniq compare (List.map canon alternatives)
+  |> List.map (Constraint_set.make_exn wf)
+
+let satisfied wf rules =
+  match validate wf rules with
+  | Error msg -> invalid_arg ("Policy.satisfied: " ^ msg)
+  | Ok () ->
+      let g = Workflow.graph wf in
+      List.for_all
+        (function
+          | Disconnect { source; target } ->
+              not (Cdw_graph.Reach.exists_path g source target)
+          | No_combination { sources; target } ->
+              not
+                (List.for_all
+                   (fun s -> Cdw_graph.Reach.exists_path g s target)
+                   sources))
+        rules
+
+let solve ?algorithm ?max_alternatives wf rules =
+  let algorithm =
+    match algorithm with
+    | Some f -> f
+    | None -> fun wf cs -> Algorithms.remove_min_mc wf cs
+  in
+  match compile ?max_alternatives wf rules with
+  | [] -> invalid_arg "Policy.solve: no rules"
+  | first :: rest ->
+      let best = ref (algorithm wf first) in
+      List.iter
+        (fun cs ->
+          let o = algorithm wf cs in
+          if o.Algorithms.utility_after > !best.Algorithms.utility_after then
+            best := o)
+        rest;
+      !best

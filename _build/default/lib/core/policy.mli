@@ -1,0 +1,40 @@
+(** Richer privacy rules (§8 "open problems").
+
+    Beyond plain source→purpose refusals, the paper sketches rules such
+    as “I'm okay with you using my data for advertising, but don't
+    combine my location with my purchase history”. A
+    {!No_combination} rule demands that *not all* of the listed sources
+    stay connected to the purpose — i.e. at least one of them must be
+    disconnected. Such rules are disjunctive: they compile into several
+    alternative plain constraint sets, each alternative is solved with a
+    base algorithm, and the best consented workflow wins. *)
+
+type rule =
+  | Disconnect of { source : int; target : int }
+      (** the paper's basic constraint: no path source → target *)
+  | No_combination of { sources : int list; target : int }
+      (** at least one of [sources] must be disconnected from [target];
+          needs ≥ 2 sources *)
+
+val validate : Workflow.t -> rule list -> (unit, string) result
+(** Kinds must match (sources are users, targets purposes) and
+    [No_combination] needs at least two distinct sources. *)
+
+val compile : ?max_alternatives:int -> Workflow.t -> rule list -> Constraint_set.t list
+(** All alternative plain constraint sets whose satisfaction implies the
+    rules. [Disconnect] contributes to every alternative;
+    [No_combination] multiplies them by its source count. Raises
+    [Invalid_argument] when the rules are invalid or the expansion
+    exceeds [max_alternatives] (default 1024). *)
+
+val satisfied : Workflow.t -> rule list -> bool
+
+val solve :
+  ?algorithm:(Workflow.t -> Constraint_set.t -> Algorithms.outcome) ->
+  ?max_alternatives:int ->
+  Workflow.t ->
+  rule list ->
+  Algorithms.outcome
+(** Solve every compiled alternative with [algorithm] (default
+    {!Algorithms.remove_min_mc}) and return the utility-maximising
+    outcome. *)

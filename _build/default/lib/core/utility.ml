@@ -1,0 +1,73 @@
+module Digraph = Cdw_graph.Digraph
+module Reach = Cdw_graph.Reach
+module Bitset = Cdw_util.Bitset
+
+let per_purpose ?model wf =
+  let g = Workflow.graph wf in
+  let pi = Valuation.compute ?model wf in
+  List.map
+    (fun p ->
+      let u =
+        List.fold_left
+          (fun acc e -> acc +. pi.(Digraph.edge_id e))
+          0.0 (Digraph.in_edges g p)
+      in
+      (p, u))
+    (Workflow.purposes wf)
+
+let total ?model wf =
+  List.fold_left
+    (fun acc (p, u) -> acc +. (Workflow.purpose_weight wf p *. u))
+    0.0 (per_purpose ?model wf)
+
+let percent ~original value =
+  if original = 0.0 then 100.0 else 100.0 *. value /. original
+
+let purpose_mass wf =
+  let g = Workflow.graph wf in
+  let purposes = Array.of_list (Workflow.purposes wf) in
+  let sets = Reach.target_bitsets g ~targets:purposes in
+  Array.map
+    (fun set ->
+      let acc = ref 0.0 in
+      Bitset.iter
+        (fun i -> acc := !acc +. Workflow.purpose_weight wf purposes.(i))
+        set;
+      !acc)
+    sets
+
+let path_mass wf =
+  let g = Workflow.graph wf in
+  let n = Digraph.n_vertices g in
+  let pm = Array.make n 0.0 in
+  List.iter
+    (fun p -> pm.(p) <- Workflow.purpose_weight wf p)
+    (Workflow.purposes wf);
+  let order = Cdw_graph.Topo.sort g in
+  (* Reverse topological sweep: pm(v) = own weight + Σ pm(successors),
+     which counts every v→purpose path once with its purpose weight. *)
+  for pos = Array.length order - 1 downto 0 do
+    let v = order.(pos) in
+    List.iter
+      (fun e -> pm.(v) <- pm.(v) +. pm.(Digraph.edge_dst e))
+      (Digraph.out_edges g v)
+  done;
+  pm
+
+type weight_scheme = Reachability_mass | Path_count_mass
+
+let cut_weights ?model ?(scheme = Path_count_mass) wf =
+  let g = Workflow.graph wf in
+  let pi = Valuation.compute ?model wf in
+  let mass =
+    match scheme with
+    | Reachability_mass -> purpose_mass wf
+    | Path_count_mass -> path_mass wf
+  in
+  let w = Array.make (max 1 (Digraph.n_edges_total g)) 0.0 in
+  Digraph.iter_edges
+    (fun e ->
+      let id = Digraph.edge_id e in
+      w.(id) <- pi.(id) *. mass.(Digraph.edge_dst e))
+    g;
+  w

@@ -1,0 +1,113 @@
+module Digraph = Cdw_graph.Digraph
+module Topo = Cdw_graph.Topo
+
+type undo = {
+  serial : int;
+  removed : Digraph.edge list;
+  old_pi : (int * float) list; (* edge id, previous π *)
+  old_utility : float;
+}
+
+type t = {
+  wf : Workflow.t;
+  g : Digraph.t;
+  pi : float array;
+  order_index : int array; (* vertex -> topological position *)
+  mutable utility_now : float;
+  mutable next_serial : int;
+}
+
+let create wf =
+  let g = Workflow.graph wf in
+  {
+    wf;
+    g;
+    pi = Valuation.compute wf;
+    order_index = Topo.order_index g;
+    utility_now = Utility.total wf;
+    next_serial = 0;
+  }
+
+let utility t = t.utility_now
+
+(* Recompute π for the out-edges of every vertex downstream of [seeds],
+   in topological order, recording changed edges in [journal] and
+   adjusting the utility for purpose in-edges. *)
+let propagate t seeds ~journal =
+  let module H = Set.Make (struct
+    type t = int * int (* topo position, vertex *)
+
+    let compare = compare
+  end) in
+  let frontier = ref H.empty in
+  let push v = frontier := H.add (t.order_index.(v), v) !frontier in
+  List.iter push seeds;
+  while not (H.is_empty !frontier) do
+    let ((_, v) as entry) = H.min_elt !frontier in
+    frontier := H.remove entry !frontier;
+    let new_out =
+      match Workflow.kind t.wf v with
+      | Workflow.User -> None (* initial values never change *)
+      | Workflow.Algorithm | Workflow.Purpose ->
+          Some
+            (List.fold_left
+               (fun acc e -> acc +. t.pi.(Digraph.edge_id e))
+               0.0 (Digraph.in_edges t.g v))
+    in
+    match new_out with
+    | None -> ()
+    | Some value ->
+        List.iter
+          (fun e ->
+            let id = Digraph.edge_id e in
+            if t.pi.(id) <> value then begin
+              journal := (id, t.pi.(id)) :: !journal;
+              let dst = Digraph.edge_dst e in
+              (match Workflow.kind t.wf dst with
+              | Workflow.Purpose ->
+                  t.utility_now <-
+                    t.utility_now
+                    +. (Workflow.purpose_weight t.wf dst *. (value -. t.pi.(id)))
+              | Workflow.User | Workflow.Algorithm -> ());
+              t.pi.(id) <- value;
+              push dst
+            end)
+          (Digraph.out_edges t.g v)
+  done
+
+let zero_edge t journal e =
+  let id = Digraph.edge_id e in
+  if t.pi.(id) <> 0.0 then begin
+    journal := (id, t.pi.(id)) :: !journal;
+    let dst = Digraph.edge_dst e in
+    (match Workflow.kind t.wf dst with
+    | Workflow.Purpose ->
+        t.utility_now <-
+          t.utility_now -. (Workflow.purpose_weight t.wf dst *. t.pi.(id))
+    | Workflow.User | Workflow.Algorithm -> ());
+    t.pi.(id) <- 0.0
+  end
+
+let remove t edges =
+  let old_utility = t.utility_now in
+  let journal = ref [] in
+  let removed = Valuation.remove_with_cascade t.wf edges in
+  (* Removed edges stop carrying value; their heads need recomputation. *)
+  List.iter (fun e -> zero_edge t journal e) removed;
+  propagate t (List.map Digraph.edge_dst removed) ~journal;
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  { serial; removed; old_pi = !journal; old_utility }
+
+let undo t token =
+  if token.serial <> t.next_serial - 1 then
+    invalid_arg "Valuation_tracker.undo: tokens must be undone in LIFO order";
+  t.next_serial <- token.serial;
+  Valuation.restore t.wf token.removed;
+  (* The journal is newest-first; iterating it as-is applies the oldest
+     recorded value last, so the pre-remove π wins even if an edge were
+     ever journalled twice. *)
+  List.iter (fun (id, old) -> t.pi.(id) <- old) token.old_pi;
+  t.utility_now <- token.old_utility
+
+let removed_of_undo token = token.removed

@@ -1,0 +1,1 @@
+lib/cut/hitting_set.ml: Array Cdw_lp Cdw_util Float List

@@ -1,0 +1,1 @@
+lib/cut/hitting_set.mli:

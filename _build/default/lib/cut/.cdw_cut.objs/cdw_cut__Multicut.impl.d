@@ -1,0 +1,1 @@
+lib/cut/multicut.ml: Array Cdw_graph Cdw_lp Cdw_util Float Hashtbl Hitting_set List Queue

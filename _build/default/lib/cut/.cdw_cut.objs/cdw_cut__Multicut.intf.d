@@ -1,0 +1,1 @@
+lib/cut/multicut.mli: Cdw_graph

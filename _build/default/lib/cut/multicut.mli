@@ -1,0 +1,61 @@
+(** Minimum multicut on DAGs (the MINMC problem, Eq. 3 of the paper).
+
+    Given terminal pairs [(s, t)], find a minimum-weight edge set whose
+    removal leaves no directed s→t path. NP-hard for ≥ 2 pairs (Bentz
+    2011), which is exactly what makes CDW hard.
+
+    Exact solvers avoid enumerating all paths via lazy constraint
+    generation: solve a hitting set over the paths discovered so far,
+    test whether the chosen edges already disconnect every pair, and if
+    not add a surviving path and repeat. The final answer is both
+    feasible and optimal for the full (implicit) path set, matching what
+    GLPK computes for the paper on the explicit formulation. *)
+
+type backend =
+  | Ilp  (** hitting set via LP-based branch-and-bound (paper's setup) *)
+  | Bnb  (** combinatorial branch-and-bound *)
+  | Greedy  (** Chvátal greedy on the lazily grown pool; approximate *)
+  | Lp_rounding  (** LP relaxation + threshold rounding; approximate *)
+  | Auto of float
+      (** [Auto budget_ms]: run the exact ILP under the given time
+          budget and fall back to [Greedy] if it expires — dense graphs
+          put exact multicut out of reach exactly as they defeat the
+          paper's BruteForce. The result's [exact] flag reports which
+          branch produced it. *)
+
+type result = {
+  edges : Cdw_graph.Digraph.edge list;  (** the multicut, by edge *)
+  weight : float;
+  exact : bool;  (** true for [Ilp]/[Bnb] backends *)
+  rounds : int;  (** lazy-generation iterations used *)
+}
+
+val solve :
+  ?backend:backend ->
+  ?deadline:float ->
+  Cdw_graph.Digraph.t ->
+  weight:(Cdw_graph.Digraph.edge -> float) ->
+  pairs:(int * int) list ->
+  result
+(** [backend] defaults to [Ilp]. The graph is not modified (edges are
+    soft-removed and restored internally). Raises
+    [Cdw_util.Timing.Timeout] when the cooperative deadline fires and
+    [Invalid_argument] when some pair shares a vertex. *)
+
+val is_multicut :
+  Cdw_graph.Digraph.t ->
+  Cdw_graph.Digraph.edge list ->
+  pairs:(int * int) list ->
+  bool
+(** Does removing [edges] disconnect every pair? (Non-destructive.) *)
+
+val minimalize :
+  Cdw_graph.Digraph.t ->
+  Cdw_graph.Digraph.edge list ->
+  weight:(Cdw_graph.Digraph.edge -> float) ->
+  pairs:(int * int) list ->
+  Cdw_graph.Digraph.edge list
+(** Drop redundant edges from a multicut: try to re-admit edges in
+    decreasing weight order, keeping the cut property. Applied to the
+    approximate backends' results, where it only ever lowers the
+    weight. *)

@@ -1,0 +1,1 @@
+lib/expers/chart.ml: Array Buffer Filename Float List Printf String Sys

@@ -1,0 +1,1 @@
+lib/expers/chart.mli:

@@ -1,0 +1,1 @@
+lib/expers/experiments.ml: Cdw_core Cdw_cut Cdw_util Cdw_workload Chart Hashtbl List Option Printf Profile Runner String Table

@@ -1,0 +1,1 @@
+lib/expers/experiments.mli: Profile Table

@@ -1,0 +1,1 @@
+lib/expers/runner.ml: Cdw_core Cdw_graph Cdw_util Cdw_workload List Printf Profile

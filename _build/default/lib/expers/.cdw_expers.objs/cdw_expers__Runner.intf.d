@@ -1,0 +1,1 @@
+lib/expers/runner.mli: Cdw_core Cdw_util Cdw_workload Profile

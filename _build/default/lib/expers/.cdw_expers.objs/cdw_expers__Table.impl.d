@@ -1,0 +1,1 @@
+lib/expers/table.ml: Array Filename List Printf String Sys

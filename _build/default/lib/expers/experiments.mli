@@ -1,0 +1,47 @@
+(** Drivers reproducing every table and figure of the paper's evaluation
+    (§7), plus two ablations for the extensions in DESIGN.md §6.
+
+    Each driver returns text tables whose rows are the series the paper
+    plots; [run_all] prints them and archives CSVs. Absolute runtimes
+    will differ from the paper's Iridis-4 numbers; the shapes (orderings,
+    crossovers, trends) are what the reproduction tracks — see
+    EXPERIMENTS.md. *)
+
+type dataset1 = D1a | D1b | D1c
+
+val dataset1_label : dataset1 -> string
+
+val fig5_6 : ?charts_dir:string -> Profile.t -> dataset1 -> Table.t * Table.t
+(** Figures 5x and 6x for x = a/b/c: |N| sweep → (runtime table,
+    utility table). *)
+
+val table3 : Profile.t -> Table.t
+(** RemoveMinMC vs BruteForce utility on dataset 1a, |N| = 1..10, run on
+    identical instances. *)
+
+val fig7 : Profile.t -> Table.t
+(** Paths-to-break vs runtime and utility on dataset 1c (scatter rows,
+    sorted by path count). *)
+
+val fig8 : ?charts_dir:string -> Profile.t -> Table.t
+(** Path length vs runtime on dataset 2. *)
+
+val fig9 : ?charts_dir:string -> Profile.t -> Table.t * Table.t
+(** Graph size vs (runtime, utility) on dataset 3. *)
+
+val ablation_bnb : Profile.t -> Table.t
+(** BruteForce vs the branch-and-bound exact search: candidates
+    evaluated and runtime, identical optima asserted. *)
+
+val ablation_minmc_backends : Profile.t -> Table.t
+(** The five multicut back-ends inside RemoveMinMC: runtime and
+    utility. *)
+
+val ablation_weight_scheme : Profile.t -> Table.t
+(** The paper-literal reachability cut weight vs the exact path-count
+    marginal-loss weight (DESIGN.md §2.1a), on sparse and dense
+    instances. *)
+
+val run_all : ?results_dir:string -> Profile.t -> unit
+(** Print every table; write CSVs and SVG charts under [results_dir]
+    (default ["results"]). *)

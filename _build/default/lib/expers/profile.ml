@@ -1,0 +1,48 @@
+type t = {
+  label : string;
+  min_runs : int;
+  max_runs : int;
+  rel_se : float;
+  timeout_ms : float;
+  max_paths : int;
+  constraint_counts : int list;
+  brute_force_max_constraints : int;
+  dataset1b_vertices : int;
+  dataset2_steps : int;
+  dataset3_sizes : int list;
+}
+
+let quick =
+  {
+    label = "quick";
+    min_runs = 5;
+    max_runs = 8;
+    rel_se = 0.25;
+    timeout_ms = 10_000.0;
+    max_paths = 20_000;
+    constraint_counts = [ 1; 5; 10; 20; 30; 40; 50 ];
+    brute_force_max_constraints = 6;
+    dataset1b_vertices = 1000;
+    dataset2_steps = 8;
+    dataset3_sizes = [ 100; 500; 1000; 2500; 5000; 10000 ];
+  }
+
+let full =
+  {
+    label = "full";
+    min_runs = 30;
+    max_runs = 60;
+    rel_se = 0.05;
+    timeout_ms = 600_000.0;
+    max_paths = 2_000_000;
+    constraint_counts = [ 1; 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ];
+    brute_force_max_constraints = 10;
+    dataset1b_vertices = 1000;
+    dataset2_steps = 40;
+    dataset3_sizes = [ 100; 500; 1000; 2000; 4000; 6000; 8000; 10000 ];
+  }
+
+let of_string = function
+  | "quick" -> Some quick
+  | "full" -> Some full
+  | _ -> None

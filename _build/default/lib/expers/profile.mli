@@ -1,0 +1,27 @@
+(** Sweep profiles for the experiment reproduction.
+
+    [full] follows the paper's parameters (|N| = 1..50, sizes up to
+    10000, ≥30 runs per point on an HPC node — hours of compute);
+    [quick] preserves every sweep's shape at laptop scale and is the
+    default of [bench/main.exe]. *)
+
+type t = {
+  label : string;
+  min_runs : int;  (** successful runs wanted per point *)
+  max_runs : int;  (** attempts cap per point *)
+  rel_se : float;  (** stop early when SE/mean of runtime drops below *)
+  timeout_ms : float;  (** per-algorithm-run cooperative timeout *)
+  max_paths : int;  (** path-enumeration cap for the exhaustive searches *)
+  constraint_counts : int list;  (** the |N| sweep of datasets 1a/1b/1c *)
+  brute_force_max_constraints : int;
+      (** largest |N| BruteForce is attempted on (paper: 10) *)
+  dataset1b_vertices : int;
+  dataset2_steps : int;  (** 50-vertex additions after the 150-vertex base *)
+  dataset3_sizes : int list;
+}
+
+val quick : t
+
+val full : t
+
+val of_string : string -> t option

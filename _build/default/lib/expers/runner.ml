@@ -1,0 +1,109 @@
+module Algorithms = Cdw_core.Algorithms
+module Generator = Cdw_workload.Generator
+module Stats = Cdw_util.Stats
+module Timing = Cdw_util.Timing
+module Paths = Cdw_graph.Paths
+
+type sample = { time_ms : float; utility_pct : float; candidates : int }
+
+type point = {
+  time : Stats.summary option;
+  utility : Stats.summary option;
+  timeouts : int;
+  runs : int;
+}
+
+let once ~(profile : Profile.t) name (instance : Generator.t) =
+  let deadline = Timing.deadline_after_ms profile.Profile.timeout_ms in
+  let run () =
+    Algorithms.run ~deadline ~max_paths:profile.Profile.max_paths name
+      instance.Generator.workflow instance.Generator.constraints
+  in
+  match Timing.time_f (fun () ->
+      try Some (run ()) with
+      | Timing.Timeout -> None
+      | Paths.Too_many_paths _ -> None)
+  with
+  | Some outcome, time_ms ->
+      Some
+        {
+          time_ms;
+          utility_pct = Algorithms.utility_percent outcome;
+          candidates = outcome.Algorithms.candidates;
+        }
+  | None, _ -> None
+
+let once_custom ~(profile : Profile.t) solver (instance : Generator.t) =
+  let deadline = Timing.deadline_after_ms profile.Profile.timeout_ms in
+  match
+    Timing.time_f (fun () ->
+        try Some (solver ~deadline instance) with
+        | Timing.Timeout -> None
+        | Paths.Too_many_paths _ -> None)
+  with
+  | Some outcome, time_ms ->
+      Some
+        {
+          time_ms;
+          utility_pct = Algorithms.utility_percent outcome;
+          candidates = outcome.Algorithms.candidates;
+        }
+  | None, _ -> None
+
+let measure ~(profile : Profile.t) f =
+  let samples = ref [] in
+  let n_samples = ref 0 in
+  let timeouts = ref 0 in
+  let attempts = ref 0 in
+  let converged () =
+    !n_samples >= profile.Profile.min_runs
+    &&
+    let s = Stats.summarize (List.map (fun x -> x.time_ms) !samples) in
+    s.Stats.mean = 0.0 || s.Stats.se /. s.Stats.mean <= profile.Profile.rel_se
+  in
+  let hopeless () =
+    (* Every attempt so far timed out and we gave it min_runs tries. *)
+    !n_samples = 0 && !timeouts >= profile.Profile.min_runs
+  in
+  while
+    !attempts < profile.Profile.max_runs
+    && (not (hopeless ()))
+    && not (!n_samples > 0 && converged ())
+  do
+    (match f !attempts with
+    | Some s ->
+        samples := s :: !samples;
+        incr n_samples
+    | None -> incr timeouts);
+    incr attempts
+  done;
+  match !samples with
+  | [] -> { time = None; utility = None; timeouts = !timeouts; runs = !attempts }
+  | xs ->
+      {
+        time = Some (Stats.summarize (List.map (fun x -> x.time_ms) xs));
+        utility = Some (Stats.summarize (List.map (fun x -> x.utility_pct) xs));
+        timeouts = !timeouts;
+        runs = !attempts;
+      }
+
+let skip = { time = None; utility = None; timeouts = 0; runs = 0 }
+
+let fmt_ms ms =
+  if ms >= 60_000.0 then Printf.sprintf "%.1fmin" (ms /. 60_000.0)
+  else if ms >= 1_000.0 then Printf.sprintf "%.2fs" (ms /. 1_000.0)
+  else Printf.sprintf "%.2fms" ms
+
+let pp_time p =
+  match p.time with
+  | Some s ->
+      if p.timeouts > 0 then
+        Printf.sprintf "%s ±%s (%d t/o)" (fmt_ms s.Stats.mean) (fmt_ms s.Stats.se)
+          p.timeouts
+      else Printf.sprintf "%s ±%s" (fmt_ms s.Stats.mean) (fmt_ms s.Stats.se)
+  | None -> if p.runs = 0 then "-" else "timeout"
+
+let pp_utility p =
+  match p.utility with
+  | Some s -> Printf.sprintf "%.2f ±%.2f%%" s.Stats.mean s.Stats.se
+  | None -> if p.runs = 0 then "-" else "timeout"

@@ -1,0 +1,45 @@
+(** Single-run measurement and the repeat-until-stable protocol.
+
+    The paper repeats each configuration "until we have at least 30 runs
+    with a sufficiently low standard error"; {!measure} implements that
+    loop with the bounds of the active {!Profile.t}. Runs that hit the
+    cooperative timeout or the path-enumeration cap are counted but
+    excluded from the summaries, mirroring how the paper reports
+    BruteForce's failures on dataset 1c. *)
+
+type sample = { time_ms : float; utility_pct : float; candidates : int }
+
+type point = {
+  time : Cdw_util.Stats.summary option;  (** [None] when every run timed out *)
+  utility : Cdw_util.Stats.summary option;
+  timeouts : int;
+  runs : int;
+}
+
+val once :
+  profile:Profile.t ->
+  Cdw_core.Algorithms.name ->
+  Cdw_workload.Generator.t ->
+  sample option
+(** One timed run on the given instance; [None] on timeout/path-cap. *)
+
+val once_custom :
+  profile:Profile.t ->
+  (deadline:float -> Cdw_workload.Generator.t -> Cdw_core.Algorithms.outcome) ->
+  Cdw_workload.Generator.t ->
+  sample option
+(** Like {!once} for a custom solver closure (used by the ablations). *)
+
+val measure : profile:Profile.t -> (int -> sample option) -> point
+(** [measure ~profile f] calls [f attempt_index] until [min_runs]
+    successes with converged runtime SE, [max_runs] attempts, or — when
+    everything times out — [min_runs] consecutive failures. *)
+
+val skip : point
+(** A point that was not attempted at all (rendered as "-"). *)
+
+val pp_time : point -> string
+(** ["12.3 ±0.4ms"], ["timeout"] or ["-"]. *)
+
+val pp_utility : point -> string
+(** ["83.2 ±0.7%"], ["timeout"] or ["-"]. *)

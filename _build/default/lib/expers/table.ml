@@ -1,0 +1,39 @@
+type t = { title : string; header : string list; rows : string list list }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let n = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let w = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)))
+    all;
+  w
+
+let print ?(oc = stdout) t =
+  let w = widths t in
+  let line r =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf "%-*s" w.(i) cell) r
+    in
+    output_string oc ("  " ^ String.concat "  " cells ^ "\n")
+  in
+  output_string oc (Printf.sprintf "\n== %s ==\n" t.title);
+  line t.header;
+  line (List.map (fun n -> String.make n '-') (Array.to_list w));
+  List.iter line t.rows;
+  flush oc
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~dir ~name t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  let emit r = output_string oc (String.concat "," (List.map csv_cell r) ^ "\n") in
+  emit t.header;
+  List.iter emit t.rows;
+  close_out oc;
+  path

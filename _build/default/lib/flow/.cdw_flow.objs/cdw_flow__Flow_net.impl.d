@@ -1,0 +1,1 @@
+lib/flow/flow_net.ml: Array Cdw_graph Cdw_util List

@@ -1,0 +1,1 @@
+lib/flow/flow_net.mli: Cdw_graph

@@ -1,0 +1,1 @@
+lib/flow/mincut.ml: Array Cdw_graph Flow_net List Maxflow Queue

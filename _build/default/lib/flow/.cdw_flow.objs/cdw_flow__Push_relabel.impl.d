@@ -1,0 +1,1 @@
+lib/flow/push_relabel.ml: Array Float Flow_net Queue

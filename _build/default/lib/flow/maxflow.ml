@@ -1,0 +1,107 @@
+let eps = Flow_net.eps
+
+(* Dinic: repeat { BFS level graph; saturating DFS with current-arc
+   pointers } until the sink is unreachable in the residual graph. *)
+let dinic net ~src ~dst =
+  if src = dst then invalid_arg "Maxflow.dinic: src = dst";
+  let n = Flow_net.n_vertices net in
+  let level = Array.make n (-1) in
+  let adj = Array.init n (fun v -> Array.of_list (Flow_net.arcs_from net v)) in
+  let ptr = Array.make n 0 in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    level.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun a ->
+          let u = Flow_net.arc_dst net a in
+          if level.(u) < 0 && Flow_net.residual net a > eps then begin
+            level.(u) <- level.(v) + 1;
+            Queue.add u queue
+          end)
+        adj.(v)
+    done;
+    level.(dst) >= 0
+  in
+  let rec dfs v pushed =
+    if v = dst then pushed
+    else begin
+      let sent = ref 0.0 in
+      while !sent = 0.0 && ptr.(v) < Array.length adj.(v) do
+        let a = adj.(v).(ptr.(v)) in
+        let u = Flow_net.arc_dst net a in
+        let r = Flow_net.residual net a in
+        if r > eps && level.(u) = level.(v) + 1 then begin
+          let got = dfs u (Float.min pushed r) in
+          if got > 0.0 then begin
+            Flow_net.push net a got;
+            sent := got
+          end
+          else ptr.(v) <- ptr.(v) + 1
+        end
+        else ptr.(v) <- ptr.(v) + 1
+      done;
+      !sent
+    end
+  in
+  let total = ref 0.0 in
+  while bfs () do
+    Array.fill ptr 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let pushed = dfs src infinity in
+      if pushed > 0.0 then total := !total +. pushed else continue := false
+    done
+  done;
+  !total
+
+let edmonds_karp net ~src ~dst =
+  if src = dst then invalid_arg "Maxflow.edmonds_karp: src = dst";
+  let n = Flow_net.n_vertices net in
+  let parent_arc = Array.make n (-1) in
+  let find_augmenting () =
+    Array.fill parent_arc 0 n (-1);
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while (not (Queue.is_empty queue)) && not seen.(dst) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun a ->
+          let u = Flow_net.arc_dst net a in
+          if (not seen.(u)) && Flow_net.residual net a > eps then begin
+            seen.(u) <- true;
+            parent_arc.(u) <- a;
+            Queue.add u queue
+          end)
+        (Flow_net.arcs_from net v)
+    done;
+    seen.(dst)
+  in
+  let total = ref 0.0 in
+  while find_augmenting () do
+    (* Walk sink → source to find the bottleneck, then push along it. *)
+    let rec bottleneck v acc =
+      if v = src then acc
+      else
+        let a = parent_arc.(v) in
+        bottleneck
+          (Flow_net.arc_dst net (a lxor 1))
+          (Float.min acc (Flow_net.residual net a))
+    in
+    let rec apply v f =
+      if v <> src then begin
+        let a = parent_arc.(v) in
+        Flow_net.push net a f;
+        apply (Flow_net.arc_dst net (a lxor 1)) f
+      end
+    in
+    let f = bottleneck dst infinity in
+    apply dst f;
+    total := !total +. f
+  done;
+  !total

@@ -1,0 +1,34 @@
+module Digraph = Cdw_graph.Digraph
+
+type result = { value : float; edges : Digraph.edge list }
+
+let compute g ~capacity ~src ~dst =
+  let net = Flow_net.of_digraph g ~capacity in
+  let value = Maxflow.dinic net ~src ~dst in
+  (* Source side of the cut: vertices reachable in the residual graph. *)
+  let n = Flow_net.n_vertices net in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun a ->
+        let u = Flow_net.arc_dst net a in
+        if (not seen.(u)) && Flow_net.residual net a > Flow_net.eps then begin
+          seen.(u) <- true;
+          Queue.add u queue
+        end)
+      (Flow_net.arcs_from net v)
+  done;
+  let edges =
+    List.rev
+      (Digraph.fold_edges
+         (fun acc e ->
+           if seen.(Digraph.edge_src e) && not (seen.(Digraph.edge_dst e)) then
+             e :: acc
+           else acc)
+         [] g)
+  in
+  { value; edges }

@@ -1,0 +1,78 @@
+let eps = Flow_net.eps
+
+let max_flow net ~src ~dst =
+  if src = dst then invalid_arg "Push_relabel.max_flow: src = dst";
+  let n = Flow_net.n_vertices net in
+  let height = Array.make n 0 in
+  let excess = Array.make n 0.0 in
+  let adj = Array.init n (fun v -> Array.of_list (Flow_net.arcs_from net v)) in
+  let current = Array.make n 0 in
+  let height_count = Array.make ((2 * n) + 1) 0 in
+  height_count.(0) <- n;
+  let active = Queue.create () in
+  let activate v =
+    if v <> src && v <> dst && excess.(v) > eps then Queue.add v active
+  in
+  let push v a =
+    let amount = Float.min excess.(v) (Flow_net.residual net a) in
+    let u = Flow_net.arc_dst net a in
+    Flow_net.push net a amount;
+    excess.(v) <- excess.(v) -. amount;
+    let was_inactive = excess.(u) <= eps in
+    excess.(u) <- excess.(u) +. amount;
+    if was_inactive then activate u
+  in
+  (* Saturate all source arcs. *)
+  height.(src) <- n;
+  height_count.(0) <- n - 1;
+  height_count.(n) <- height_count.(n) + 1;
+  Array.iter
+    (fun a ->
+      let r = Flow_net.residual net a in
+      if r > eps then begin
+        excess.(src) <- excess.(src) +. r;
+        push src a
+      end)
+    adj.(src);
+  excess.(src) <- 0.0;
+  let relabel v =
+    let old = height.(v) in
+    let best = ref ((2 * n) + 1) in
+    Array.iter
+      (fun a ->
+        if Flow_net.residual net a > eps then
+          best := min !best (height.(Flow_net.arc_dst net a) + 1))
+      adj.(v);
+    let fresh = min !best (2 * n) in
+    height.(v) <- fresh;
+    height_count.(old) <- height_count.(old) - 1;
+    height_count.(fresh) <- height_count.(fresh) + 1;
+    current.(v) <- 0;
+    (* Gap heuristic: if no vertex remains at [old] any vertex above it
+       (below n) can never reach the sink again — lift them past n. *)
+    if height_count.(old) = 0 && old < n then
+      for u = 0 to n - 1 do
+        if u <> src && height.(u) > old && height.(u) < n then begin
+          height_count.(height.(u)) <- height_count.(height.(u)) - 1;
+          height.(u) <- n + 1;
+          height_count.(n + 1) <- height_count.(n + 1) + 1
+        end
+      done
+  in
+  let discharge v =
+    while excess.(v) > eps do
+      if current.(v) >= Array.length adj.(v) then relabel v
+      else begin
+        let a = adj.(v).(current.(v)) in
+        let u = Flow_net.arc_dst net a in
+        if Flow_net.residual net a > eps && height.(v) = height.(u) + 1 then
+          push v a
+        else current.(v) <- current.(v) + 1
+      end
+    done
+  in
+  while not (Queue.is_empty active) do
+    let v = Queue.pop active in
+    if v <> src && v <> dst && excess.(v) > eps then discharge v
+  done;
+  excess.(dst)

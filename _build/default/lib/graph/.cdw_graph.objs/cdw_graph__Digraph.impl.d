@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Cdw_util Format List Printf

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Cdw_util Digraph Hashtbl List Reach Topo

@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Array Cdw_util Digraph List Queue Topo

@@ -1,0 +1,129 @@
+module Vec = Cdw_util.Vec
+
+type edge = { id : int; src : int; dst : int; mutable removed : bool }
+
+type t = {
+  mutable n : int;
+  edges : edge Vec.t;
+  out_adj : edge Vec.t Vec.t; (* indexed by vertex; includes removed edges *)
+  in_adj : edge Vec.t Vec.t;
+}
+
+let edge_id e = e.id
+let edge_src e = e.src
+let edge_dst e = e.dst
+let edge_removed e = e.removed
+let pp_edge ppf e = Format.fprintf ppf "%d->%d#%d" e.src e.dst e.id
+
+let create () =
+  { n = 0; edges = Vec.create (); out_adj = Vec.create (); in_adj = Vec.create () }
+
+let add_vertex g =
+  let v = g.n in
+  g.n <- g.n + 1;
+  Vec.push g.out_adj (Vec.create ());
+  Vec.push g.in_adj (Vec.create ());
+  v
+
+let add_vertices g k =
+  if k <= 0 then invalid_arg "Digraph.add_vertices: k must be positive";
+  let first = add_vertex g in
+  for _ = 2 to k do ignore (add_vertex g) done;
+  first
+
+let n_vertices g = g.n
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: unknown vertex %d" v)
+
+let find_any_edge g u v =
+  let adj = Vec.get g.out_adj u in
+  let n = Vec.length adj in
+  let rec loop i =
+    if i >= n then None
+    else
+      let e = Vec.get adj i in
+      if e.dst = v then Some e else loop (i + 1)
+  in
+  loop 0
+
+let find_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  match find_any_edge g u v with
+  | Some e when not e.removed -> Some e
+  | _ -> None
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Digraph.add_edge: self-loop";
+  match find_any_edge g u v with
+  | Some e when not e.removed ->
+      invalid_arg (Printf.sprintf "Digraph.add_edge: duplicate %d->%d" u v)
+  | Some e ->
+      e.removed <- false;
+      e
+  | None ->
+      let e = { id = Vec.length g.edges; src = u; dst = v; removed = false } in
+      Vec.push g.edges e;
+      Vec.push (Vec.get g.out_adj u) e;
+      Vec.push (Vec.get g.in_adj v) e;
+      e
+
+let edge g id =
+  if id < 0 || id >= Vec.length g.edges then
+    invalid_arg (Printf.sprintf "Digraph.edge: unknown edge id %d" id);
+  Vec.get g.edges id
+
+let remove_edge _g e = e.removed <- true
+let restore_edge _g e = e.removed <- false
+let n_edges_total g = Vec.length g.edges
+
+let n_edges g =
+  Vec.fold_left (fun acc e -> if e.removed then acc else acc + 1) 0 g.edges
+
+let live adj =
+  List.rev
+    (Vec.fold_left (fun acc e -> if e.removed then acc else e :: acc) [] adj)
+
+let out_edges g v =
+  check_vertex g v;
+  live (Vec.get g.out_adj v)
+
+let in_edges g v =
+  check_vertex g v;
+  live (Vec.get g.in_adj v)
+
+let degree adj =
+  Vec.fold_left (fun acc e -> if e.removed then acc else acc + 1) 0 adj
+
+let out_degree g v =
+  check_vertex g v;
+  degree (Vec.get g.out_adj v)
+
+let in_degree g v =
+  check_vertex g v;
+  degree (Vec.get g.in_adj v)
+
+let iter_edges f g = Vec.iter (fun e -> if not e.removed then f e) g.edges
+
+let fold_edges f acc g =
+  Vec.fold_left (fun acc e -> if e.removed then acc else f acc e) acc g.edges
+
+let iter_vertices f g = for v = 0 to g.n - 1 do f v done
+
+let copy g =
+  let g' = create () in
+  ignore (if g.n > 0 then add_vertices g' g.n else 0);
+  Vec.iter
+    (fun e ->
+      let e' = add_edge g' e.src e.dst in
+      if e.removed then remove_edge g' e')
+    g.edges;
+  g'
+
+let removed_edge_ids g =
+  List.rev
+    (Vec.fold_left (fun acc e -> if e.removed then e.id :: acc else acc) [] g.edges)

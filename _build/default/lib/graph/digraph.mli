@@ -1,0 +1,78 @@
+(** Mutable directed graphs with dense integer vertex and edge identifiers.
+
+    This is the graph substrate for the whole library (the paper's
+    implementation used NetworkX). Vertices are [0 .. n_vertices - 1].
+    Edges receive dense ids on creation and are *soft-removed*: removal
+    flips a flag so that edge ids stay stable for valuation arrays, flow
+    networks and LP variables built on top; [restore_edge] undoes a
+    removal, which the branch-and-bound searches rely on.
+
+    Parallel edges and self-loops are rejected; all the workflows of the
+    paper are simple DAGs. *)
+
+type t
+
+type edge
+
+val edge_id : edge -> int
+val edge_src : edge -> int
+val edge_dst : edge -> int
+val edge_removed : edge -> bool
+
+val pp_edge : Format.formatter -> edge -> unit
+(** Prints ["src->dst#id"]. *)
+
+val create : unit -> t
+
+val add_vertex : t -> int
+(** Fresh vertex id. *)
+
+val add_vertices : t -> int -> int
+(** [add_vertices g k] adds [k] vertices and returns the id of the first. *)
+
+val n_vertices : t -> int
+
+val add_edge : t -> int -> int -> edge
+(** [add_edge g u v] adds the edge [u -> v]. Raises [Invalid_argument] on
+    self-loops, unknown vertices, or when a live [u -> v] edge exists.
+    If a *removed* [u -> v] edge exists it is restored and returned, so
+    ids remain unique per vertex pair. *)
+
+val find_edge : t -> int -> int -> edge option
+(** Live edge from [u] to [v], if any. *)
+
+val edge : t -> int -> edge
+(** Edge by id (live or removed). *)
+
+val remove_edge : t -> edge -> unit
+(** Idempotent soft removal. *)
+
+val restore_edge : t -> edge -> unit
+
+val n_edges_total : t -> int
+(** Number of edge ids ever allocated (live + removed). *)
+
+val n_edges : t -> int
+(** Number of live edges. *)
+
+val out_edges : t -> int -> edge list
+(** Live out-edges of a vertex. *)
+
+val in_edges : t -> int -> edge list
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val iter_edges : (edge -> unit) -> t -> unit
+(** Iterate live edges in id order. *)
+
+val fold_edges : ('acc -> edge -> 'acc) -> 'acc -> t -> 'acc
+
+val iter_vertices : (int -> unit) -> t -> unit
+
+val copy : t -> t
+(** Deep copy; edge ids are preserved. *)
+
+val removed_edge_ids : t -> int list
+(** Ids of removed edges, ascending. *)

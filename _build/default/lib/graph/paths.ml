@@ -1,0 +1,67 @@
+module Timing = Cdw_util.Timing
+
+exception Too_many_paths of int
+
+let all_paths ?(max_paths = 1_000_000) ?(deadline = infinity) g ~src ~dst =
+  if src = dst then invalid_arg "Paths.all_paths: src = dst";
+  let reaches_dst = Reach.to_target g dst in
+  let acc = ref [] in
+  let count = ref 0 in
+  (* [trail] holds the current path's edges in reverse. *)
+  let rec dfs v trail =
+    Timing.check_deadline deadline;
+    if v = dst then begin
+      incr count;
+      if !count > max_paths then raise (Too_many_paths max_paths);
+      acc := List.rev trail :: !acc
+    end
+    else
+      List.iter
+        (fun e ->
+          let u = Digraph.edge_dst e in
+          if reaches_dst.(u) then dfs u (e :: trail))
+        (Digraph.out_edges g v)
+  in
+  if reaches_dst.(src) then dfs src [];
+  List.rev !acc
+
+let count_paths g ~src ~dst =
+  if src = dst then invalid_arg "Paths.count_paths: src = dst";
+  let order = Topo.sort g in
+  let n = Digraph.n_vertices g in
+  let counts = Array.make n 0.0 in
+  counts.(src) <- 1.0;
+  Array.iter
+    (fun v ->
+      if counts.(v) > 0.0 && v <> dst then
+        List.iter
+          (fun e ->
+            let u = Digraph.edge_dst e in
+            counts.(u) <- counts.(u) +. counts.(v))
+          (Digraph.out_edges g v))
+    order;
+  counts.(dst)
+
+let dedup_edges edges =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      let id = Digraph.edge_id e in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    edges
+
+let first_edges paths =
+  dedup_edges
+    (List.filter_map (function [] -> None | e :: _ -> Some e) paths)
+
+let last_edges paths =
+  let rec last = function
+    | [] -> None
+    | [ e ] -> Some e
+    | _ :: rest -> last rest
+  in
+  dedup_edges (List.filter_map last paths)

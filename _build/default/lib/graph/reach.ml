@@ -1,0 +1,51 @@
+module Bitset = Cdw_util.Bitset
+
+let bfs g start ~next =
+  let seen = Array.make (Digraph.n_vertices g) false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun u ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.add u queue
+        end)
+      (next v)
+  done;
+  seen
+
+let from_source g s =
+  bfs g s ~next:(fun v -> List.map Digraph.edge_dst (Digraph.out_edges g v))
+
+let to_target g t =
+  bfs g t ~next:(fun v -> List.map Digraph.edge_src (Digraph.in_edges g v))
+
+let exists_path g s t =
+  if s = t then invalid_arg "Reach.exists_path: s = t";
+  (from_source g s).(t)
+
+let target_bitsets g ~targets =
+  let n = Digraph.n_vertices g in
+  let k = Array.length targets in
+  let sets = Array.init n (fun _ -> Bitset.create k) in
+  Array.iteri (fun i t -> Bitset.add sets.(t) i) targets;
+  let order = Topo.sort g in
+  (* Reverse topological order: successors are finalised before their
+     predecessors, so one union sweep suffices. *)
+  for pos = Array.length order - 1 downto 0 do
+    let v = order.(pos) in
+    List.iter
+      (fun e -> Bitset.union_into sets.(v) sets.(Digraph.edge_dst e))
+      (Digraph.out_edges g v)
+  done;
+  sets
+
+let reachability_subgraph_edges g t =
+  let reaches = to_target g t in
+  List.rev
+    (Digraph.fold_edges
+       (fun acc e -> if reaches.(Digraph.edge_dst e) then e :: acc else acc)
+       [] g)

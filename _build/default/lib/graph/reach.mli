@@ -1,0 +1,29 @@
+(** Reachability over live edges.
+
+    The paper's model is built on reachability: a purpose's utility is a
+    function of its *reachability subgraph* (all vertices that reach it),
+    and the cut-weight heuristics need, per edge, the set of purposes
+    reachable from its head. *)
+
+val from_source : Digraph.t -> int -> bool array
+(** [from_source g s].(v) iff [v] is reachable from [s] (BFS; [s]
+    reaches itself). *)
+
+val to_target : Digraph.t -> int -> bool array
+(** [to_target g t].(v) iff [t] is reachable from [v] (reverse BFS;
+    includes [t]). *)
+
+val exists_path : Digraph.t -> int -> int -> bool
+(** True iff a non-empty directed path [s → … → t] exists ([s <> t]
+    required: workflow constraints never relate a vertex to itself). *)
+
+val target_bitsets : Digraph.t -> targets:int array -> Cdw_util.Bitset.t array
+(** [target_bitsets g ~targets].(v) is the set of indices [i] such that
+    [targets.(i)] is reachable from [v] (a target reaches itself).
+    Computed by one DP sweep in reverse topological order; requires the
+    live subgraph to be a DAG. *)
+
+val reachability_subgraph_edges : Digraph.t -> int -> Digraph.edge list
+(** Live edges [(u, v)] such that the given target is reachable from [v]
+    (or [v] is the target): the edge set [E_p] of the paper's
+    reachability subgraph [G_p]. *)

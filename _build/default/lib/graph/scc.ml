@@ -1,0 +1,64 @@
+(* Iterative Tarjan: explicit stack to survive deep graphs. *)
+
+type frame = { v : int; mutable next : Digraph.edge list }
+
+let tarjan g =
+  let n = Digraph.n_vertices g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let visit root =
+    let call_stack = ref [ { v = root; next = Digraph.out_edges g root } ] in
+    index.(root) <- !counter;
+    lowlink.(root) <- !counter;
+    incr counter;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !call_stack <> [] do
+      match !call_stack with
+      | [] -> ()
+      | frame :: rest -> (
+          match frame.next with
+          | e :: more ->
+              frame.next <- more;
+              let u = Digraph.edge_dst e in
+              if index.(u) < 0 then begin
+                index.(u) <- !counter;
+                lowlink.(u) <- !counter;
+                incr counter;
+                stack := u :: !stack;
+                on_stack.(u) <- true;
+                call_stack := { v = u; next = Digraph.out_edges g u } :: !call_stack
+              end
+              else if on_stack.(u) then
+                lowlink.(frame.v) <- min lowlink.(frame.v) index.(u)
+          | [] ->
+              call_stack := rest;
+              (match rest with
+              | parent :: _ ->
+                  lowlink.(parent.v) <- min lowlink.(parent.v) lowlink.(frame.v)
+              | [] -> ());
+              if lowlink.(frame.v) = index.(frame.v) then begin
+                (* Pop the component off the vertex stack. *)
+                let rec pop acc =
+                  match !stack with
+                  | [] -> acc
+                  | x :: tail ->
+                      stack := tail;
+                      on_stack.(x) <- false;
+                      if x = frame.v then x :: acc else pop (x :: acc)
+                in
+                components := List.sort compare (pop []) :: !components
+              end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  List.rev !components
+
+let cyclic_components g =
+  List.filter (fun c -> List.length c > 1) (tarjan g)

@@ -1,0 +1,13 @@
+(** Topological ordering over the live edges of a digraph. *)
+
+exception Cycle of int list
+(** Vertices involved in (or blocked by) a directed cycle. *)
+
+val sort : Digraph.t -> int array
+(** Kahn's algorithm. Raises [Cycle] when the live subgraph is not a
+    DAG. The result orders every vertex, isolated ones included. *)
+
+val is_dag : Digraph.t -> bool
+
+val order_index : Digraph.t -> int array
+(** [order_index g] maps vertex id to its position in [sort g]. *)

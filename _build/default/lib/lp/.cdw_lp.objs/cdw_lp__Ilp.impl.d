@@ -1,0 +1,1 @@
+lib/lp/ilp.ml: Array Cdw_util Float List Simplex

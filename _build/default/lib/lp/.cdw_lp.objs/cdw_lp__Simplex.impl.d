@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Cdw_util Float List Option

@@ -1,0 +1,260 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of int * string
+
+let error pos fmt = Printf.ksprintf (fun m -> raise (Parse_error (pos, m))) fmt
+
+type state = { text : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.text then Some s.text.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let skip_ws s =
+  let rec loop () =
+    match peek s with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance s;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let expect s c =
+  match peek s with
+  | Some x when x = c -> advance s
+  | Some x -> error s.pos "expected %c, found %c" c x
+  | None -> error s.pos "expected %c, found end of input" c
+
+let literal s word value =
+  let n = String.length word in
+  if
+    s.pos + n <= String.length s.text
+    && String.sub s.text s.pos n = word
+  then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else error s.pos "bad literal"
+
+let parse_string_body s =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek s with
+    | None -> error s.pos "unterminated string"
+    | Some '"' -> advance s
+    | Some '\\' -> (
+        advance s;
+        match peek s with
+        | None -> error s.pos "unterminated escape"
+        | Some c ->
+            advance s;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if s.pos + 4 > String.length s.text then
+                  error s.pos "truncated \\u escape";
+                let hex = String.sub s.text s.pos 4 in
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> error s.pos "bad \\u escape %S" hex
+                in
+                s.pos <- s.pos + 4;
+                (* UTF-8 encode the BMP code point. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | other -> error s.pos "bad escape \\%c" other);
+            loop ())
+    | Some c ->
+        advance s;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number s =
+  let start = s.pos in
+  let number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek s with Some c when number_char c -> true | _ -> false do
+    advance s
+  done;
+  let token = String.sub s.text start (s.pos - start) in
+  match float_of_string_opt token with
+  | Some f -> Number f
+  | None -> error start "bad number %S" token
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> error s.pos "unexpected end of input"
+  | Some '{' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some '}' then begin
+        advance s;
+        Object []
+      end
+      else begin
+        let rec members acc =
+          skip_ws s;
+          expect s '"';
+          let key = parse_string_body s in
+          skip_ws s;
+          expect s ':';
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              members ((key, value) :: acc)
+          | Some '}' ->
+              advance s;
+              List.rev ((key, value) :: acc)
+          | _ -> error s.pos "expected , or } in object"
+        in
+        Object (members [])
+      end
+  | Some '[' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some ']' then begin
+        advance s;
+        Array []
+      end
+      else begin
+        let rec elements acc =
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              elements (value :: acc)
+          | Some ']' ->
+              advance s;
+              List.rev (value :: acc)
+          | _ -> error s.pos "expected , or ] in array"
+        in
+        Array (elements [])
+      end
+  | Some '"' ->
+      advance s;
+      String (parse_string_body s)
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some c -> error s.pos "unexpected character %c" c
+
+let parse text =
+  let s = { text; pos = 0 } in
+  match parse_value s with
+  | value ->
+      skip_ws s;
+      if s.pos < String.length text then
+        Error (Printf.sprintf "offset %d: trailing input" s.pos)
+      else Ok value
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "offset %d: %s" pos msg)
+
+let escape_string str =
+  let buf = Buffer.create (String.length str + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let number_token f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_string ?(pretty = true) value =
+  let buf = Buffer.create 256 in
+  let indent n = if pretty then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Number f -> Buffer.add_string buf (number_token f)
+    | String s -> Buffer.add_string buf (escape_string s)
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array elements ->
+        Buffer.add_char buf '[';
+        newline ();
+        List.iteri
+          (fun i element ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            indent (depth + 1);
+            emit (depth + 1) element)
+          elements;
+        newline ();
+        indent depth;
+        Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object members ->
+        Buffer.add_char buf '{';
+        newline ();
+        List.iteri
+          (fun i (key, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              newline ()
+            end;
+            indent (depth + 1);
+            Buffer.add_string buf (escape_string key);
+            Buffer.add_string buf (if pretty then ": " else ":");
+            emit (depth + 1) v)
+          members;
+        newline ();
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  emit 0 value;
+  Buffer.contents buf
+
+let member key = function
+  | Object members -> List.assoc_opt key members
+  | Null | Bool _ | Number _ | String _ | Array _ -> None
+
+let to_list = function Array l -> Some l | _ -> None
+let to_float = function Number f -> Some f | _ -> None
+let to_text = function String s -> Some s | _ -> None

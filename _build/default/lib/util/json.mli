@@ -1,0 +1,33 @@
+(** Minimal JSON: values, a recursive-descent parser and a printer.
+
+    No JSON package is installed in this environment, and the workflow
+    interchange needs is small, so this implements just the standard
+    grammar: objects, arrays, strings (with the common escapes and
+    [\uXXXX] for the BMP), numbers as floats, booleans and null. Object
+    member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val parse : string -> (t, string) result
+(** Error messages carry a character offset. Trailing garbage after the
+    value is an error. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default true) indents with two spaces. Numbers that are
+    exact integers print without a decimal point. *)
+
+val member : string -> t -> t option
+(** Object member lookup ([None] for non-objects too). *)
+
+val to_list : t -> t list option
+
+val to_float : t -> float option
+
+val to_text : t -> string option
+(** The payload of a [String]. *)

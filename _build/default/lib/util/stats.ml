@@ -1,0 +1,52 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  se : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let n = List.length xs in
+      let nf = float_of_int n in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.0
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+          /. (nf -. 1.0)
+      in
+      let std = sqrt var in
+      {
+        n;
+        mean = m;
+        std;
+        se = std /. sqrt nf;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+      }
+
+let run_until ?(min_runs = 30) ?(max_runs = 100) ?(rel_se = 0.05) f =
+  let rec loop i acc =
+    let acc = f i :: acc in
+    if i + 1 >= max_runs then summarize acc
+    else if i + 1 < min_runs then loop (i + 1) acc
+    else
+      let s = summarize acc in
+      if s.mean = 0.0 || s.se /. Float.abs s.mean <= rel_se then s
+      else loop (i + 1) acc
+  in
+  loop 0 []
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g se=%.2g [%.4g, %.4g]" s.n s.mean s.se
+    s.min s.max

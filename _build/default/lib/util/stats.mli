@@ -1,0 +1,33 @@
+(** Summary statistics for experiment measurements.
+
+    The paper reports means with standard errors over ≥30 runs, repeating
+    until the SE is "sufficiently low"; [run_until] reproduces that
+    protocol. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator) *)
+  se : float;  (** standard error of the mean *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val run_until :
+  ?min_runs:int ->
+  ?max_runs:int ->
+  ?rel_se:float ->
+  (int -> float) ->
+  summary
+(** [run_until f] calls [f run_index] repeatedly and stops once at least
+    [min_runs] (default 30) samples were collected and the relative
+    standard error [se /. |mean|] is below [rel_se] (default 0.05), or
+    after [max_runs] (default 100) samples. A zero mean counts as
+    converged. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,22 @@
+(** Wall-clock timing helpers for the experiment harness.
+
+    Timeouts are cooperative: long-running algorithms receive an absolute
+    deadline and call [check_deadline] at safe points; [catch_timeout]
+    turns the resulting exception into an option at the call site. *)
+
+exception Timeout
+
+val now_ms : unit -> float
+
+val time_f : (unit -> 'a) -> 'a * float
+(** [time_f f] runs [f ()] and returns its result together with the
+    elapsed wall-clock time in milliseconds. *)
+
+val deadline_after_ms : float -> float
+(** Absolute deadline [now + budget] (in ms). [infinity] never fires. *)
+
+val check_deadline : float -> unit
+(** Raise [Timeout] if the absolute deadline has passed. *)
+
+val catch_timeout : (unit -> 'a) -> 'a option
+(** [Some (f ())], or [None] when [f] raised [Timeout]. *)

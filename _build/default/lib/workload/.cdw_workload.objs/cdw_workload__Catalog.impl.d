@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Cdw_core

@@ -1,0 +1,1 @@
+lib/workload/dataset2.ml: Array Cdw_core Cdw_graph Cdw_util Gen_params Generator List

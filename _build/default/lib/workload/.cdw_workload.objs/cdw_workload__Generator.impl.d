@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Cdw_core Cdw_graph Cdw_util Float Gen_params Hashtbl List Printf

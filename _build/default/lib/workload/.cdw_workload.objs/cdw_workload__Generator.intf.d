@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Cdw_core Gen_params

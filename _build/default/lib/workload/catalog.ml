@@ -1,0 +1,89 @@
+module Workflow = Cdw_core.Workflow
+module Constraint_set = Cdw_core.Constraint_set
+
+let connect = Workflow.connect
+
+let social_media () =
+  let wf = Workflow.create () in
+  (* User data (Fig. 2, "Input data"). *)
+  let posts = Workflow.add_user ~name:"user_posts" wf in
+  let photos = Workflow.add_user ~name:"user_photos" wf in
+  let address = Workflow.add_user ~name:"home_address" wf in
+  let purchases = Workflow.add_user ~name:"purchase_history" wf in
+  let gps = Workflow.add_user ~name:"gps_location" wf in
+  let sensors = Workflow.add_user ~name:"sensor_feeds" wf in
+  let video = Workflow.add_user ~name:"video_feeds" wf in
+  (* Algorithms. *)
+  let topics = Workflow.add_algorithm ~name:"topic_modelling" wf in
+  let vision = Workflow.add_algorithm ~name:"image_analysis" wf in
+  let geo = Workflow.add_algorithm ~name:"geolocation" wf in
+  let predict = Workflow.add_algorithm ~name:"purchase_prediction" wf in
+  let disaster = Workflow.add_algorithm ~name:"disaster_detection" wf in
+  let matching = Workflow.add_algorithm ~name:"community_matching" wf in
+  (* Purposes. *)
+  let recommend = Workflow.add_purpose ~name:"product_recommendations" wf in
+  let ads = Workflow.add_purpose ~name:"targeted_advertising" wf in
+  let communities = Workflow.add_purpose ~name:"community_suggestions" wf in
+  let notify = Workflow.add_purpose ~name:"disaster_notification" wf in
+  let orders = Workflow.add_purpose ~name:"order_fulfilment" wf in
+  (* Data flow. Initial valuations reflect how broadly each input is
+     monetisable; they only need to be plausible, not calibrated. *)
+  let _ = connect ~value:3.0 wf posts topics in
+  let _ = connect ~value:2.0 wf photos vision in
+  let _ = connect ~value:8.0 wf address geo in
+  let _ = connect ~value:4.0 wf gps geo in
+  let _ = connect ~value:6.0 wf purchases predict in
+  let _ = connect ~value:1.0 wf sensors disaster in
+  let _ = connect ~value:1.0 wf video disaster in
+  let _ = connect wf topics predict in
+  let _ = connect wf topics disaster in
+  let _ = connect wf vision disaster in
+  let _ = connect wf geo predict in
+  let _ = connect wf geo matching in
+  let _ = connect wf geo notify in
+  let _ = connect wf predict matching in
+  let _ = connect wf predict recommend in
+  let _ = connect wf predict ads in
+  let _ = connect wf disaster notify in
+  let _ = connect wf matching communities in
+  let _ = connect ~value:5.0 wf address orders in
+  wf
+
+let names_exn wf pairs =
+  match Constraint_set.of_names wf pairs with
+  | Ok cs -> cs
+  | Error msg -> invalid_arg ("Catalog: " ^ msg)
+
+let social_media_constraints wf =
+  names_exn wf
+    [
+      ("home_address", "product_recommendations");
+      ("home_address", "targeted_advertising");
+    ]
+
+let bioinformatics () =
+  let wf = Workflow.create () in
+  let sequence = Workflow.add_user ~name:"genetic_sequence" wf in
+  let metadata = Workflow.add_user ~name:"clinical_metadata" wf in
+  let retrieval = Workflow.add_algorithm ~name:"sequence_retrieval" wf in
+  let blast = Workflow.add_algorithm ~name:"blast_search" wf in
+  let align = Workflow.add_algorithm ~name:"sequence_alignment" wf in
+  let tree = Workflow.add_algorithm ~name:"tree_construction" wf in
+  let annotate = Workflow.add_algorithm ~name:"annotation" wf in
+  let visualise = Workflow.add_purpose ~name:"tree_visualisation" wf in
+  let statistics = Workflow.add_purpose ~name:"research_statistics" wf in
+  let _ = connect ~value:10.0 wf sequence blast in
+  let _ = connect ~value:2.0 wf sequence retrieval in
+  let _ = connect ~value:3.0 wf metadata annotate in
+  let _ = connect ~value:3.0 wf metadata statistics in
+  let _ = connect wf retrieval blast in
+  let _ = connect wf blast align in
+  let _ = connect wf align tree in
+  let _ = connect wf tree visualise in
+  let _ = connect wf annotate visualise in
+  let _ = connect wf annotate statistics in
+  let _ = connect wf align statistics in
+  wf
+
+let bioinformatics_constraints wf =
+  names_exn wf [ ("clinical_metadata", "research_statistics") ]

@@ -1,0 +1,28 @@
+(** The paper's two motivating workflows, reconstructed from Figures 1
+    and 2.
+
+    The figures only name the services, so edge structure and initial
+    valuations are our (documented) reading of them; they serve the
+    examples, the integration tests and the documentation. *)
+
+val social_media : unit -> Cdw_core.Workflow.t
+(** Fig. 2: a social-media platform whose user data feeds both commerce
+    features (purchase prediction, product recommendations, targeted
+    advertising, community suggestions, order fulfilment) and safety
+    features (disaster detection and notification). *)
+
+val social_media_constraints :
+  Cdw_core.Workflow.t -> Cdw_core.Constraint_set.t
+(** The intro's running example: the home address must not influence
+    product recommendations or targeted advertising, while disaster
+    notification may keep using it. *)
+
+val bioinformatics : unit -> Cdw_core.Workflow.t
+(** Fig. 1: the EMBRACE-style pipeline from an individual's genetic
+    sequence through BLAST search, alignment and tree construction to
+    phylogenetic-tree visualisation. *)
+
+val bioinformatics_constraints :
+  Cdw_core.Workflow.t -> Cdw_core.Constraint_set.t
+(** The patient consents to visualisation but not to aggregate research
+    statistics over their clinical metadata. *)

@@ -1,0 +1,41 @@
+module Workflow = Cdw_core.Workflow
+module Digraph = Cdw_graph.Digraph
+module Splitmix = Cdw_util.Splitmix
+
+let base ?(seed = 42) () = Generator.generate ~seed Gen_params.dataset2_base
+
+let live_edges g =
+  Array.of_list (List.rev (Digraph.fold_edges (fun acc e -> e :: acc) [] g))
+
+let splice rng wf =
+  let g = Workflow.graph wf in
+  let e = Splitmix.pick rng (live_edges g) in
+  let u = Digraph.edge_src e and v = Digraph.edge_dst e in
+  let value = Workflow.initial_value wf e in
+  let x = Workflow.add_algorithm wf in
+  Digraph.remove_edge g e;
+  (if Workflow.kind wf u = Workflow.User then
+     ignore (Workflow.connect ~value wf u x)
+   else ignore (Workflow.connect wf u x));
+  ignore (Workflow.connect wf x v)
+
+let lengthen ?(seed = 43) (t : Generator.t) ~added =
+  let rng = Splitmix.create seed in
+  let wf = Workflow.copy t.Generator.workflow in
+  for _ = 1 to added do splice rng wf done;
+  (* Constraint pairs are vertex ids, which the copy preserves. *)
+  let constraints =
+    Cdw_core.Constraint_set.make_exn wf
+      (Cdw_core.Constraint_set.pairs t.Generator.constraints)
+  in
+  { Generator.workflow = wf; constraints; stages = t.Generator.stages }
+
+let steps ?(seed = 42) ~n_steps () =
+  let b = base ~seed () in
+  let rec loop i acc current =
+    if i > n_steps then List.rev acc
+    else
+      let next = lengthen ~seed:(seed + i) current ~added:50 in
+      loop (i + 1) (next :: acc) next
+  in
+  loop 1 [ b ] b

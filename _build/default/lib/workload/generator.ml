@@ -1,0 +1,150 @@
+module Workflow = Cdw_core.Workflow
+module Constraint_set = Cdw_core.Constraint_set
+module Digraph = Cdw_graph.Digraph
+module Reach = Cdw_graph.Reach
+module Paths = Cdw_graph.Paths
+module Splitmix = Cdw_util.Splitmix
+
+type t = {
+  workflow : Workflow.t;
+  constraints : Constraint_set.t;
+  stages : int array array;
+}
+
+let connect_random rng p wf u v =
+  let value =
+    if Workflow.kind wf u = Workflow.User then
+      float_of_int (Splitmix.int_in rng p.Gen_params.value_lo p.Gen_params.value_hi)
+    else 1.0
+  in
+  ignore (Workflow.connect ~value wf u v)
+
+let density_edges rng p wf stages =
+  if p.Gen_params.density > 0.0 then
+    for s = 0 to Array.length stages - 2 do
+      let src = stages.(s) and dst = stages.(s + 1) in
+      let pairs = Array.length src * Array.length dst in
+      let wanted =
+        int_of_float (Float.round (p.Gen_params.density *. float_of_int pairs))
+      in
+      if wanted > 0 then begin
+        let all = Array.make pairs (0, 0) in
+        Array.iteri
+          (fun i u ->
+            Array.iteri (fun j v -> all.((i * Array.length dst) + j) <- (u, v)) dst)
+          src;
+        Splitmix.shuffle rng all;
+        for i = 0 to wanted - 1 do
+          let u, v = all.(i) in
+          connect_random rng p wf u v
+        done
+      end
+    done
+
+let repair rng p wf stages =
+  let g = Workflow.graph wf in
+  let k = Array.length stages in
+  for s = 0 to k - 2 do
+    Array.iter
+      (fun u ->
+        if Digraph.out_degree g u = 0 then
+          connect_random rng p wf u (Splitmix.pick rng stages.(s + 1)))
+      stages.(s)
+  done;
+  for s = 1 to k - 1 do
+    Array.iter
+      (fun v ->
+        if Digraph.in_degree g v = 0 then
+          connect_random rng p wf (Splitmix.pick rng stages.(s - 1)) v)
+      stages.(s)
+  done
+
+(* |N| distinct connected (user, purpose) pairs: rejection-sample first,
+   then fall back to exhaustive enumeration for tightly constrained
+   graphs. *)
+let sample_constraints rng p wf stages =
+  let g = Workflow.graph wf in
+  let users = stages.(0) and purposes = stages.(Array.length stages - 1) in
+  let wanted = p.Gen_params.n_constraints in
+  let chosen = Hashtbl.create (2 * wanted) in
+  let picked = ref [] in
+  let n_picked = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 200 * (wanted + 1) in
+  while !n_picked < wanted && !attempts < max_attempts do
+    incr attempts;
+    let s = Splitmix.pick rng users in
+    let t = Splitmix.pick rng purposes in
+    if (not (Hashtbl.mem chosen (s, t))) && Reach.exists_path g s t then begin
+      Hashtbl.add chosen (s, t) ();
+      picked := (s, t) :: !picked;
+      incr n_picked
+    end
+  done;
+  if !n_picked < wanted then begin
+    (* Exhaustive fallback: all connected pairs, shuffled. *)
+    let candidates = ref [] in
+    Array.iter
+      (fun s ->
+        let reachable = Reach.from_source g s in
+        Array.iter
+          (fun t ->
+            if reachable.(t) && not (Hashtbl.mem chosen (s, t)) then
+              candidates := (s, t) :: !candidates)
+          purposes)
+      users;
+    let pool = Array.of_list !candidates in
+    Splitmix.shuffle rng pool;
+    let missing = wanted - !n_picked in
+    if Array.length pool < missing then
+      invalid_arg
+        (Printf.sprintf
+           "Generator: only %d connected user→purpose pairs available, %d \
+            requested"
+           (Array.length pool + !n_picked)
+           wanted);
+    for i = 0 to missing - 1 do
+      picked := pool.(i) :: !picked
+    done
+  end;
+  Constraint_set.make_exn wf (List.rev !picked)
+
+let generate ?(seed = 42) p =
+  (match Gen_params.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator: " ^ msg));
+  let rng = Splitmix.create seed in
+  let wf = Workflow.create () in
+  let widths = Gen_params.stage_widths p in
+  let k = Array.length widths in
+  let stages =
+    Array.mapi
+      (fun s width ->
+        Array.init width (fun i ->
+            if s = 0 then Workflow.add_user ~name:(Printf.sprintf "u%d" i) wf
+            else if s = k - 1 then
+              Workflow.add_purpose ~name:(Printf.sprintf "p%d" i) wf
+            else
+              Workflow.add_algorithm ~name:(Printf.sprintf "a%d_%d" s i) wf))
+      widths
+  in
+  density_edges rng p wf stages;
+  repair rng p wf stages;
+  let constraints = sample_constraints rng p wf stages in
+  { workflow = wf; constraints; stages }
+
+let constraint_paths ?(max_paths = 1_000_000) t =
+  let g = Workflow.graph t.workflow in
+  List.concat_map
+    (fun { Constraint_set.source; target } ->
+      Paths.all_paths ~max_paths g ~src:source ~dst:target)
+    t.constraints
+
+let n_constraint_paths ?max_paths t = List.length (constraint_paths ?max_paths t)
+
+let mean_constraint_path_length ?max_paths t =
+  match constraint_paths ?max_paths t with
+  | [] -> 0.0
+  | paths ->
+      let total = List.fold_left (fun acc p -> acc + List.length p) 0 paths in
+      float_of_int total /. float_of_int (List.length paths)

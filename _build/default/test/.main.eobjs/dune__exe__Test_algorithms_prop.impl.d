@@ -1,0 +1,1 @@
+test/test_algorithms_prop.ml: Algorithms Array Cdw_core Cdw_graph Cdw_util Cdw_workload Constraint_set Float List QCheck2 Test_helpers Utility Workflow

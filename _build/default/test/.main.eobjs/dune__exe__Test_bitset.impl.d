@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Cdw_util Int List QCheck2 Set Test_helpers

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Algorithms Cdw_core Cdw_workload Constraint_set List Option Utility Workflow

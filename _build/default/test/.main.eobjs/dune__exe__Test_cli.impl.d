@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Cdw_cli Cdw_core Cdw_util Filename Fun List String Sys

@@ -1,0 +1,1 @@
+test/test_constraint_audit.ml: Alcotest Algorithms Audit Cdw_core Cdw_graph Constraint_set List Workflow

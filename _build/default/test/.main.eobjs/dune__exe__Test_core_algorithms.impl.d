@@ -1,0 +1,1 @@
+test/test_core_algorithms.ml: Alcotest Algorithms Array Cdw_core Cdw_graph Constraint_set List Utility Valuation Workflow

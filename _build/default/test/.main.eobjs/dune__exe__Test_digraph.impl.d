@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Cdw_graph List QCheck2 Test_helpers

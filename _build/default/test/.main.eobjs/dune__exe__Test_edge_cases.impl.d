@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Algorithms Array Cdw_core Cdw_cut Cdw_graph Cdw_util List Policy QCheck2 Serialize String Test_helpers Workflow

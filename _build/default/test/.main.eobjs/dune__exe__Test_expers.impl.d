@@ -1,0 +1,1 @@
+test/test_expers.ml: Alcotest Cdw_core Cdw_expers Cdw_util Cdw_workload Experiments Filename List Profile Runner String Sys Table

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Cdw_flow Cdw_graph Float Hashtbl List QCheck2 Test_helpers

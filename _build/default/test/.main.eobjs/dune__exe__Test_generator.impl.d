@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Cdw_core Cdw_graph Cdw_workload Dataset2 Float Gen_params Generator List QCheck2 Test_helpers

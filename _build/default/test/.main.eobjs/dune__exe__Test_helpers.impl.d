@@ -1,0 +1,1 @@
+test/test_helpers.ml: Cdw_graph Cdw_util Cdw_workload List QCheck2 QCheck_alcotest

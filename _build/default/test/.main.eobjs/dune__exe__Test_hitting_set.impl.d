@@ -1,0 +1,1 @@
+test/test_hitting_set.ml: Alcotest Array Cdw_cut Cdw_util Float Fun List QCheck2 Test_helpers

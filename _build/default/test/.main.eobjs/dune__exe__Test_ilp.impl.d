@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Cdw_lp Cdw_util Float Fun List QCheck2 Test_helpers

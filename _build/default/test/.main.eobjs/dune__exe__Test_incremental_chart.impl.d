@@ -1,0 +1,1 @@
+test/test_incremental_chart.ml: Alcotest Algorithms Cdw_core Cdw_expers Cdw_graph Cdw_workload Constraint_set Filename Incremental List String Sys Utility Workflow

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Algorithms Audit Cdw_core Cdw_util Cdw_workload Cohorts Constraint_set Float Incremental List Printf QCheck2 Serialize Test_helpers Utility Workflow

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cdw_graph Cdw_lp Cdw_util Printf String

@@ -1,0 +1,1 @@
+test/test_multicut.ml: Alcotest Cdw_cut Cdw_graph Cdw_util Float Fun Hashtbl List QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Cdw_graph Cdw_util List QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_policy_cohorts.ml: Alcotest Algorithms Cdw_core Cohorts Constraint_set List Policy Workflow

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Cdw_core Cdw_cut Cdw_graph Cdw_util Cdw_workload Float Hashtbl List QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_scc_pushrelabel_enforce.ml: Alcotest Algorithms Cdw_core Cdw_flow Cdw_graph Cdw_workload Enforce Float Hashtbl List QCheck2 Result String Test_helpers Workflow

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Cdw_core Cdw_graph Cdw_workload Constraint_set Filename Float Option QCheck2 Serialize String Sys Test_helpers Utility Workflow

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Cdw_lp Cdw_util List QCheck2 Test_helpers

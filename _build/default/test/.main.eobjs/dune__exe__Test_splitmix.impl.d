@@ -1,0 +1,1 @@
+test/test_splitmix.ml: Alcotest Array Cdw_util List

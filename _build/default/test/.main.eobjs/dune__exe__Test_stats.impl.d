@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cdw_util QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_topo_reach.ml: Alcotest Array Cdw_graph Cdw_util List QCheck2 Test_helpers

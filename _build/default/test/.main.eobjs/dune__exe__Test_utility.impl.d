@@ -1,0 +1,1 @@
+test/test_utility.ml: Alcotest Array Cdw_core Cdw_graph Cdw_util Cdw_workload Float List QCheck2 Test_helpers Utility Valuation Workflow

@@ -1,0 +1,1 @@
+test/test_valuation.ml: Alcotest Array Cdw_core Cdw_graph Cdw_util Cdw_workload Float Fun List QCheck2 Test_helpers Utility Valuation Valuation_tracker Workflow

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Cdw_util List QCheck2 Test_helpers

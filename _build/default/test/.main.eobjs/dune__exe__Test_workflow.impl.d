@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Cdw_core Cdw_graph List Workflow

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "cdw"
+    [
+      ("util/vec", Test_vec.suite);
+      ("util/bitset", Test_bitset.suite);
+      ("util/splitmix", Test_splitmix.suite);
+      ("util/stats", Test_stats.suite);
+      ("graph/digraph", Test_digraph.suite);
+      ("graph/topo-reach", Test_topo_reach.suite);
+      ("graph/paths", Test_paths.suite);
+      ("flow", Test_flow.suite);
+      ("lp/simplex", Test_simplex.suite);
+      ("lp/ilp", Test_ilp.suite);
+      ("cut/hitting-set", Test_hitting_set.suite);
+      ("cut/multicut", Test_multicut.suite);
+      ("core/workflow", Test_workflow.suite);
+      ("core/valuation", Test_valuation.suite);
+      ("core/utility", Test_utility.suite);
+      ("core/constraints-audit", Test_constraint_audit.suite);
+      ("core/serialize", Test_serialize.suite);
+      ("core/algorithms", Test_core_algorithms.suite);
+      ("core/algorithms-properties", Test_algorithms_prop.suite);
+      ("core/policy-cohorts", Test_policy_cohorts.suite);
+      ("core/incremental+chart", Test_incremental_chart.suite);
+      ("paper/reduction", Test_reduction.suite);
+      ("substrate/misc", Test_misc.suite);
+      ("substrate/scc-pushrelabel-enforce", Test_scc_pushrelabel_enforce.suite);
+      ("workload/generator", Test_generator.suite);
+      ("workload/catalog", Test_catalog.suite);
+      ("expers", Test_expers.suite);
+      ("cli", Test_cli.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("util/json", Test_json.suite);
+      ("invariants", Test_invariants.suite);
+    ]

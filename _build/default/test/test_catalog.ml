@@ -1,0 +1,57 @@
+open Cdw_core
+module Catalog = Cdw_workload.Catalog
+
+let test_social_media_valid () =
+  let wf = Catalog.social_media () in
+  Alcotest.(check bool) "invariants hold" true (Workflow.validate wf = Ok ());
+  Alcotest.(check int) "7 users" 7 (List.length (Workflow.users wf));
+  Alcotest.(check int) "6 algorithms" 6 (List.length (Workflow.algorithms wf));
+  Alcotest.(check int) "5 purposes" 5 (List.length (Workflow.purposes wf))
+
+let test_social_media_scenario () =
+  let wf = Catalog.social_media () in
+  let cs = Catalog.social_media_constraints wf in
+  Alcotest.(check int) "two refusals" 2 (Constraint_set.size cs);
+  Alcotest.(check bool) "initially violated" false (Constraint_set.satisfied wf cs);
+  let best = Algorithms.brute_force wf cs in
+  Alcotest.(check bool) "solvable" true
+    (Constraint_set.satisfied best.Algorithms.workflow cs);
+  (* The paper's point: disaster notification must survive untouched. *)
+  let notify = Option.get (Workflow.vertex_of_name wf "disaster_notification") in
+  let before = List.assoc notify (Utility.per_purpose wf) in
+  let after =
+    List.assoc notify (Utility.per_purpose best.Algorithms.workflow)
+  in
+  Alcotest.(check (float 1e-9)) "disaster notification keeps full utility"
+    before after
+
+let test_bioinformatics_valid () =
+  let wf = Catalog.bioinformatics () in
+  Alcotest.(check bool) "invariants hold" true (Workflow.validate wf = Ok ());
+  let cs = Catalog.bioinformatics_constraints wf in
+  Alcotest.(check int) "one refusal" 1 (Constraint_set.size cs)
+
+let test_bioinformatics_optimum () =
+  let wf = Catalog.bioinformatics () in
+  let cs = Catalog.bioinformatics_constraints wf in
+  let best = Algorithms.brute_force wf cs in
+  let minmc = Algorithms.remove_min_mc wf cs in
+  (* Thm 6.1 conditions hold here: MinMC matches the optimum, and the
+     optimum preserves tree visualisation completely. *)
+  Alcotest.(check (float 1e-9)) "minmc = optimum"
+    best.Algorithms.utility_after minmc.Algorithms.utility_after;
+  let visualise = Option.get (Workflow.vertex_of_name wf "tree_visualisation") in
+  Alcotest.(check (float 1e-9)) "visualisation untouched"
+    (List.assoc visualise (Utility.per_purpose wf))
+    (List.assoc visualise (Utility.per_purpose best.Algorithms.workflow))
+
+let suite =
+  [
+    Alcotest.test_case "social media workflow valid" `Quick test_social_media_valid;
+    Alcotest.test_case "social media consent scenario" `Quick
+      test_social_media_scenario;
+    Alcotest.test_case "bioinformatics workflow valid" `Quick
+      test_bioinformatics_valid;
+    Alcotest.test_case "bioinformatics optimum preserves visualisation" `Quick
+      test_bioinformatics_optimum;
+  ]

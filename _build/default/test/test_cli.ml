@@ -1,0 +1,130 @@
+(* In-process tests of the cdw command-line interface. *)
+
+let eval args =
+  Cdw_cli.Cli.eval ~argv:(Array.of_list ("cdw" :: args)) ()
+
+let temp_path suffix = Filename.temp_file "cdw_cli" suffix
+
+let read path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_generate_to_file () =
+  let path = temp_path ".wf" in
+  let code = eval [ "generate"; "-v"; "40"; "-n"; "3"; "--seed"; "5"; "-o"; path ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  let text = read path in
+  Alcotest.(check bool) "has users" true (contains text "user u0");
+  Alcotest.(check bool) "has constraints" true (contains text "constraint ");
+  (* And it parses back. *)
+  (match Cdw_core.Serialize.parse text with
+  | Ok (wf, cs) ->
+      Alcotest.(check int) "40 vertices" 40 (Cdw_core.Workflow.n_vertices wf);
+      Alcotest.(check int) "3 constraints" 3 (Cdw_core.Constraint_set.size cs)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_generate_rejects_bad_params () =
+  Alcotest.(check bool) "nonzero exit" true
+    (eval [ "generate"; "-v"; "3"; "-k"; "5" ] <> 0)
+
+let with_generated f =
+  let path = temp_path ".wf" in
+  let code = eval [ "generate"; "-v"; "40"; "-n"; "3"; "--seed"; "5"; "-o"; path ] in
+  Alcotest.(check int) "generate ok" 0 code;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_show () =
+  with_generated (fun path ->
+      Alcotest.(check int) "show exits 0" 0 (eval [ "show"; path ]);
+      Alcotest.(check int) "show --dot exits 0" 0 (eval [ "show"; "--dot"; path ]))
+
+let test_solve_roundtrip () =
+  with_generated (fun path ->
+      let out = temp_path ".out" in
+      let code =
+        eval [ "solve"; path; "-a"; "remove-min-mc"; "-o"; out ]
+      in
+      Alcotest.(check int) "solve exits 0" 0 code;
+      (match Cdw_core.Serialize.load out with
+      | Ok (wf, cs) ->
+          Alcotest.(check bool) "solved file is consented" true
+            (Cdw_core.Constraint_set.satisfied wf cs)
+      | Error e -> Alcotest.fail e);
+      Sys.remove out)
+
+let test_solve_every_algorithm () =
+  with_generated (fun path ->
+      List.iter
+        (fun name ->
+          let algo = Cdw_core.Algorithms.to_string name in
+          Alcotest.(check int) (algo ^ " exits 0") 0
+            (eval [ "solve"; path; "-a"; algo ]))
+        Cdw_core.Algorithms.all_names)
+
+let test_solve_unknown_algorithm () =
+  with_generated (fun path ->
+      Alcotest.(check bool) "unknown algorithm rejected" true
+        (eval [ "solve"; path; "-a"; "magic" ] <> 0))
+
+let test_solve_without_constraints () =
+  let path = temp_path ".wf" in
+  let oc = open_out path in
+  output_string oc "user u\nalgorithm a\npurpose p\nedge u a\nedge a p\n";
+  close_out oc;
+  Alcotest.(check bool) "no constraints is an error" true
+    (eval [ "solve"; path ] <> 0);
+  Sys.remove path
+
+let test_json_pipeline () =
+  let path = temp_path ".json" in
+  let code = eval [ "generate"; "-v"; "40"; "-n"; "3"; "--seed"; "5"; "-o"; path ] in
+  Alcotest.(check int) "generate json ok" 0 code;
+  Alcotest.(check bool) "file is JSON" true
+    (match Cdw_util.Json.parse (read path) with Ok _ -> true | Error _ -> false);
+  Alcotest.(check int) "show reads json" 0 (eval [ "show"; path ]);
+  let out = temp_path ".json" in
+  Alcotest.(check int) "solve json to json" 0
+    (eval [ "solve"; path; "-a"; "remove-min-mc"; "-o"; out ]);
+  (match Cdw_core.Serialize.load out with
+  | Ok (wf, cs) ->
+      Alcotest.(check bool) "solved json consented" true
+        (Cdw_core.Constraint_set.satisfied wf cs)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  Sys.remove out
+
+let test_missing_file () =
+  Alcotest.(check bool) "missing file errors" true
+    (eval [ "show"; "/nonexistent/cdw.wf" ] <> 0)
+
+let test_unknown_experiment () =
+  Alcotest.(check bool) "unknown experiment errors" true
+    (eval [ "experiment"; "fig99" ] <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "generate writes a parseable file" `Quick
+      test_generate_to_file;
+    Alcotest.test_case "generate rejects bad parameters" `Quick
+      test_generate_rejects_bad_params;
+    Alcotest.test_case "show (report and dot)" `Quick test_show;
+    Alcotest.test_case "solve writes a consented file" `Quick test_solve_roundtrip;
+    Alcotest.test_case "solve runs every algorithm" `Quick
+      test_solve_every_algorithm;
+    Alcotest.test_case "solve rejects unknown algorithm" `Quick
+      test_solve_unknown_algorithm;
+    Alcotest.test_case "solve without constraints errors" `Quick
+      test_solve_without_constraints;
+    Alcotest.test_case "JSON pipeline (generate/show/solve)" `Quick
+      test_json_pipeline;
+    Alcotest.test_case "missing file errors" `Quick test_missing_file;
+    Alcotest.test_case "unknown experiment errors" `Quick test_unknown_experiment;
+  ]

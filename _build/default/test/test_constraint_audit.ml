@@ -1,0 +1,97 @@
+open Cdw_core
+module Digraph = Cdw_graph.Digraph
+
+let sample () =
+  let wf = Workflow.create () in
+  let u1 = Workflow.add_user ~name:"u1" wf in
+  let u2 = Workflow.add_user ~name:"u2" wf in
+  let a = Workflow.add_algorithm ~name:"a" wf in
+  let p1 = Workflow.add_purpose ~name:"p1" wf in
+  let p2 = Workflow.add_purpose ~name:"p2" wf in
+  ignore (Workflow.connect wf u1 a);
+  ignore (Workflow.connect wf a p1);
+  ignore (Workflow.connect wf u2 p2);
+  (wf, u1, u2, a, p1, p2)
+
+let test_make_validation () =
+  let wf, u1, _, a, p1, _ = sample () in
+  (match Constraint_set.make wf [ (u1, p1) ] with
+  | Ok cs -> Alcotest.(check int) "one constraint" 1 (Constraint_set.size cs)
+  | Error e -> Alcotest.fail e);
+  (match Constraint_set.make wf [ (a, p1) ] with
+  | Error msg ->
+      Alcotest.(check string) "bad source"
+        "constraint source a is not a user vertex" msg
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Constraint_set.make wf [ (u1, a) ] with
+  | Error msg ->
+      Alcotest.(check string) "bad target"
+        "constraint target a is not a purpose vertex" msg
+  | Ok _ -> Alcotest.fail "expected error");
+  match Constraint_set.make wf [ (u1, p1); (u1, p1) ] with
+  | Error msg ->
+      Alcotest.(check string) "duplicate" "duplicate constraint (u1, p1)" msg
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_of_names () =
+  let wf, _, _, _, _, _ = sample () in
+  (match Constraint_set.of_names wf [ ("u1", "p1") ] with
+  | Ok cs -> Alcotest.(check int) "resolved" 1 (Constraint_set.size cs)
+  | Error e -> Alcotest.fail e);
+  match Constraint_set.of_names wf [ ("ghost", "p1") ] with
+  | Error msg -> Alcotest.(check string) "unknown" "unknown vertex \"ghost\"" msg
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_violated_satisfied () =
+  let wf, u1, u2, _, p1, p2 = sample () in
+  let cs = Constraint_set.make_exn wf [ (u1, p1); (u2, p1); (u1, p2) ] in
+  let v = Constraint_set.violated wf cs in
+  (* Only u1→p1 is connected: u2 reaches p2 only, u1 does not reach p2. *)
+  Alcotest.(check int) "one violated" 1 (List.length v);
+  Alcotest.(check bool) "not satisfied" false (Constraint_set.satisfied wf cs);
+  (match Digraph.find_edge (Workflow.graph wf) u1 2 with
+  | Some e -> Digraph.remove_edge (Workflow.graph wf) e
+  | None -> Alcotest.fail "edge missing");
+  Alcotest.(check bool) "satisfied after cut" true (Constraint_set.satisfied wf cs)
+
+let test_audit_report () =
+  let wf, u1, u2, _, p1, p2 = sample () in
+  let cs = Constraint_set.make_exn wf [ (u1, p1); (u2, p1); (u1, p2) ] in
+  let r = Audit.report wf cs in
+  Alcotest.(check bool) "not consented" false r.Audit.consented;
+  let statuses = r.Audit.statuses in
+  Alcotest.(check int) "three statuses" 3 (List.length statuses);
+  let violated = List.filter (fun s -> not s.Audit.satisfied) statuses in
+  (match violated with
+  | [ s ] ->
+      (* Witness must be a real path from source to target. *)
+      (match s.Audit.witness with
+      | first :: _ ->
+          Alcotest.(check int) "witness starts at source" u1
+            (Digraph.edge_src first);
+          let last = List.nth s.Audit.witness (List.length s.Audit.witness - 1) in
+          Alcotest.(check int) "witness ends at target" p1 (Digraph.edge_dst last)
+      | [] -> Alcotest.fail "violated status needs a witness")
+  | _ -> Alcotest.fail "expected exactly one violation");
+  Alcotest.(check int) "per-purpose entries" 2 (List.length r.Audit.per_purpose)
+
+let test_audit_consented_after_solve () =
+  let wf, u1, _, _, p1, _ = sample () in
+  let cs = Constraint_set.make_exn wf [ (u1, p1) ] in
+  let outcome = Algorithms.remove_min_mc wf cs in
+  let r = Audit.report outcome.Algorithms.workflow cs in
+  Alcotest.(check bool) "consented" true r.Audit.consented;
+  List.iter
+    (fun s -> Alcotest.(check (list int)) "no witnesses" []
+      (List.map Digraph.edge_id s.Audit.witness))
+    r.Audit.statuses
+
+let suite =
+  [
+    Alcotest.test_case "make validates kinds and duplicates" `Quick
+      test_make_validation;
+    Alcotest.test_case "of_names resolution" `Quick test_of_names;
+    Alcotest.test_case "violated/satisfied" `Quick test_violated_satisfied;
+    Alcotest.test_case "audit report with witness" `Quick test_audit_report;
+    Alcotest.test_case "audit after solving" `Quick test_audit_consented_after_solve;
+  ]

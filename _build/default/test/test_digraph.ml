@@ -1,0 +1,100 @@
+module Digraph = Cdw_graph.Digraph
+
+let test_build_and_query () =
+  let g = Digraph.create () in
+  let a = Digraph.add_vertex g in
+  let b = Digraph.add_vertex g in
+  let c = Digraph.add_vertex g in
+  let e1 = Digraph.add_edge g a b in
+  let e2 = Digraph.add_edge g b c in
+  Alcotest.(check int) "vertices" 3 (Digraph.n_vertices g);
+  Alcotest.(check int) "edges" 2 (Digraph.n_edges g);
+  Alcotest.(check int) "edge ids dense" 0 (Digraph.edge_id e1);
+  Alcotest.(check int) "edge ids dense 2" 1 (Digraph.edge_id e2);
+  Alcotest.(check int) "out degree a" 1 (Digraph.out_degree g a);
+  Alcotest.(check int) "in degree c" 1 (Digraph.in_degree g c);
+  Alcotest.(check bool) "find_edge" true (Digraph.find_edge g a b = Some e1);
+  Alcotest.(check bool) "find missing" true (Digraph.find_edge g a c = None)
+
+let test_rejects_bad_edges () =
+  let g = Digraph.create () in
+  let a = Digraph.add_vertex g in
+  let b = Digraph.add_vertex g in
+  ignore (Digraph.add_edge g a b);
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_edge: self-loop")
+    (fun () -> ignore (Digraph.add_edge g a a));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Digraph.add_edge: duplicate 0->1") (fun () ->
+      ignore (Digraph.add_edge g a b));
+  Alcotest.check_raises "unknown vertex" (Invalid_argument "Digraph: unknown vertex 5")
+    (fun () -> ignore (Digraph.add_edge g a 5))
+
+let test_remove_restore () =
+  let g = Digraph.create () in
+  let a = Digraph.add_vertex g in
+  let b = Digraph.add_vertex g in
+  let e = Digraph.add_edge g a b in
+  Digraph.remove_edge g e;
+  Alcotest.(check int) "live count drops" 0 (Digraph.n_edges g);
+  Alcotest.(check int) "total count stays" 1 (Digraph.n_edges_total g);
+  Alcotest.(check bool) "find skips removed" true (Digraph.find_edge g a b = None);
+  Alcotest.(check (list int)) "removed ids" [ 0 ] (Digraph.removed_edge_ids g);
+  Digraph.remove_edge g e;
+  Alcotest.(check int) "idempotent" 0 (Digraph.n_edges g);
+  Digraph.restore_edge g e;
+  Alcotest.(check int) "restored" 1 (Digraph.n_edges g);
+  (* Re-adding a removed edge restores it rather than duplicating. *)
+  Digraph.remove_edge g e;
+  let e' = Digraph.add_edge g a b in
+  Alcotest.(check int) "same id after re-add" (Digraph.edge_id e) (Digraph.edge_id e');
+  Alcotest.(check int) "no duplicate allocation" 1 (Digraph.n_edges_total g)
+
+let test_copy_preserves_ids_and_removals () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 4);
+  let e01 = Digraph.add_edge g 0 1 in
+  let _e12 = Digraph.add_edge g 1 2 in
+  let _e23 = Digraph.add_edge g 2 3 in
+  Digraph.remove_edge g e01;
+  let g' = Digraph.copy g in
+  Alcotest.(check int) "vertices" 4 (Digraph.n_vertices g');
+  Alcotest.(check int) "live edges" 2 (Digraph.n_edges g');
+  Alcotest.(check (list int)) "removed ids preserved" [ 0 ]
+    (Digraph.removed_edge_ids g');
+  (* Mutating the copy leaves the original alone. *)
+  Digraph.restore_edge g' (Digraph.edge g' 0);
+  Alcotest.(check int) "original still 2 live" 2 (Digraph.n_edges g);
+  Alcotest.(check int) "copy now 3 live" 3 (Digraph.n_edges g')
+
+let test_adjacency_filtering () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 3);
+  let e1 = Digraph.add_edge g 0 1 in
+  let _ = Digraph.add_edge g 0 2 in
+  Digraph.remove_edge g e1;
+  Alcotest.(check int) "out_edges filters removed" 1
+    (List.length (Digraph.out_edges g 0));
+  Alcotest.(check int) "in_edges filters removed" 0
+    (List.length (Digraph.in_edges g 1));
+  Alcotest.(check int) "fold over live" 1
+    (Digraph.fold_edges (fun acc _ -> acc + 1) 0 g)
+
+let prop_copy_equals =
+  Test_helpers.qcheck "copy has identical live-edge set"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 2 20))
+    (fun (seed, n) ->
+      let g = Test_helpers.random_dag ~seed ~n ~density:0.3 in
+      let g' = Digraph.copy g in
+      Test_helpers.live_edge_ids g = Test_helpers.live_edge_ids g')
+
+let suite =
+  [
+    Alcotest.test_case "build and query" `Quick test_build_and_query;
+    Alcotest.test_case "rejects bad edges" `Quick test_rejects_bad_edges;
+    Alcotest.test_case "remove/restore lifecycle" `Quick test_remove_restore;
+    Alcotest.test_case "copy preserves ids and removals" `Quick
+      test_copy_preserves_ids_and_removals;
+    Alcotest.test_case "adjacency filters removed edges" `Quick
+      test_adjacency_filtering;
+    prop_copy_equals;
+  ]

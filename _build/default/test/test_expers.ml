@@ -1,0 +1,117 @@
+open Cdw_expers
+module Stats = Cdw_util.Stats
+
+let tiny_profile =
+  {
+    Profile.quick with
+    Profile.label = "test";
+    min_runs = 2;
+    max_runs = 4;
+    rel_se = 1.0;
+    timeout_ms = 5_000.0;
+    constraint_counts = [ 1; 2 ];
+    brute_force_max_constraints = 2;
+    dataset1b_vertices = 120;
+    dataset2_steps = 1;
+    dataset3_sizes = [ 60 ];
+  }
+
+let sample t = { Runner.time_ms = t; utility_pct = 50.0; candidates = 1 }
+
+let test_profile_of_string () =
+  Alcotest.(check bool) "quick" true (Profile.of_string "quick" = Some Profile.quick);
+  Alcotest.(check bool) "full" true (Profile.of_string "full" = Some Profile.full);
+  Alcotest.(check bool) "unknown" true (Profile.of_string "nope" = None)
+
+let test_measure_collects () =
+  let p = Runner.measure ~profile:tiny_profile (fun i -> Some (sample (float_of_int i))) in
+  Alcotest.(check int) "stops at min_runs (rel_se = 1)" 2 p.Runner.runs;
+  Alcotest.(check int) "no timeouts" 0 p.Runner.timeouts;
+  match p.Runner.time with
+  | Some s -> Alcotest.(check int) "two samples" 2 s.Stats.n
+  | None -> Alcotest.fail "expected samples"
+
+let test_measure_all_timeout () =
+  let p = Runner.measure ~profile:tiny_profile (fun _ -> None) in
+  Alcotest.(check bool) "no summary" true (p.Runner.time = None);
+  Alcotest.(check int) "stopped after min_runs failures" 2 p.Runner.timeouts;
+  Alcotest.(check string) "rendered as timeout" "timeout" (Runner.pp_time p)
+
+let test_measure_mixed () =
+  let p =
+    Runner.measure ~profile:tiny_profile (fun i ->
+        if i = 0 then None else Some (sample 10.0))
+  in
+  Alcotest.(check int) "one timeout" 1 p.Runner.timeouts;
+  match p.Runner.utility with
+  | Some s -> Alcotest.(check (float 1e-9)) "utility kept" 50.0 s.Stats.mean
+  | None -> Alcotest.fail "expected utility summary"
+
+let test_skip_rendering () =
+  Alcotest.(check string) "time" "-" (Runner.pp_time Runner.skip);
+  Alcotest.(check string) "utility" "-" (Runner.pp_utility Runner.skip)
+
+let test_runner_once () =
+  let instance =
+    Cdw_workload.Generator.generate ~seed:1
+      (Cdw_workload.Gen_params.dataset1a ~n_constraints:2)
+  in
+  match Runner.once ~profile:tiny_profile Cdw_core.Algorithms.Remove_min_mc instance with
+  | Some s ->
+      Alcotest.(check bool) "positive time" true (s.Runner.time_ms >= 0.0);
+      Alcotest.(check bool) "utility ≤ 100" true (s.Runner.utility_pct <= 100.0)
+  | None -> Alcotest.fail "unexpected timeout"
+
+let test_table_print_and_csv () =
+  let table =
+    {
+      Table.title = "demo";
+      header = [ "a"; "b" ];
+      rows = [ [ "1"; "x,y" ]; [ "22"; "quote\"inside" ] ];
+    }
+  in
+  let tmp = Filename.temp_file "cdw_table" "" in
+  let oc = open_out tmp in
+  Table.print ~oc table;
+  close_out oc;
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check bool) "title present" true
+    (String.length text > 0 && String.sub text 0 1 = "\n");
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "cdw_csv_test" in
+  let path = Table.write_csv ~dir ~name:"demo" table in
+  let ic = open_in path in
+  let csv = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "csv escaping"
+    "a,b\n1,\"x,y\"\n22,\"quote\"\"inside\"\n" csv
+
+(* End-to-end: the experiment drivers produce well-formed tables under
+   a minute-scale profile. *)
+let test_drivers_end_to_end () =
+  let t5, t6 = Experiments.fig5_6 tiny_profile Experiments.D1a in
+  Alcotest.(check bool) "fig5 has rows" true (List.length t5.Table.rows >= 2);
+  Alcotest.(check bool) "fig6 has rows" true (List.length t6.Table.rows >= 2);
+  List.iter
+    (fun r -> Alcotest.(check int) "fig5 arity" 3 (List.length r))
+    t5.Table.rows;
+  let t3 = Experiments.table3 tiny_profile in
+  Alcotest.(check int) "table3 rows" 2 (List.length t3.Table.rows);
+  let t9t, t9u = Experiments.fig9 tiny_profile in
+  Alcotest.(check int) "fig9 one size row" 1 (List.length t9t.Table.rows);
+  Alcotest.(check int) "fig9 utility rows" 1 (List.length t9u.Table.rows)
+
+let suite =
+  [
+    Alcotest.test_case "profile parsing" `Quick test_profile_of_string;
+    Alcotest.test_case "measure collects samples" `Quick test_measure_collects;
+    Alcotest.test_case "measure: all timeouts" `Quick test_measure_all_timeout;
+    Alcotest.test_case "measure: mixed outcomes" `Quick test_measure_mixed;
+    Alcotest.test_case "skip rendering" `Quick test_skip_rendering;
+    Alcotest.test_case "runner measures a real solve" `Quick test_runner_once;
+    Alcotest.test_case "table print + csv escaping" `Quick test_table_print_and_csv;
+    Alcotest.test_case "experiment drivers end-to-end" `Slow test_drivers_end_to_end;
+  ]

@@ -1,0 +1,44 @@
+(* Shared helpers for the test suite: deterministic random structures
+   built from an integer seed, so QCheck shrinks over seeds. *)
+
+module Digraph = Cdw_graph.Digraph
+module Splitmix = Cdw_util.Splitmix
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name arb prop)
+
+(* A random DAG: vertices 0..n-1, edges only from lower to higher ids.
+   [density] is the probability of each candidate edge. *)
+let random_dag ~seed ~n ~density =
+  let rng = Splitmix.create seed in
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g n);
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Splitmix.float rng 1.0 < density then ignore (Digraph.add_edge g i j)
+    done
+  done;
+  g
+
+(* A random layered workflow instance via the production generator. *)
+let random_instance ~seed =
+  let rng = Splitmix.create seed in
+  let params =
+    {
+      Cdw_workload.Gen_params.default with
+      Cdw_workload.Gen_params.n_vertices = 20 + Splitmix.int rng 40;
+      n_constraints = 1 + Splitmix.int rng 5;
+      stages = 3 + Splitmix.int rng 3;
+      density = (if Splitmix.bool rng then 0.0 else Splitmix.float rng 0.25);
+      distribution =
+        (if Splitmix.bool rng then Cdw_workload.Gen_params.Uniform
+         else Cdw_workload.Gen_params.Non_uniform);
+    }
+  in
+  Cdw_workload.Generator.generate ~seed params
+
+let edge_ids edges = List.sort compare (List.map Digraph.edge_id edges)
+
+let live_edge_ids g =
+  List.sort compare (Digraph.fold_edges (fun acc e -> Digraph.edge_id e :: acc) [] g)

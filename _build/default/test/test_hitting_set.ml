@@ -1,0 +1,138 @@
+module Hs = Cdw_cut.Hitting_set
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let problem ~weights ~sets =
+  { Hs.n_elems = Array.length weights; weights; sets }
+
+let test_single_set () =
+  let p = problem ~weights:[| 5.0; 2.0; 7.0 |] ~sets:[| [| 0; 1; 2 |] |] in
+  let chosen = Hs.solve_ilp p in
+  Alcotest.(check (array bool)) "cheapest element" [| false; true; false |] chosen;
+  check_float "cost" 2.0 (Hs.cost p chosen);
+  Alcotest.(check bool) "covers" true (Hs.covers p chosen)
+
+let test_overlap_beats_singletons () =
+  (* Element 2 hits both sets for 3 < 1+2.5. *)
+  let p =
+    problem ~weights:[| 1.0; 2.5; 3.0 |] ~sets:[| [| 0; 2 |]; [| 1; 2 |] |]
+  in
+  Alcotest.(check (array bool)) "ilp picks the hub" [| false; false; true |]
+    (Hs.solve_ilp p);
+  Alcotest.(check (array bool)) "bnb picks the hub" [| false; false; true |]
+    (Hs.solve_bnb p)
+
+let test_greedy_can_be_suboptimal_but_covers () =
+  (* The classic greedy trap: hub element slightly worse per-set. *)
+  let p =
+    problem
+      ~weights:[| 1.0; 1.0; 1.9 |]
+      ~sets:[| [| 0; 2 |]; [| 1; 2 |] |]
+  in
+  let g = Hs.solve_greedy p in
+  Alcotest.(check bool) "greedy covers" true (Hs.covers p g);
+  let exact = Hs.solve_bnb p in
+  Alcotest.(check bool) "exact no worse" true
+    (Hs.cost p exact <= Hs.cost p g +. 1e-9)
+
+let test_empty_set_rejected () =
+  let p = problem ~weights:[| 1.0 |] ~sets:[| [||] |] in
+  Alcotest.check_raises "unhittable"
+    (Invalid_argument "Hitting_set: empty set cannot be hit") (fun () ->
+      ignore (Hs.solve_ilp p))
+
+let test_no_sets () =
+  let p = problem ~weights:[| 1.0; 2.0 |] ~sets:[||] in
+  Alcotest.(check (array bool)) "nothing chosen" [| false; false |]
+    (Hs.solve_bnb p);
+  check_float "zero cost" 0.0 (Hs.cost p (Hs.solve_ilp p))
+
+let test_presolve_singleton_forces () =
+  let p = problem ~weights:[| 1.0; 9.0 |] ~sets:[| [| 0 |]; [| 0; 1 |] |] in
+  let info = Hs.presolve p in
+  Alcotest.(check (list int)) "element 0 forced" [ 0 ] info.Hs.forced;
+  Alcotest.(check int) "no sets left" 0 (Array.length info.Hs.reduced.Hs.sets);
+  let chosen = Hs.solve_ilp p in
+  Alcotest.(check (array bool)) "solution via presolve" [| true; false |] chosen
+
+let test_presolve_row_dominance () =
+  (* {1} ⊆ {0,1}: the superset row is redundant. *)
+  let p = problem ~weights:[| 5.0; 2.0 |] ~sets:[| [| 0; 1 |]; [| 1 |] |] in
+  let info = Hs.presolve p in
+  (* Singleton {1} then forces element 1, clearing everything. *)
+  Alcotest.(check (list int)) "forced" [ 1 ] info.Hs.forced;
+  Alcotest.(check bool) "cover" true (Hs.covers p (Hs.solve_bnb p))
+
+let test_presolve_column_dominance () =
+  (* Element 2 appears wherever 0 and 1 do, cheaper: 0 and 1 drop out. *)
+  let p =
+    problem ~weights:[| 5.0; 6.0; 1.0 |]
+      ~sets:[| [| 0; 2 |]; [| 1; 2 |]; [| 0; 1; 2 |] |]
+  in
+  let info = Hs.presolve p in
+  (* Dominance leaves only the hub, which then gets forced as a
+     singleton — the reduction solves the instance outright. *)
+  Alcotest.(check int) "reduced problem is empty" 0 info.Hs.reduced.Hs.n_elems;
+  Alcotest.(check (list int)) "hub forced" [ 2 ] info.Hs.forced;
+  Alcotest.(check (array bool)) "hub chosen" [| false; false; true |]
+    (Hs.solve_ilp p)
+
+let random_problem seed =
+  let rng = Cdw_util.Splitmix.create seed in
+  let n = 2 + Cdw_util.Splitmix.int rng 7 in
+  let m = 1 + Cdw_util.Splitmix.int rng 6 in
+  let weights =
+    Array.init n (fun _ -> float_of_int (1 + Cdw_util.Splitmix.int rng 9))
+  in
+  let sets =
+    Array.init m (fun _ ->
+        let forced = Cdw_util.Splitmix.int rng n in
+        let extra =
+          List.filter
+            (fun j -> j <> forced && Cdw_util.Splitmix.int rng 3 = 0)
+            (List.init n Fun.id)
+        in
+        Array.of_list (forced :: extra))
+  in
+  problem ~weights ~sets
+
+let prop_presolve_preserves_optimum =
+  Test_helpers.qcheck ~count:80 "presolve preserves the optimal cost"
+    QCheck2.Gen.(int_range 200000 300000)
+    (fun seed ->
+      let p = random_problem seed in
+      let via_presolve = Hs.solve_ilp p in
+      let raw = Hs.solve_bnb p in
+      Hs.covers p via_presolve
+      && Float.abs (Hs.cost p via_presolve -. Hs.cost p raw) < 1e-6)
+
+let prop_solvers_agree =
+  Test_helpers.qcheck ~count:80 "ILP and combinatorial B&B agree; greedy covers"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let p = random_problem seed in
+      let ilp = Hs.solve_ilp p in
+      let bnb = Hs.solve_bnb p in
+      let greedy = Hs.solve_greedy p in
+      Hs.covers p ilp && Hs.covers p bnb && Hs.covers p greedy
+      && Float.abs (Hs.cost p ilp -. Hs.cost p bnb) < 1e-6
+      && Hs.cost p ilp <= Hs.cost p greedy +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "single set: cheapest element" `Quick test_single_set;
+    Alcotest.test_case "hub element beats singletons" `Quick
+      test_overlap_beats_singletons;
+    Alcotest.test_case "greedy covers (possibly suboptimally)" `Quick
+      test_greedy_can_be_suboptimal_but_covers;
+    Alcotest.test_case "empty set rejected" `Quick test_empty_set_rejected;
+    Alcotest.test_case "no sets: empty solution" `Quick test_no_sets;
+    prop_solvers_agree;
+    Alcotest.test_case "presolve: singleton forcing" `Quick
+      test_presolve_singleton_forces;
+    Alcotest.test_case "presolve: row dominance" `Quick
+      test_presolve_row_dominance;
+    Alcotest.test_case "presolve: column dominance" `Quick
+      test_presolve_column_dominance;
+    prop_presolve_preserves_optimum;
+  ]

@@ -1,0 +1,94 @@
+(* Cross-module invariants on generated instances. *)
+
+open Cdw_core
+module Generator = Cdw_workload.Generator
+
+let prop_cross_format_equivalence =
+  Test_helpers.qcheck ~count:30 "text and JSON formats describe the same workflow"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Generator.workflow in
+      let cs = instance.Generator.constraints in
+      match Serialize.of_json (Serialize.to_json ~constraints:cs wf) with
+      | Error _ -> false
+      | Ok (wf_json, cs_json) -> (
+          match Serialize.parse (Serialize.to_string ~constraints:cs_json wf_json) with
+          | Error _ -> false
+          | Ok (wf_text, cs_text) ->
+              Float.abs (Utility.total wf -. Utility.total wf_text) < 1e-6
+              && Constraint_set.size cs = Constraint_set.size cs_text
+              && Workflow.n_edges wf = Workflow.n_edges wf_text))
+
+let prop_audit_consistency =
+  Test_helpers.qcheck ~count:40 "audit statuses mirror constraint satisfaction"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Generator.workflow in
+      let cs = instance.Generator.constraints in
+      let before = Audit.report wf cs in
+      let solved = (Algorithms.remove_min_cuts wf cs).Algorithms.workflow in
+      let after = Audit.report solved cs in
+      List.length before.Audit.statuses = Constraint_set.size cs
+      && (before.Audit.consented = Constraint_set.satisfied wf cs)
+      && after.Audit.consented
+      && List.for_all
+           (fun s ->
+             s.Audit.satisfied = (s.Audit.witness = []))
+           (before.Audit.statuses @ after.Audit.statuses))
+
+let prop_cohorts_partition =
+  Test_helpers.qcheck ~count:25 "cohort groups partition the requests"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Generator.workflow in
+      let pairs = Constraint_set.pairs instance.Generator.constraints in
+      let rng = Cdw_util.Splitmix.create seed in
+      let requests =
+        List.init 8 (fun i ->
+            {
+              Cohorts.user_id = Printf.sprintf "user%d" i;
+              pairs =
+                List.filter (fun _ -> Cdw_util.Splitmix.bool rng) pairs;
+            })
+      in
+      match Cohorts.solve_grouped wf requests with
+      | Error _ -> false
+      | Ok groups ->
+          let members = List.concat_map (fun g -> g.Cohorts.members) groups in
+          List.length members = List.length requests
+          && List.sort_uniq compare members
+             = List.sort compare (List.map (fun r -> r.Cohorts.user_id) requests)
+          && List.for_all
+               (fun g ->
+                 Constraint_set.satisfied g.Cohorts.outcome.Algorithms.workflow
+                   g.Cohorts.constraints)
+               groups)
+
+let prop_incremental_always_consented =
+  Test_helpers.qcheck ~count:25 "incremental session stays consented"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Generator.workflow in
+      let session = Incremental.create wf in
+      let pairs = Constraint_set.pairs instance.Generator.constraints in
+      List.for_all
+        (fun pair ->
+          match Incremental.add session [ pair ] with
+          | Error _ -> false
+          | Ok () ->
+              Constraint_set.satisfied
+                (Incremental.workflow session)
+                (Incremental.constraints session))
+        pairs)
+
+let suite =
+  [
+    prop_cross_format_equivalence;
+    prop_audit_consistency;
+    prop_cohorts_partition;
+    prop_incremental_always_consented;
+  ]

@@ -1,0 +1,169 @@
+module Json = Cdw_util.Json
+open Cdw_core
+
+let parse_exn text =
+  match Json.parse text with Ok v -> v | Error e -> Alcotest.fail e
+
+let test_parse_scalars () =
+  Alcotest.(check bool) "null" true (parse_exn "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_exn "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_exn " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_exn "42" = Json.Number 42.0);
+  Alcotest.(check bool) "negative float" true
+    (parse_exn "-2.5e2" = Json.Number (-250.0));
+  Alcotest.(check bool) "string" true (parse_exn "\"hi\"" = Json.String "hi")
+
+let test_parse_escapes () =
+  Alcotest.(check bool) "escapes" true
+    (parse_exn {|"a\"b\\c\nd\te"|} = Json.String "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode escape (ascii)" true
+    (parse_exn {|"\u0041"|} = Json.String "A");
+  Alcotest.(check bool) "unicode escape (2-byte)" true
+    (parse_exn {|"\u00e9"|} = Json.String "\xc3\xa9");
+  Alcotest.(check bool) "unicode escape (3-byte)" true
+    (parse_exn {|"\u20ac"|} = Json.String "\xe2\x82\xac")
+
+let test_parse_structures () =
+  let v = parse_exn {| {"a": [1, 2, {"b": null}], "c": {} } |} in
+  match Json.member "a" v with
+  | Some (Json.Array [ Json.Number 1.0; Json.Number 2.0; Json.Object _ ]) ->
+      Alcotest.(check bool) "empty object member" true
+        (Json.member "c" v = Some (Json.Object []))
+  | _ -> Alcotest.fail "structure mismatch"
+
+let test_parse_errors () =
+  let bad text =
+    match Json.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to fail" text
+  in
+  bad "";
+  bad "{";
+  bad "[1,";
+  bad "\"unterminated";
+  bad "tru";
+  bad "1 2";
+  bad "{\"a\" 1}";
+  bad "{'a': 1}";
+  bad "[1, ]nonsense"
+
+let test_roundtrip_value () =
+  let v =
+    Json.Object
+      [
+        ("name", Json.String "line1\nline2 \"quoted\""); ("n", Json.Number 2.5);
+        ("flags", Json.Array [ Json.Bool true; Json.Null ]);
+        ("empty", Json.Array []);
+      ]
+  in
+  Alcotest.(check bool) "pretty roundtrip" true
+    (Json.parse (Json.to_string v) = Ok v);
+  Alcotest.(check bool) "compact roundtrip" true
+    (Json.parse (Json.to_string ~pretty:false v) = Ok v)
+
+let prop_parse_total =
+  Test_helpers.qcheck ~count:200 "Json.parse is total on junk"
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 60))
+    (fun text -> match Json.parse text with Ok _ | Error _ -> true)
+
+(* ------------------------ workflow interchange --------------------- *)
+
+let sample () =
+  let wf = Workflow.create () in
+  let u = Workflow.add_user ~name:"address" wf in
+  let a = Workflow.add_algorithm ~name:"profiling" wf in
+  let p1 = Workflow.add_purpose ~name:"recs" wf in
+  let p2 = Workflow.add_purpose ~name:"ads" ~weight:0.5 wf in
+  ignore (Workflow.connect ~value:5.0 wf u a);
+  ignore (Workflow.connect wf a p1);
+  ignore (Workflow.connect wf a p2);
+  let cs = Constraint_set.make_exn wf [ (u, p2) ] in
+  (wf, cs)
+
+let test_workflow_json_roundtrip () =
+  let wf, cs = sample () in
+  let json = Serialize.to_json ~constraints:cs wf in
+  match Serialize.of_json json with
+  | Error e -> Alcotest.fail e
+  | Ok (wf', cs') ->
+      Alcotest.(check int) "vertices" 4 (Workflow.n_vertices wf');
+      Alcotest.(check int) "edges" 3 (Workflow.n_edges wf');
+      Alcotest.(check int) "constraints" 1 (Constraint_set.size cs');
+      Alcotest.(check (float 1e-9)) "same utility" (Utility.total wf)
+        (Utility.total wf');
+      let ads = Option.get (Workflow.vertex_of_name wf' "ads") in
+      Alcotest.(check (float 1e-9)) "weight survives" 0.5
+        (Workflow.purpose_weight wf' ads)
+
+let test_json_file_dispatch () =
+  let wf, cs = sample () in
+  let path = Filename.temp_file "cdw_json" ".json" in
+  Serialize.save ~constraints:cs path wf;
+  (match Serialize.load path with
+  | Ok (wf', cs') ->
+      Alcotest.(check int) "loaded vertices" 4 (Workflow.n_vertices wf');
+      Alcotest.(check int) "loaded constraints" 1 (Constraint_set.size cs')
+  | Error e -> Alcotest.fail e);
+  (* The file really is JSON. *)
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "json syntax" true
+    (match Json.parse text with Ok _ -> true | Error _ -> false);
+  Sys.remove path
+
+let test_of_json_errors () =
+  let bad text fragment =
+    match Serialize.of_json text with
+    | Error msg ->
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+          m = 0 || loop 0
+        in
+        if not (contains msg fragment) then
+          Alcotest.failf "error %S does not mention %S" msg fragment
+    | Ok _ -> Alcotest.fail "expected error"
+  in
+  bad "[]" "missing field";
+  bad {| {"vertices": [{"name": "x"}]} |} "missing field \"kind\"";
+  bad {| {"vertices": [{"name": "x", "kind": "robot"}]} |} "unknown vertex kind";
+  bad
+    {| {"vertices": [{"name": "x", "kind": "user"}],
+        "edges": [{"src": "x", "dst": "ghost"}]} |}
+    "unknown vertex";
+  bad
+    {| {"vertices": [{"name": "x", "kind": "user"},
+                     {"name": "y", "kind": "user"}],
+        "edges": [{"src": "x", "dst": "y"}]} |}
+    "cannot be a target"
+
+let prop_generated_json_roundtrip =
+  Test_helpers.qcheck ~count:30 "generated workflows roundtrip via JSON"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let cs = instance.Cdw_workload.Generator.constraints in
+      match Serialize.of_json (Serialize.to_json ~constraints:cs wf) with
+      | Error _ -> false
+      | Ok (wf', cs') ->
+          Workflow.n_vertices wf = Workflow.n_vertices wf'
+          && Workflow.n_edges wf = Workflow.n_edges wf'
+          && Constraint_set.size cs = Constraint_set.size cs'
+          && Float.abs (Utility.total wf -. Utility.total wf') < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_parse_scalars;
+    Alcotest.test_case "string escapes" `Quick test_parse_escapes;
+    Alcotest.test_case "nested structures" `Quick test_parse_structures;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "value roundtrip" `Quick test_roundtrip_value;
+    prop_parse_total;
+    Alcotest.test_case "workflow JSON roundtrip" `Quick
+      test_workflow_json_roundtrip;
+    Alcotest.test_case ".json save/load dispatch" `Quick test_json_file_dispatch;
+    Alcotest.test_case "of_json error reporting" `Quick test_of_json_errors;
+    prop_generated_json_roundtrip;
+  ]

@@ -1,0 +1,119 @@
+module Digraph = Cdw_graph.Digraph
+module Paths = Cdw_graph.Paths
+module Timing = Cdw_util.Timing
+
+let diamond () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 4);
+  ignore (Digraph.add_edge g 0 1);
+  ignore (Digraph.add_edge g 0 2);
+  ignore (Digraph.add_edge g 1 3);
+  ignore (Digraph.add_edge g 2 3);
+  g
+
+let test_diamond_paths () =
+  let g = diamond () in
+  let paths = Paths.all_paths g ~src:0 ~dst:3 in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "each path has 2 edges" 2 (List.length p);
+      match p with
+      | [ a; b ] ->
+          Alcotest.(check int) "path starts at 0" 0 (Digraph.edge_src a);
+          Alcotest.(check int) "path ends at 3" 3 (Digraph.edge_dst b);
+          Alcotest.(check int) "consecutive" (Digraph.edge_dst a) (Digraph.edge_src b)
+      | _ -> Alcotest.fail "unexpected shape")
+    paths
+
+let test_no_path () =
+  let g = diamond () in
+  Alcotest.(check int) "no backwards paths" 0
+    (List.length (Paths.all_paths g ~src:3 ~dst:0))
+
+let test_removal_respected () =
+  let g = diamond () in
+  (match Digraph.find_edge g 0 1 with
+  | Some e -> Digraph.remove_edge g e
+  | None -> Alcotest.fail "edge missing");
+  Alcotest.(check int) "one path left" 1
+    (List.length (Paths.all_paths g ~src:0 ~dst:3))
+
+let test_max_paths_cap () =
+  let g = diamond () in
+  Alcotest.check_raises "cap exceeded" (Paths.Too_many_paths 1) (fun () ->
+      ignore (Paths.all_paths ~max_paths:1 g ~src:0 ~dst:3))
+
+let test_deadline () =
+  (* A wide layered graph with many paths; an already-expired deadline
+     must abort enumeration. *)
+  let g = Test_helpers.random_dag ~seed:5 ~n:20 ~density:0.8 in
+  Alcotest.check_raises "expired deadline" Timing.Timeout (fun () ->
+      ignore (Paths.all_paths ~deadline:(Timing.now_ms () -. 1.0) g ~src:0 ~dst:19))
+
+let test_count_paths_diamond () =
+  let g = diamond () in
+  Alcotest.(check (float 0.0)) "count 2" 2.0 (Paths.count_paths g ~src:0 ~dst:3)
+
+let test_first_last_edges () =
+  let g = diamond () in
+  let paths = Paths.all_paths g ~src:0 ~dst:3 in
+  Alcotest.(check int) "two distinct first edges" 2
+    (List.length (Paths.first_edges paths));
+  Alcotest.(check int) "two distinct last edges" 2
+    (List.length (Paths.last_edges paths));
+  (* A fan: 0→1, 1→2, 1→3 shares its first edge across both paths. *)
+  let h = Digraph.create () in
+  ignore (Digraph.add_vertices h 4);
+  ignore (Digraph.add_edge h 0 1);
+  ignore (Digraph.add_edge h 1 2);
+  ignore (Digraph.add_edge h 1 3);
+  let p2 = Paths.all_paths h ~src:0 ~dst:2 in
+  let p3 = Paths.all_paths h ~src:0 ~dst:3 in
+  Alcotest.(check int) "shared first edge deduplicated" 1
+    (List.length (Paths.first_edges (p2 @ p3)));
+  Alcotest.(check int) "distinct last edges" 2
+    (List.length (Paths.last_edges (p2 @ p3)))
+
+(* Property: DP count equals enumeration count on random DAGs. *)
+let prop_count_matches_enumeration =
+  Test_helpers.qcheck "count_paths = |all_paths|"
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 3 14))
+    (fun (seed, n) ->
+      let g = Test_helpers.random_dag ~seed ~n ~density:0.35 in
+      let paths = Paths.all_paths ~max_paths:100_000 g ~src:0 ~dst:(n - 1) in
+      Paths.count_paths g ~src:0 ~dst:(n - 1) = float_of_int (List.length paths))
+
+(* Property: every enumerated path is simple, consecutive, and s→t. *)
+let prop_paths_well_formed =
+  Test_helpers.qcheck "enumerated paths are well-formed"
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 3 12))
+    (fun (seed, n) ->
+      let g = Test_helpers.random_dag ~seed ~n ~density:0.4 in
+      let paths = Paths.all_paths ~max_paths:100_000 g ~src:0 ~dst:(n - 1) in
+      List.for_all
+        (fun p ->
+          match p with
+          | [] -> false
+          | first :: _ ->
+              let rec consecutive = function
+                | a :: (b :: _ as rest) ->
+                    Digraph.edge_dst a = Digraph.edge_src b && consecutive rest
+                | [ last ] -> Digraph.edge_dst last = n - 1
+                | [] -> false
+              in
+              Digraph.edge_src first = 0 && consecutive p)
+        paths)
+
+let suite =
+  [
+    Alcotest.test_case "diamond has two paths" `Quick test_diamond_paths;
+    Alcotest.test_case "no path" `Quick test_no_path;
+    Alcotest.test_case "removed edges excluded" `Quick test_removal_respected;
+    Alcotest.test_case "max_paths cap" `Quick test_max_paths_cap;
+    Alcotest.test_case "cooperative deadline" `Quick test_deadline;
+    Alcotest.test_case "count_paths diamond" `Quick test_count_paths_diamond;
+    Alcotest.test_case "first/last edge extraction" `Quick test_first_last_edges;
+    prop_count_matches_enumeration;
+    prop_paths_well_formed;
+  ]

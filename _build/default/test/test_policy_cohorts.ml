@@ -1,0 +1,145 @@
+open Cdw_core
+
+(* Two sources feeding one combiner and two purposes; ideal for
+   combination rules. *)
+let build () =
+  let wf = Workflow.create () in
+  let location = Workflow.add_user ~name:"location" wf in
+  let history = Workflow.add_user ~name:"history" wf in
+  let combine = Workflow.add_algorithm ~name:"combine" wf in
+  let ads = Workflow.add_purpose ~name:"ads" wf in
+  let feed = Workflow.add_purpose ~name:"feed" wf in
+  let _ = Workflow.connect ~value:10.0 wf location combine in
+  let _ = Workflow.connect ~value:4.0 wf history combine in
+  let _ = Workflow.connect wf combine ads in
+  let _ = Workflow.connect wf combine feed in
+  (wf, location, history, ads, feed)
+
+let test_policy_validate () =
+  let wf, location, history, ads, _ = build () in
+  Alcotest.(check bool) "ok rules" true
+    (Policy.validate wf
+       [ Policy.No_combination { sources = [ location; history ]; target = ads } ]
+    = Ok ());
+  (match
+     Policy.validate wf
+       [ Policy.No_combination { sources = [ location ]; target = ads } ]
+   with
+  | Error msg ->
+      Alcotest.(check string) "needs two sources"
+        "no-combination rules need at least two distinct sources" msg
+  | Ok () -> Alcotest.fail "expected error");
+  match Policy.validate wf [ Policy.Disconnect { source = ads; target = ads } ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected kind error"
+
+let test_policy_compile_disjunction () =
+  let wf, location, history, ads, _ = build () in
+  let alts =
+    Policy.compile wf
+      [ Policy.No_combination { sources = [ location; history ]; target = ads } ]
+  in
+  Alcotest.(check int) "two alternatives" 2 (List.length alts);
+  List.iter
+    (fun cs -> Alcotest.(check int) "each has one pair" 1 (Constraint_set.size cs))
+    alts
+
+let test_policy_compile_product_and_cap () =
+  let wf, location, history, ads, feed = build () in
+  let rules =
+    [
+      Policy.No_combination { sources = [ location; history ]; target = ads };
+      Policy.No_combination { sources = [ location; history ]; target = feed };
+    ]
+  in
+  Alcotest.(check int) "2×2 alternatives" 4 (List.length (Policy.compile wf rules));
+  Alcotest.(check bool) "cap enforced" true
+    (match Policy.compile ~max_alternatives:3 wf rules with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_policy_solve_keeps_better_source () =
+  let wf, location, history, ads, _ = build () in
+  let rules =
+    [ Policy.No_combination { sources = [ location; history ]; target = ads } ]
+  in
+  Alcotest.(check bool) "initially violated" false (Policy.satisfied wf rules);
+  let o = Policy.solve ~algorithm:Algorithms.brute_force wf rules in
+  Alcotest.(check bool) "rules satisfied" true
+    (Policy.satisfied o.Algorithms.workflow rules);
+  (* Disconnecting the cheap source (history, value 4) and keeping the
+     valuable one is the better alternative: combine keeps 10 on both
+     purposes. *)
+  Alcotest.(check (float 1e-9)) "keeps the valuable source" 20.0
+    o.Algorithms.utility_after
+
+let test_policy_mixed_rules () =
+  let wf, location, history, ads, feed = build () in
+  let rules =
+    [
+      Policy.Disconnect { source = location; target = feed };
+      Policy.No_combination { sources = [ location; history ]; target = ads };
+    ]
+  in
+  let o = Policy.solve ~algorithm:Algorithms.brute_force wf rules in
+  Alcotest.(check bool) "both rules satisfied" true
+    (Policy.satisfied o.Algorithms.workflow rules)
+
+let test_cohorts_grouping () =
+  let wf, location, history, ads, feed = build () in
+  let calls = ref 0 in
+  let algorithm wf cs =
+    incr calls;
+    Algorithms.remove_min_mc wf cs
+  in
+  let requests =
+    [
+      { Cohorts.user_id = "alice"; pairs = [ (location, ads) ] };
+      { Cohorts.user_id = "bob"; pairs = [ (location, ads); (location, ads) ] };
+      { Cohorts.user_id = "carol"; pairs = [ (history, feed) ] };
+      { Cohorts.user_id = "dave"; pairs = [ (location, ads) ] };
+    ]
+  in
+  match Cohorts.solve_grouped ~algorithm wf requests with
+  | Error e -> Alcotest.fail e
+  | Ok groups ->
+      Alcotest.(check int) "two distinct types" 2 (Cohorts.solver_calls groups);
+      Alcotest.(check int) "solver ran once per type" 2 !calls;
+      (match groups with
+      | [ g1; g2 ] ->
+          Alcotest.(check (list string)) "first group members"
+            [ "alice"; "bob"; "dave" ] g1.Cohorts.members;
+          Alcotest.(check (list string)) "second group members" [ "carol" ]
+            g2.Cohorts.members;
+          List.iter
+            (fun g ->
+              Alcotest.(check bool) "group outcome consented" true
+                (Constraint_set.satisfied g.Cohorts.outcome.Algorithms.workflow
+                   g.Cohorts.constraints))
+            groups
+      | _ -> Alcotest.fail "expected two groups")
+
+let test_cohorts_bad_request () =
+  let wf, location, _, _, _ = build () in
+  match
+    Cohorts.solve_grouped wf
+      [ { Cohorts.user_id = "eve"; pairs = [ (location, location) ] } ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let suite =
+  [
+    Alcotest.test_case "policy validation" `Quick test_policy_validate;
+    Alcotest.test_case "no-combination compiles to a disjunction" `Quick
+      test_policy_compile_disjunction;
+    Alcotest.test_case "rule product and alternative cap" `Quick
+      test_policy_compile_product_and_cap;
+    Alcotest.test_case "solve keeps the more valuable source" `Quick
+      test_policy_solve_keeps_better_source;
+    Alcotest.test_case "mixed rule kinds" `Quick test_policy_mixed_rules;
+    Alcotest.test_case "cohort grouping solves once per type" `Quick
+      test_cohorts_grouping;
+    Alcotest.test_case "cohort with invalid pairs errors" `Quick
+      test_cohorts_bad_request;
+  ]

@@ -1,0 +1,141 @@
+(* Section 3 of the paper reduces MINMC to CDW by giving each edge
+   e = (v, v') the valuation π(e) = w(e) / |r(v')| and summing π over
+   every reachability subgraph, so that U(G) = Σ_e w(e) (Eq. 4). This
+   test rebuilds that construction on random layered DAGs and checks the
+   identity — it pins down the reachability-set semantics our weights
+   rely on (see DESIGN.md §2.1). *)
+
+module Digraph = Cdw_graph.Digraph
+module Reach = Cdw_graph.Reach
+module Bitset = Cdw_util.Bitset
+
+let check_identity seed =
+  let instance = Test_helpers.random_instance ~seed in
+  let wf = instance.Cdw_workload.Generator.workflow in
+  let g = Cdw_core.Workflow.graph wf in
+  let purposes = Array.of_list (Cdw_core.Workflow.purposes wf) in
+  let sets = Reach.target_bitsets g ~targets:purposes in
+  (* Integer weights per edge. *)
+  let w e = float_of_int (1 + (Hashtbl.hash (seed, Digraph.edge_id e) mod 50)) in
+  let pi e =
+    let head = Digraph.edge_dst e in
+    w e /. float_of_int (Bitset.cardinal sets.(head))
+  in
+  (* U(G) = Σ_p Σ_{e ∈ E_p} π(e) with unit purpose weights. *)
+  let total =
+    Array.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc e -> acc +. pi e)
+          acc
+          (Reach.reachability_subgraph_edges g p))
+      0.0 purposes
+  in
+  let direct = Digraph.fold_edges (fun acc e -> acc +. w e) 0.0 g in
+  Float.abs (total -. direct) < 1e-6 *. Float.max 1.0 direct
+
+let prop_eq4 =
+  Test_helpers.qcheck ~count:60 "Eq. 4: U(G) = Σ w(e) under the §3 construction"
+    QCheck2.Gen.(int_range 0 100000)
+    check_identity
+
+(* Lemma 3.1, run as code — and a reproduction finding. The paper
+   claims U(G \ S) = Σw − w(S) for the constructed instance, but
+   removing a multicut S also shrinks the reachability subgraphs of
+   *kept* edges: an edge whose head loses a purpose stops contributing
+   to that purpose, so in general U(G \ S) ≤ Σw − w(S). What does hold,
+   and what we verify exhaustively here, is the optimum-side inequality
+
+     max_{S multicut} U(G \ S) ≤ Σw − MINMC,
+
+   with equality exactly when some minimum multicut loses no collateral
+   reachability. [test_lemma_gap] pins the deterministic counterexample
+   to the equality; DESIGN.md §2 records the gap. *)
+let check_lemma_3_1 seed =
+  let rng = Cdw_util.Splitmix.create seed in
+  let params =
+    {
+      Cdw_workload.Gen_params.default with
+      Cdw_workload.Gen_params.n_vertices = 12 + Cdw_util.Splitmix.int rng 10;
+      n_constraints = 2;
+      stages = 3 + Cdw_util.Splitmix.int rng 2;
+    }
+  in
+  let instance = Cdw_workload.Generator.generate ~seed params in
+  let wf = instance.Cdw_workload.Generator.workflow in
+  let g = Cdw_core.Workflow.graph wf in
+  let pairs =
+    Cdw_core.Constraint_set.pairs instance.Cdw_workload.Generator.constraints
+  in
+  let w e = float_of_int (1 + (Hashtbl.hash (seed, Digraph.edge_id e) mod 9)) in
+  let utility = Cdw_core.Models.reduction ~edge_weight:w in
+  let total = Digraph.fold_edges (fun acc e -> acc +. w e) 0.0 g in
+  (* First evaluation must see the intact graph (it fixes π) — and it
+     re-checks Eq. 4 on the way. *)
+  if Float.abs (utility wf -. total) > 1e-6 then
+    QCheck2.Test.fail_report "Eq. 4 identity broken";
+  (* Exhaustive CDW over candidate multicuts (one chosen edge per path;
+     every minimal multicut is such a union). *)
+  let paths =
+    List.concat_map
+      (fun (s, t) -> Cdw_graph.Paths.all_paths ~max_paths:200 g ~src:s ~dst:t)
+      pairs
+  in
+  let best = ref neg_infinity in
+  let rec search i chosen =
+    if i >= List.length paths then begin
+      List.iter (fun e -> Digraph.remove_edge g e) chosen;
+      let u = utility wf in
+      List.iter (fun e -> Digraph.restore_edge g e) chosen;
+      if u > !best then best := u
+    end
+    else
+      let path = List.nth paths i in
+      if List.exists (fun e -> List.memq e chosen) path then search (i + 1) chosen
+      else List.iter (fun e -> search (i + 1) (e :: chosen)) path
+  in
+  search 0 [];
+  let minmc = Cdw_cut.Multicut.solve g ~weight:w ~pairs in
+  !best <= total -. minmc.Cdw_cut.Multicut.weight +. 1e-6
+
+let prop_lemma_3_1 =
+  Test_helpers.qcheck ~count:25 "Lemma 3.1 (corrected): CDW optimum ≤ Σw - MINMC"
+    QCheck2.Gen.(int_range 400000 500000)
+    check_lemma_3_1
+
+(* The counterexample to the paper's equality: u → a → {p1, p2},
+   w(u→a) = 10, w(a→p1) = w(a→p2) = 1, constraint (u, p1). The minimum
+   multicut removes a→p1 (weight 1), so the claimed optimal utility is
+   Σw − 1 = 11; but with a→p1 gone the kept edge u→a contributes only
+   to p2, i.e. π(u→a) = 10/2 once instead of twice: the true utility is
+   5 + 1 = 6. *)
+let test_lemma_gap () =
+  let wf = Cdw_core.Workflow.create () in
+  let u = Cdw_core.Workflow.add_user ~name:"u" wf in
+  let a = Cdw_core.Workflow.add_algorithm ~name:"a" wf in
+  let p1 = Cdw_core.Workflow.add_purpose ~name:"p1" wf in
+  let p2 = Cdw_core.Workflow.add_purpose ~name:"p2" wf in
+  let e_ua = Cdw_core.Workflow.connect wf u a in
+  let e_ap1 = Cdw_core.Workflow.connect wf a p1 in
+  let _e_ap2 = Cdw_core.Workflow.connect wf a p2 in
+  let w e =
+    if Digraph.edge_id e = Digraph.edge_id e_ua then 10.0 else 1.0
+  in
+  let utility = Cdw_core.Models.reduction ~edge_weight:w in
+  Alcotest.(check (float 1e-9)) "Eq. 4 on the intact graph" 12.0 (utility wf);
+  let g = Cdw_core.Workflow.graph wf in
+  Digraph.remove_edge g e_ap1;
+  Alcotest.(check (float 1e-9))
+    "utility after the min multicut is 6, not the claimed 11" 6.0 (utility wf);
+  Digraph.restore_edge g e_ap1;
+  (* The inequality direction we rely on still holds. *)
+  let minmc = Cdw_cut.Multicut.solve g ~weight:w ~pairs:[ (u, p1) ] in
+  Alcotest.(check (float 1e-9)) "MINMC weight" 1.0 minmc.Cdw_cut.Multicut.weight;
+  Alcotest.(check bool) "6 ≤ Σw − MINMC = 11" true (6.0 <= 12.0 -. 1.0)
+
+let suite =
+  [
+    prop_eq4;
+    prop_lemma_3_1;
+    Alcotest.test_case "Lemma 3.1 equality counterexample" `Quick test_lemma_gap;
+  ]

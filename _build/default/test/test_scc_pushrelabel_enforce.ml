@@ -1,0 +1,178 @@
+module Digraph = Cdw_graph.Digraph
+module Scc = Cdw_graph.Scc
+module Flow_net = Cdw_flow.Flow_net
+module Push_relabel = Cdw_flow.Push_relabel
+module Maxflow = Cdw_flow.Maxflow
+open Cdw_core
+
+(* ------------------------------- SCC ------------------------------- *)
+
+let test_scc_dag_all_singletons () =
+  let g = Test_helpers.random_dag ~seed:7 ~n:12 ~density:0.3 in
+  let comps = Scc.tarjan g in
+  Alcotest.(check int) "n components" 12 (List.length comps);
+  List.iter (fun c -> Alcotest.(check int) "singleton" 1 (List.length c)) comps;
+  Alcotest.(check (list (list int))) "no cycles" [] (Scc.cyclic_components g)
+
+let test_scc_detects_cycles () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 6);
+  (* Cycle 0→1→2→0, cycle 3→4→3, vertex 5 isolated. *)
+  ignore (Digraph.add_edge g 0 1);
+  ignore (Digraph.add_edge g 1 2);
+  ignore (Digraph.add_edge g 2 0);
+  ignore (Digraph.add_edge g 3 4);
+  ignore (Digraph.add_edge g 4 3);
+  ignore (Digraph.add_edge g 2 3);
+  let cycles = List.sort compare (Scc.cyclic_components g) in
+  Alcotest.(check (list (list int))) "two cycles" [ [ 0; 1; 2 ]; [ 3; 4 ] ] cycles
+
+let test_scc_respects_removal () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 2);
+  ignore (Digraph.add_edge g 0 1);
+  let back = Digraph.add_edge g 1 0 in
+  Alcotest.(check int) "one cycle" 1 (List.length (Scc.cyclic_components g));
+  Digraph.remove_edge g back;
+  Alcotest.(check int) "cycle gone" 0 (List.length (Scc.cyclic_components g))
+
+let test_validate_names_cycle () =
+  let wf = Workflow.create () in
+  let u = Workflow.add_user ~name:"u" wf in
+  let a = Workflow.add_algorithm ~name:"alpha" wf in
+  let b = Workflow.add_algorithm ~name:"beta" wf in
+  let p = Workflow.add_purpose ~name:"p" wf in
+  ignore (Workflow.connect wf u a);
+  ignore (Workflow.connect wf a b);
+  ignore (Workflow.connect wf b p);
+  (* Force a cycle through the raw graph (the builder would refuse). *)
+  ignore (Digraph.add_edge (Workflow.graph wf) b a);
+  match Workflow.validate wf with
+  | Error errs ->
+      Alcotest.(check bool) "cycle names both vertices" true
+        (List.exists (fun e -> e = "cycle through {alpha, beta}") errs)
+  | Ok () -> Alcotest.fail "expected cycle error"
+
+(* --------------------------- push-relabel -------------------------- *)
+
+let clrs () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 6);
+  let caps = Hashtbl.create 16 in
+  let edge u v c =
+    let e = Digraph.add_edge g u v in
+    Hashtbl.add caps (Digraph.edge_id e) c
+  in
+  edge 0 1 16.0;
+  edge 0 2 13.0;
+  edge 1 3 12.0;
+  edge 2 1 4.0;
+  edge 2 4 14.0;
+  edge 3 2 9.0;
+  edge 3 5 20.0;
+  edge 4 3 7.0;
+  edge 4 5 4.0;
+  (g, fun e -> Hashtbl.find caps (Digraph.edge_id e))
+
+let test_push_relabel_clrs () =
+  let g, cap = clrs () in
+  let net = Flow_net.of_digraph g ~capacity:cap in
+  Alcotest.(check (float 1e-6)) "max flow 23" 23.0
+    (Push_relabel.max_flow net ~src:0 ~dst:5)
+
+let test_push_relabel_disconnected () =
+  let g = Digraph.create () in
+  ignore (Digraph.add_vertices g 3);
+  ignore (Digraph.add_edge g 0 1);
+  let net = Flow_net.of_digraph g ~capacity:(fun _ -> 3.0) in
+  Alcotest.(check (float 1e-9)) "zero flow" 0.0
+    (Push_relabel.max_flow net ~src:0 ~dst:2)
+
+let prop_push_relabel_equals_dinic =
+  Test_helpers.qcheck ~count:80 "push-relabel = dinic on random DAGs"
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 3 22))
+    (fun (seed, n) ->
+      let g = Test_helpers.random_dag ~seed ~n ~density:0.35 in
+      let cap e = float_of_int (1 + (Hashtbl.hash (seed, Digraph.edge_id e) mod 20)) in
+      let f1 = Maxflow.dinic (Flow_net.of_digraph g ~capacity:cap) ~src:0 ~dst:(n - 1) in
+      let f2 =
+        Push_relabel.max_flow (Flow_net.of_digraph g ~capacity:cap) ~src:0
+          ~dst:(n - 1)
+      in
+      Float.abs (f1 -. f2) < 1e-6)
+
+(* ----------------------------- enforce ----------------------------- *)
+
+let consented_pair () =
+  let wf = Cdw_workload.Catalog.social_media () in
+  let cs = Cdw_workload.Catalog.social_media_constraints wf in
+  let outcome = Algorithms.remove_min_mc wf cs in
+  (wf, outcome.Algorithms.workflow, cs)
+
+let test_enforce_requires_consented () =
+  let wf, solved, cs = consented_pair () in
+  (match Enforce.create wf cs with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the violated pair" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unconsented workflow must be rejected");
+  match Enforce.create solved cs with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_enforce_decisions () =
+  let _, solved, cs = consented_pair () in
+  let guard = Result.get_ok (Enforce.create solved cs) in
+  (* The optimal repair cut geolocation → purchase_prediction. *)
+  let allowed =
+    Result.get_ok
+      (Enforce.check_by_name guard ~src:"geolocation" ~dst:"disaster_detection")
+  in
+  Alcotest.(check bool) "unrelated edge absent => denied" false allowed;
+  let live =
+    Result.get_ok
+      (Enforce.check_by_name guard ~src:"gps_location" ~dst:"geolocation")
+  in
+  Alcotest.(check bool) "live edge allowed" true live;
+  let cut =
+    Result.get_ok
+      (Enforce.check_by_name guard ~src:"geolocation" ~dst:"purchase_prediction")
+  in
+  Alcotest.(check bool) "cut edge denied" false cut;
+  Alcotest.(check int) "three decisions logged" 3
+    (List.length (Enforce.decisions guard));
+  Alcotest.(check int) "two denials" 2 (List.length (Enforce.denials guard));
+  let seqs = List.map (fun d -> d.Enforce.seq) (Enforce.decisions guard) in
+  Alcotest.(check (list int)) "sequence numbers in order" [ 0; 1; 2 ] seqs;
+  match Enforce.check_by_name guard ~src:"ghost" ~dst:"geolocation" with
+  | Error _ ->
+      Alcotest.(check int) "unknown names not logged" 3
+        (List.length (Enforce.decisions guard))
+  | Ok _ -> Alcotest.fail "unknown vertex must error"
+
+let test_enforce_out_of_range () =
+  let _, solved, cs = consented_pair () in
+  let guard = Result.get_ok (Enforce.create solved cs) in
+  Alcotest.(check bool) "out-of-range denied" false
+    (Enforce.check guard ~src:(-1) ~dst:0);
+  Alcotest.(check bool) "huge id denied" false
+    (Enforce.check guard ~src:0 ~dst:10_000)
+
+let suite =
+  [
+    Alcotest.test_case "scc: DAG has singleton components" `Quick
+      test_scc_dag_all_singletons;
+    Alcotest.test_case "scc: finds both cycles" `Quick test_scc_detects_cycles;
+    Alcotest.test_case "scc: ignores removed edges" `Quick test_scc_respects_removal;
+    Alcotest.test_case "validate names cycle members" `Quick test_validate_names_cycle;
+    Alcotest.test_case "push-relabel on CLRS network" `Quick test_push_relabel_clrs;
+    Alcotest.test_case "push-relabel: disconnected" `Quick
+      test_push_relabel_disconnected;
+    prop_push_relabel_equals_dinic;
+    Alcotest.test_case "enforce: requires consented workflow" `Quick
+      test_enforce_requires_consented;
+    Alcotest.test_case "enforce: decisions and denials" `Quick
+      test_enforce_decisions;
+    Alcotest.test_case "enforce: out-of-range vertices" `Quick
+      test_enforce_out_of_range;
+  ]

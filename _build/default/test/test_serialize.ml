@@ -1,0 +1,131 @@
+open Cdw_core
+
+let sample_text =
+  "# a small workflow\n\
+   user address\n\
+   user history\n\
+   algorithm profiling\n\
+   purpose recommendations\n\
+   purpose advertising weight 0.5\n\
+   edge address profiling value 5\n\
+   edge history profiling value 8\n\
+   edge profiling recommendations\n\
+   edge profiling advertising\n\
+   constraint address advertising\n"
+
+let parse_exn = Serialize.parse_exn
+
+let test_parse_sample () =
+  let wf, cs = parse_exn sample_text in
+  Alcotest.(check int) "vertices" 5 (Workflow.n_vertices wf);
+  Alcotest.(check int) "edges" 4 (Workflow.n_edges wf);
+  Alcotest.(check int) "constraints" 1 (Constraint_set.size cs);
+  let ads =
+    match Workflow.vertex_of_name wf "advertising" with
+    | Some v -> v
+    | None -> Alcotest.fail "missing vertex"
+  in
+  Alcotest.(check (float 0.0)) "weight parsed" 0.5 (Workflow.purpose_weight wf ads);
+  let addr = Option.get (Workflow.vertex_of_name wf "address") in
+  let prof = Option.get (Workflow.vertex_of_name wf "profiling") in
+  match Cdw_graph.Digraph.find_edge (Workflow.graph wf) addr prof with
+  | Some e -> Alcotest.(check (float 0.0)) "value parsed" 5.0 (Workflow.initial_value wf e)
+  | None -> Alcotest.fail "edge missing"
+
+let test_roundtrip () =
+  let wf, cs = parse_exn sample_text in
+  let text = Serialize.to_string ~constraints:cs wf in
+  let wf', cs' = parse_exn text in
+  Alcotest.(check int) "vertices" (Workflow.n_vertices wf) (Workflow.n_vertices wf');
+  Alcotest.(check int) "edges" (Workflow.n_edges wf) (Workflow.n_edges wf');
+  Alcotest.(check int) "constraints" (Constraint_set.size cs) (Constraint_set.size cs');
+  Alcotest.(check (float 1e-9)) "same utility" (Utility.total wf) (Utility.total wf');
+  (* And a second serialisation is a fixpoint. *)
+  Alcotest.(check string) "fixpoint" text (Serialize.to_string ~constraints:cs' wf')
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let expect_error text fragment =
+  match Serialize.parse text with
+  | Error msg ->
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_errors () =
+  expect_error "frobnicate x\n" "line 1";
+  expect_error "user a\nedge a b\n" "line 2";
+  expect_error "user a\nedge a b\n" "unknown";
+  expect_error "purpose p weight abc\n" "bad number";
+  expect_error "user a\nuser a\n" "duplicate name";
+  (* Constraint-kind errors surface from the final validation pass and
+     carry vertex names rather than line numbers. *)
+  expect_error "user u\npurpose p\nconstraint p u\n" "not a user vertex";
+  expect_error "user u\nalgorithm a\npurpose p\nedge u a\nedge a p\nconstraint a p\n"
+    "not a user"
+
+let test_comments_and_blanks () =
+  let wf, _ =
+    parse_exn "\n# full comment line\nuser a   # trailing comment\n\n"
+  in
+  Alcotest.(check int) "one vertex" 1 (Workflow.n_vertices wf)
+
+let test_removed_edges_omitted () =
+  let wf, _ = parse_exn sample_text in
+  let g = Workflow.graph wf in
+  let addr = Option.get (Workflow.vertex_of_name wf "address") in
+  let prof = Option.get (Workflow.vertex_of_name wf "profiling") in
+  (match Cdw_graph.Digraph.find_edge g addr prof with
+  | Some e -> Cdw_graph.Digraph.remove_edge g e
+  | None -> Alcotest.fail "edge missing");
+  let wf', _ = parse_exn (Serialize.to_string wf) in
+  Alcotest.(check int) "removed edge not serialised" 3 (Workflow.n_edges wf')
+
+let test_save_load () =
+  let wf, cs = parse_exn sample_text in
+  let path = Filename.temp_file "cdw_test" ".wf" in
+  Serialize.save ~constraints:cs path wf;
+  (match Serialize.load path with
+  | Ok (wf', cs') ->
+      Alcotest.(check int) "vertices" 5 (Workflow.n_vertices wf');
+      Alcotest.(check int) "constraints" 1 (Constraint_set.size cs')
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_dot_output () =
+  let wf, cs = parse_exn sample_text in
+  let dot = Serialize.to_dot ~constraints:cs wf in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "names present" true (contains dot "profiling");
+  Alcotest.(check bool) "purpose shape" true (contains dot "doubleoctagon");
+  Alcotest.(check bool) "constraint edge rendered" true (contains dot "dotted")
+
+(* Property: generated instances survive a serialisation roundtrip with
+   identical utility and constraint count. *)
+let prop_roundtrip_generated =
+  Test_helpers.qcheck ~count:40 "generated workflows roundtrip"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let cs = instance.Cdw_workload.Generator.constraints in
+      let wf', cs' = parse_exn (Serialize.to_string ~constraints:cs wf) in
+      Workflow.n_vertices wf = Workflow.n_vertices wf'
+      && Workflow.n_edges wf = Workflow.n_edges wf'
+      && Constraint_set.size cs = Constraint_set.size cs'
+      && Float.abs (Utility.total wf -. Utility.total wf') < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip + fixpoint" `Quick test_roundtrip;
+    Alcotest.test_case "parse errors carry line numbers" `Quick test_errors;
+    Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+    Alcotest.test_case "removed edges omitted" `Quick test_removed_edges_omitted;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "DOT output" `Quick test_dot_output;
+    prop_roundtrip_generated;
+  ]

@@ -1,0 +1,65 @@
+module Stats = Cdw_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_summarize_known () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check_float "mean" 5.0 s.Stats.mean;
+  (* Sample std of this classic dataset is sqrt(32/7). *)
+  check_float "std" (sqrt (32.0 /. 7.0)) s.Stats.std;
+  check_float "se" (sqrt (32.0 /. 7.0) /. sqrt 8.0) s.Stats.se;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 9.0 s.Stats.max;
+  Alcotest.(check int) "n" 8 s.Stats.n
+
+let test_singleton () =
+  let s = Stats.summarize [ 3.5 ] in
+  check_float "mean" 3.5 s.Stats.mean;
+  check_float "std of singleton" 0.0 s.Stats.std
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_run_until_stops_at_max () =
+  let calls = ref 0 in
+  (* Alternating values never converge; max_runs must stop the loop. *)
+  let s =
+    Stats.run_until ~min_runs:2 ~max_runs:7 ~rel_se:0.0001 (fun _ ->
+        incr calls;
+        if !calls mod 2 = 0 then 100.0 else 1.0)
+  in
+  Alcotest.(check int) "stopped at max_runs" 7 s.Stats.n;
+  Alcotest.(check int) "calls" 7 !calls
+
+let test_run_until_converges_early () =
+  let s =
+    Stats.run_until ~min_runs:5 ~max_runs:100 ~rel_se:0.5 (fun _ -> 10.0)
+  in
+  Alcotest.(check int) "constant samples converge at min_runs" 5 s.Stats.n
+
+let test_run_until_respects_min () =
+  let calls = ref 0 in
+  ignore
+    (Stats.run_until ~min_runs:30 ~max_runs:100 ~rel_se:1.0 (fun _ ->
+         incr calls;
+         1.0));
+  Alcotest.(check int) "at least min_runs" 30 !calls
+
+let prop_mean_bounds =
+  Test_helpers.qcheck "min ≤ mean ≤ max"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "summarize known dataset" `Quick test_summarize_known;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "run_until stops at max_runs" `Quick test_run_until_stops_at_max;
+    Alcotest.test_case "run_until converges early" `Quick test_run_until_converges_early;
+    Alcotest.test_case "run_until respects min_runs" `Quick test_run_until_respects_min;
+    prop_mean_bounds;
+  ]

@@ -1,0 +1,124 @@
+open Cdw_core
+module Digraph = Cdw_graph.Digraph
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* u1 →(2) a, u2 →(3) a, a → p1, a → p2 (w=2), u2 →(3) p2. *)
+let sample () =
+  let wf = Workflow.create () in
+  let u1 = Workflow.add_user ~name:"u1" wf in
+  let u2 = Workflow.add_user ~name:"u2" wf in
+  let a = Workflow.add_algorithm ~name:"a" wf in
+  let p1 = Workflow.add_purpose ~name:"p1" wf in
+  let p2 = Workflow.add_purpose ~name:"p2" ~weight:2.0 wf in
+  ignore (Workflow.connect ~value:2.0 wf u1 a);
+  ignore (Workflow.connect ~value:3.0 wf u2 a);
+  ignore (Workflow.connect wf a p1);
+  ignore (Workflow.connect wf a p2);
+  ignore (Workflow.connect ~value:3.0 wf u2 p2);
+  (wf, u1, u2, a, p1, p2)
+
+let test_per_purpose_and_total () =
+  let wf, _, _, _, p1, p2 = sample () in
+  let per = Utility.per_purpose wf in
+  Alcotest.(check int) "two purposes" 2 (List.length per);
+  check_float "u_p1 = 5" 5.0 (List.assoc p1 per);
+  check_float "u_p2 = 5 + 3" 8.0 (List.assoc p2 per);
+  (* U = 1·5 + 2·8 = 21 *)
+  check_float "weighted total" 21.0 (Utility.total wf)
+
+let test_percent () =
+  check_float "percent" 25.0 (Utility.percent ~original:80.0 20.0);
+  check_float "zero original" 100.0 (Utility.percent ~original:0.0 0.0)
+
+let test_purpose_mass () =
+  let wf, u1, u2, a, p1, p2 = sample () in
+  let mass = Utility.purpose_mass wf in
+  check_float "mass u1 = 1 + 2" 3.0 mass.(u1);
+  check_float "mass u2 = 1 + 2" 3.0 mass.(u2);
+  check_float "mass a" 3.0 mass.(a);
+  check_float "mass p1 (itself)" 1.0 mass.(p1);
+  check_float "mass p2 (itself, weighted)" 2.0 mass.(p2)
+
+let test_path_mass () =
+  let wf, u1, u2, a, _, _ = sample () in
+  let pm = Utility.path_mass wf in
+  (* From a: one path to p1 (w 1) + one to p2 (w 2) = 3.
+     From u2: via a (3) + direct to p2 (2) = 5. *)
+  check_float "pm a" 3.0 pm.(a);
+  check_float "pm u1" 3.0 pm.(u1);
+  check_float "pm u2" 5.0 pm.(u2)
+
+let test_cut_weights_schemes () =
+  let wf, u1, _, a, _, p2 = sample () in
+  let g = Workflow.graph wf in
+  let edge u v =
+    match Digraph.find_edge g u v with
+    | Some e -> Digraph.edge_id e
+    | None -> Alcotest.fail "edge missing"
+  in
+  let reach = Utility.cut_weights ~scheme:Utility.Reachability_mass wf in
+  let paths = Utility.cut_weights ~scheme:Utility.Path_count_mass wf in
+  (* Edge u1→a: π=2; head mass 3 under both schemes here. *)
+  check_float "reach w(u1,a)" 6.0 reach.(edge u1 a);
+  check_float "path w(u1,a)" 6.0 paths.(edge u1 a);
+  (* Edge a→p2: π = 5, head = p2: reach mass 2, path mass 2. *)
+  check_float "w(a,p2)" 10.0 reach.(edge a p2);
+  check_float "w(a,p2) path scheme" 10.0 paths.(edge a p2)
+
+(* On a graph with parallel routes the schemes must differ. *)
+let test_schemes_differ_on_fanout () =
+  let wf = Workflow.create () in
+  let u = Workflow.add_user ~name:"u" wf in
+  let a = Workflow.add_algorithm ~name:"a" wf in
+  let b1 = Workflow.add_algorithm ~name:"b1" wf in
+  let b2 = Workflow.add_algorithm ~name:"b2" wf in
+  let p = Workflow.add_purpose ~name:"p" wf in
+  let e = Workflow.connect ~value:1.0 wf u a in
+  ignore (Workflow.connect wf a b1);
+  ignore (Workflow.connect wf a b2);
+  ignore (Workflow.connect wf b1 p);
+  ignore (Workflow.connect wf b2 p);
+  let reach = Utility.cut_weights ~scheme:Utility.Reachability_mass wf in
+  let paths = Utility.cut_weights ~scheme:Utility.Path_count_mass wf in
+  let id = Digraph.edge_id e in
+  check_float "reachability counts p once" 1.0 reach.(id);
+  check_float "path scheme counts both routes" 2.0 paths.(id);
+  (* The path-count weight is the exact loss of removing e alone. *)
+  let before = Utility.total wf in
+  let removed = Valuation.remove_with_cascade wf [ e ] in
+  let after = Utility.total wf in
+  Valuation.restore wf removed;
+  check_float "exact marginal loss" (before -. after) paths.(id)
+
+(* Property: on generated instances, the path-count cut weight of any
+   single edge equals the true utility drop of removing it. *)
+let prop_path_weight_is_marginal_loss =
+  Test_helpers.qcheck ~count:50 "path-count weight = exact single-edge loss"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let g = Workflow.graph wf in
+      let w = Utility.cut_weights ~scheme:Utility.Path_count_mass wf in
+      let before = Utility.total wf in
+      let rng = Cdw_util.Splitmix.create seed in
+      let ids = Test_helpers.live_edge_ids g in
+      let id = List.nth ids (Cdw_util.Splitmix.int rng (List.length ids)) in
+      let removed = Valuation.remove_with_cascade wf [ Digraph.edge g id ] in
+      let after = Utility.total wf in
+      Valuation.restore wf removed;
+      Float.abs (before -. after -. w.(id)) < 1e-6 *. Float.max 1.0 before)
+
+let suite =
+  [
+    Alcotest.test_case "per-purpose and weighted total" `Quick
+      test_per_purpose_and_total;
+    Alcotest.test_case "percent" `Quick test_percent;
+    Alcotest.test_case "purpose mass" `Quick test_purpose_mass;
+    Alcotest.test_case "path mass" `Quick test_path_mass;
+    Alcotest.test_case "cut weights (both schemes)" `Quick test_cut_weights_schemes;
+    Alcotest.test_case "schemes differ on fan-out" `Quick
+      test_schemes_differ_on_fanout;
+    prop_path_weight_is_marginal_loss;
+  ]

@@ -1,0 +1,214 @@
+open Cdw_core
+module Digraph = Cdw_graph.Digraph
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* The Fig. 3 idea: initialise every user edge to 1; downstream
+   valuations count how often inputs have been used. *)
+let fig3_like () =
+  let wf = Workflow.create () in
+  let u1 = Workflow.add_user ~name:"u1" wf in
+  let u2 = Workflow.add_user ~name:"u2" wf in
+  let a1 = Workflow.add_algorithm ~name:"a1" wf in
+  let a2 = Workflow.add_algorithm ~name:"a2" wf in
+  let p = Workflow.add_purpose ~name:"p" wf in
+  let e_u1a1 = Workflow.connect wf u1 a1 in
+  let e_u2a1 = Workflow.connect wf u2 a1 in
+  let e_u2a2 = Workflow.connect wf u2 a2 in
+  let e_a1a2 = Workflow.connect wf a1 a2 in
+  let e_a1p = Workflow.connect wf a1 p in
+  let e_a2p = Workflow.connect wf a2 p in
+  (wf, [ e_u1a1; e_u2a1; e_u2a2; e_a1a2; e_a1p; e_a2p ])
+
+let test_linear_sums () =
+  let wf, edges = fig3_like () in
+  let pi = Valuation.compute wf in
+  let v e = pi.(Digraph.edge_id e) in
+  match edges with
+  | [ u1a1; u2a1; u2a2; a1a2; a1p; a2p ] ->
+      check_float "user edges carry initial value" 1.0 (v u1a1);
+      check_float "user edge 2" 1.0 (v u2a1);
+      check_float "a1 outputs sum of inputs" 2.0 (v a1a2);
+      check_float "a1 replicates on both outputs" 2.0 (v a1p);
+      check_float "a2 = u2 + a1 = 3" 3.0 (v a2p);
+      check_float "independent user edge" 1.0 (v u2a2)
+  | _ -> Alcotest.fail "edge list shape"
+
+let test_removed_edges_zero () =
+  let wf, edges = fig3_like () in
+  let u2a1 = List.nth edges 1 in
+  Digraph.remove_edge (Workflow.graph wf) u2a1;
+  let pi = Valuation.compute wf in
+  check_float "removed edge has zero" 0.0 pi.(Digraph.edge_id u2a1);
+  check_float "downstream shrinks" 1.0 pi.(Digraph.edge_id (List.nth edges 3))
+
+let test_subadditive_cap () =
+  let wf, edges = fig3_like () in
+  let pi = Valuation.compute ~model:(Valuation.Subadditive 1.5) wf in
+  (* a1's inputs sum to 2 but the cap clamps its outputs to 1.5; a2 sums
+     1 + 1.5 = 2.5, clamped to 1.5. *)
+  check_float "a1 clamped" 1.5 pi.(Digraph.edge_id (List.nth edges 3));
+  check_float "a2 clamped" 1.5 pi.(Digraph.edge_id (List.nth edges 5))
+
+let test_cascade_removal () =
+  let wf, edges = fig3_like () in
+  let u1a1 = List.nth edges 0 and u2a1 = List.nth edges 1 in
+  (* Starving a1 of both inputs must remove its outputs (a1→a2, a1→p);
+     a2 keeps its u2 input so its output stays. *)
+  let removed = Valuation.remove_with_cascade wf [ u1a1; u2a1 ] in
+  Alcotest.(check int) "4 edges gone" 4 (List.length removed);
+  Alcotest.(check int) "2 live edges left" 2 (Workflow.n_edges wf);
+  let pi = Valuation.compute wf in
+  check_float "a2 output now 1" 1.0 pi.(Digraph.edge_id (List.nth edges 5))
+
+let test_cascade_is_transitive () =
+  (* u → a → b → p: cutting u→a starves a, then b. *)
+  let wf = Workflow.create () in
+  let u = Workflow.add_user ~name:"u" wf in
+  let a = Workflow.add_algorithm ~name:"a" wf in
+  let b = Workflow.add_algorithm ~name:"b" wf in
+  let p = Workflow.add_purpose ~name:"p" wf in
+  let e = Workflow.connect wf u a in
+  ignore (Workflow.connect wf a b);
+  ignore (Workflow.connect wf b p);
+  let removed = Valuation.remove_with_cascade wf [ e ] in
+  Alcotest.(check int) "everything collapses" 3 (List.length removed);
+  Alcotest.(check int) "no live edges" 0 (Workflow.n_edges wf)
+
+let test_restore_roundtrip () =
+  let wf, edges = fig3_like () in
+  let before = Test_helpers.live_edge_ids (Workflow.graph wf) in
+  let removed = Valuation.remove_with_cascade wf [ List.hd edges; List.nth edges 3 ] in
+  Valuation.restore wf removed;
+  Alcotest.(check (list int)) "exact live set restored" before
+    (Test_helpers.live_edge_ids (Workflow.graph wf))
+
+let test_skip_already_removed () =
+  let wf, edges = fig3_like () in
+  let e = List.hd edges in
+  Digraph.remove_edge (Workflow.graph wf) e;
+  let removed = Valuation.remove_with_cascade wf [ e ] in
+  Alcotest.(check int) "already-removed edges skipped" 0 (List.length removed)
+
+(* Property on generated instances: remove_with_cascade leaves no
+   starved algorithm with live outputs, and restore undoes exactly. *)
+let prop_cascade_invariant =
+  Test_helpers.qcheck ~count:60 "cascade leaves no starved algorithms; restore undoes"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let g = Workflow.graph wf in
+      let before = Test_helpers.live_edge_ids g in
+      let all_edges =
+        List.filter_map
+          (fun id ->
+            let e = Digraph.edge g id in
+            if Digraph.edge_removed e then None else Some e)
+          (List.init (Digraph.n_edges_total g) Fun.id)
+      in
+      let rng = Cdw_util.Splitmix.create seed in
+      let victims =
+        List.filter (fun _ -> Cdw_util.Splitmix.int rng 4 = 0) all_edges
+      in
+      let removed = Valuation.remove_with_cascade wf victims in
+      let no_starved =
+        List.for_all
+          (fun v ->
+            Digraph.in_degree g v > 0 || Digraph.out_degree g v = 0)
+          (Workflow.algorithms wf)
+      in
+      Valuation.restore wf removed;
+      no_starved && Test_helpers.live_edge_ids g = before)
+
+(* Tracker semantics: equivalent to full recomputation at every point
+   of an arbitrary remove/undo tree. *)
+let prop_tracker_matches_recompute =
+  Test_helpers.qcheck ~count:60 "valuation tracker = full recompute"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = Workflow.copy instance.Cdw_workload.Generator.workflow in
+      let g = Workflow.graph wf in
+      let tracker = Valuation_tracker.create wf in
+      let rng = Cdw_util.Splitmix.create seed in
+      let ok = ref true in
+      let check () =
+        if Float.abs (Valuation_tracker.utility tracker -. Utility.total wf)
+           > 1e-6 *. Float.max 1.0 (Utility.total wf)
+        then ok := false
+      in
+      let live () =
+        Digraph.fold_edges (fun acc e -> e :: acc) [] g
+      in
+      let rec session depth =
+        check ();
+        if depth < 4 && live () <> [] then begin
+          let edges = Array.of_list (live ()) in
+          let victim = Cdw_util.Splitmix.pick rng edges in
+          let token = Valuation_tracker.remove tracker [ victim ] in
+          session (depth + 1);
+          Valuation_tracker.undo tracker token;
+          check ();
+          (* Sometimes branch again after the undo. *)
+          if Cdw_util.Splitmix.bool rng && depth < 2 then begin
+            let edges = Array.of_list (live ()) in
+            if Array.length edges > 0 then begin
+              let victim = Cdw_util.Splitmix.pick rng edges in
+              let token = Valuation_tracker.remove tracker [ victim ] in
+              session (depth + 1);
+              Valuation_tracker.undo tracker token;
+              check ()
+            end
+          end
+        end
+      in
+      session 0;
+      !ok)
+
+let test_tracker_lifo_enforced () =
+  let wf, _ = fig3_like () in
+  let tracker = Valuation_tracker.create wf in
+  let g = Workflow.graph wf in
+  let edges = Digraph.fold_edges (fun acc e -> e :: acc) [] g in
+  match edges with
+  | e1 :: e2 :: _ ->
+      let t1 = Valuation_tracker.remove tracker [ e1 ] in
+      let t2 = Valuation_tracker.remove tracker [ e2 ] in
+      Alcotest.check_raises "out-of-order undo"
+        (Invalid_argument
+           "Valuation_tracker.undo: tokens must be undone in LIFO order")
+        (fun () -> Valuation_tracker.undo tracker t1);
+      Valuation_tracker.undo tracker t2;
+      Valuation_tracker.undo tracker t1;
+      Alcotest.(check (float 1e-9)) "back to initial utility"
+        (Utility.total wf)
+        (Valuation_tracker.utility tracker)
+  | _ -> Alcotest.fail "graph shape"
+
+let test_tracker_reports_cascade () =
+  let wf, edges = fig3_like () in
+  let tracker = Valuation_tracker.create wf in
+  let u1a1 = List.nth edges 0 and u2a1 = List.nth edges 1 in
+  let token = Valuation_tracker.remove tracker [ u1a1; u2a1 ] in
+  Alcotest.(check int) "cascade included" 4
+    (List.length (Valuation_tracker.removed_of_undo token));
+  Valuation_tracker.undo tracker token
+
+let suite =
+  [
+    Alcotest.test_case "linear valuation sums (Fig. 3)" `Quick test_linear_sums;
+    prop_tracker_matches_recompute;
+    Alcotest.test_case "tracker enforces LIFO undo" `Quick
+      test_tracker_lifo_enforced;
+    Alcotest.test_case "tracker reports cascaded removals" `Quick
+      test_tracker_reports_cascade;
+    Alcotest.test_case "removed edges valued zero" `Quick test_removed_edges_zero;
+    Alcotest.test_case "subadditive cap" `Quick test_subadditive_cap;
+    Alcotest.test_case "cascade removal" `Quick test_cascade_removal;
+    Alcotest.test_case "cascade is transitive" `Quick test_cascade_is_transitive;
+    Alcotest.test_case "remove + restore roundtrip" `Quick test_restore_roundtrip;
+    Alcotest.test_case "already-removed edges skipped" `Quick
+      test_skip_already_removed;
+    prop_cascade_invariant;
+  ]

@@ -1,0 +1,105 @@
+open Cdw_core
+module Digraph = Cdw_graph.Digraph
+
+let build_small () =
+  let wf = Workflow.create () in
+  let u = Workflow.add_user ~name:"address" wf in
+  let a = Workflow.add_algorithm ~name:"geo" wf in
+  let p = Workflow.add_purpose ~name:"ads" ~weight:2.0 wf in
+  (wf, u, a, p)
+
+let test_kinds_and_names () =
+  let wf, u, a, p = build_small () in
+  Alcotest.(check string) "name" "address" (Workflow.name wf u);
+  Alcotest.(check bool) "kind user" true (Workflow.kind wf u = Workflow.User);
+  Alcotest.(check bool) "kind algorithm" true (Workflow.kind wf a = Workflow.Algorithm);
+  Alcotest.(check bool) "kind purpose" true (Workflow.kind wf p = Workflow.Purpose);
+  Alcotest.(check (option int)) "lookup by name" (Some a)
+    (Workflow.vertex_of_name wf "geo");
+  Alcotest.(check (option int)) "unknown name" None
+    (Workflow.vertex_of_name wf "nope");
+  Alcotest.(check (float 0.0)) "purpose weight" 2.0 (Workflow.purpose_weight wf p)
+
+let test_default_names_unique () =
+  let wf = Workflow.create () in
+  let a = Workflow.add_user wf in
+  let b = Workflow.add_user wf in
+  Alcotest.(check bool) "distinct auto names" true
+    (Workflow.name wf a <> Workflow.name wf b)
+
+let test_duplicate_name_rejected () =
+  let wf = Workflow.create () in
+  ignore (Workflow.add_user ~name:"x" wf);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Workflow: duplicate name \"x\"")
+    (fun () -> ignore (Workflow.add_purpose ~name:"x" wf))
+
+let test_connect_validation () =
+  let wf, u, a, p = build_small () in
+  ignore (Workflow.connect ~value:3.0 wf u a);
+  ignore (Workflow.connect wf a p);
+  Alcotest.check_raises "purpose as source"
+    (Invalid_argument "Workflow.connect: purpose ads cannot be a source")
+    (fun () -> ignore (Workflow.connect wf p a));
+  Alcotest.check_raises "user as target"
+    (Invalid_argument "Workflow.connect: user address cannot be a target")
+    (fun () -> ignore (Workflow.connect wf a u));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Workflow.connect: negative value") (fun () ->
+      ignore (Workflow.connect ~value:(-1.0) wf u a))
+
+let test_initial_value () =
+  let wf, u, a, p = build_small () in
+  let e = Workflow.connect ~value:7.5 wf u a in
+  let e2 = Workflow.connect wf a p in
+  Alcotest.(check (float 0.0)) "stored" 7.5 (Workflow.initial_value wf e);
+  Alcotest.(check (float 0.0)) "default 1.0" 1.0 (Workflow.initial_value wf e2)
+
+let test_purpose_weight_guard () =
+  let wf, u, _, _ = build_small () in
+  Alcotest.check_raises "non-purpose"
+    (Invalid_argument "Workflow.purpose_weight: address is not a purpose")
+    (fun () -> ignore (Workflow.purpose_weight wf u))
+
+let test_vertex_lists () =
+  let wf, u, a, p = build_small () in
+  Alcotest.(check (list int)) "users" [ u ] (Workflow.users wf);
+  Alcotest.(check (list int)) "algorithms" [ a ] (Workflow.algorithms wf);
+  Alcotest.(check (list int)) "purposes" [ p ] (Workflow.purposes wf)
+
+let test_validate () =
+  let wf, u, a, p = build_small () in
+  (match Workflow.validate wf with
+  | Error errs ->
+      Alcotest.(check int) "dangling vertices flagged" 4 (List.length errs)
+  | Ok () -> Alcotest.fail "expected invariant violations");
+  ignore (Workflow.connect wf u a);
+  ignore (Workflow.connect wf a p);
+  Alcotest.(check bool) "valid once wired" true (Workflow.validate wf = Ok ())
+
+let test_copy_independent () =
+  let wf, u, a, p = build_small () in
+  ignore (Workflow.connect wf u a);
+  ignore (Workflow.connect wf a p);
+  let wf' = Workflow.copy wf in
+  ignore (Workflow.add_user ~name:"extra" wf');
+  (match Digraph.find_edge (Workflow.graph wf') u a with
+  | Some e -> Digraph.remove_edge (Workflow.graph wf') e
+  | None -> Alcotest.fail "copy lost edge");
+  Alcotest.(check int) "original vertices" 3 (Workflow.n_vertices wf);
+  Alcotest.(check int) "original edges" 2 (Workflow.n_edges wf);
+  Alcotest.(check int) "copy edges" 1 (Workflow.n_edges wf');
+  Alcotest.(check (option int)) "copy keeps name index" (Some a)
+    (Workflow.vertex_of_name wf' "geo")
+
+let suite =
+  [
+    Alcotest.test_case "kinds, names, weights" `Quick test_kinds_and_names;
+    Alcotest.test_case "auto names unique" `Quick test_default_names_unique;
+    Alcotest.test_case "duplicate name rejected" `Quick test_duplicate_name_rejected;
+    Alcotest.test_case "connect validation" `Quick test_connect_validation;
+    Alcotest.test_case "initial valuations" `Quick test_initial_value;
+    Alcotest.test_case "purpose_weight guard" `Quick test_purpose_weight_guard;
+    Alcotest.test_case "vertex lists by kind" `Quick test_vertex_lists;
+    Alcotest.test_case "validate invariants" `Quick test_validate;
+    Alcotest.test_case "copy is deep" `Quick test_copy_independent;
+  ]
