@@ -1,0 +1,87 @@
+(* Engine serving benchmark: batched shared-index serving vs naive
+   per-request scratch solving on the same request script.
+
+   Usage:
+     dune exec bench/engine.exe                  # acceptance workload
+                                                 # (100 vertices, 50 sessions)
+     dune exec bench/engine.exe -- --quick       # CI smoke run
+     dune exec bench/engine.exe -- --sessions 200 --domains 4
+     dune exec bench/engine.exe -- --out results/engine.json
+
+   Always writes the full result (config, timings, speedup, engine
+   metrics) as JSON — BENCH_engine.json by default — so successive PRs
+   accumulate a perf trajectory. *)
+
+module Algorithms = Cdw_core.Algorithms
+module Json = Cdw_util.Json
+module Workbench = Cdw_engine.Workbench
+
+let usage () =
+  prerr_endline
+    "usage: engine [--quick] [--vertices N] [--density D] [--stages N]\n\
+    \              [--sessions N] [--batches N] [--pairs N]\n\
+    \              [--no-withdrawals] [--seed N] [--domains N]\n\
+    \              [--algorithm NAME] [--out FILE]";
+  exit 2
+
+let () =
+  let config = ref Workbench.default in
+  let out = ref "BENCH_engine.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        config := Workbench.quick;
+        parse rest
+    | "--vertices" :: n :: rest ->
+        config := { !config with Workbench.n_vertices = int_of_string n };
+        parse rest
+    | "--density" :: d :: rest ->
+        config := { !config with Workbench.density = float_of_string d };
+        parse rest
+    | "--stages" :: n :: rest ->
+        config := { !config with Workbench.stages = int_of_string n };
+        parse rest
+    | "--sessions" :: n :: rest ->
+        config := { !config with Workbench.n_sessions = int_of_string n };
+        parse rest
+    | "--batches" :: n :: rest ->
+        config :=
+          { !config with Workbench.batches_per_session = int_of_string n };
+        parse rest
+    | "--pairs" :: n :: rest ->
+        config := { !config with Workbench.pairs_per_batch = int_of_string n };
+        parse rest
+    | "--no-withdrawals" :: rest ->
+        config := { !config with Workbench.withdrawals = false };
+        parse rest
+    | "--seed" :: n :: rest ->
+        config := { !config with Workbench.seed = int_of_string n };
+        parse rest
+    | "--domains" :: n :: rest ->
+        config := { !config with Workbench.domains = int_of_string n };
+        parse rest
+    | "--algorithm" :: name :: rest -> (
+        match Algorithms.of_string name with
+        | Some a ->
+            config := { !config with Workbench.algorithm = a };
+            parse rest
+        | None ->
+            Printf.eprintf "unknown algorithm %S\n" name;
+            usage ())
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        usage ()
+  in
+  (match parse (List.tl (Array.to_list Sys.argv)) with
+  | () -> ()
+  | exception (Failure _) -> usage ());
+  let result = Workbench.run !config in
+  Format.printf "%a@." Workbench.pp result;
+  let oc = open_out !out in
+  output_string oc (Json.to_string (Workbench.result_json result));
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 gate plus the engine smoke benchmark. Run from the repo root:
+#   sh dev/check.sh
+set -e
+
+dune build
+dune runtest
+
+# Seconds-scale serving smoke run; refreshes BENCH_engine.json so the
+# perf trajectory stays current PR over PR.
+dune exec bench/engine.exe -- --quick --out BENCH_engine.json
+
+echo "check.sh: ok"

@@ -133,18 +133,32 @@ let solve_cmd =
   let timeout =
     Arg.(value & opt float 60_000.0 & info [ "timeout" ] ~doc:"Timeout in milliseconds.")
   in
+  let max_paths =
+    Arg.(value & opt (some int) None & info [ "max-paths" ] ~doc:"Path-enumeration cap for the exhaustive searches.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"PRNG seed for remove-random-edge.")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the consented workflow here.")
   in
-  let run path algo timeout output =
+  let run path algo timeout max_paths seed output =
     match load_file path with
     | `Error _ as e -> e
     | `Ok (wf, cs) when cs = [] ->
         ignore wf;
         `Error (false, "the file declares no constraints; nothing to solve")
     | `Ok (wf, cs) -> (
-        let deadline = Cdw_util.Timing.deadline_after_ms timeout in
-        match Algorithms.run ~deadline algo wf cs with
+        let options =
+          {
+            Algorithms.Options.default with
+            Algorithms.Options.deadline =
+              Cdw_util.Timing.deadline_after_ms timeout;
+            max_paths;
+            rng = Option.map Cdw_util.Splitmix.create seed;
+          }
+        in
+        match Algorithms.solve ~options algo wf cs with
         | outcome ->
             Format.printf "@[<v>algorithm: %s@,"
               (Algorithms.to_string algo);
@@ -161,7 +175,94 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute a consented workflow maximising utility.")
-    Term.(ret (const run $ file_arg $ algo $ timeout $ output))
+    Term.(ret (const run $ file_arg $ algo $ timeout $ max_paths $ seed $ output))
+
+(* ---------------------------------------------------------------- *)
+(* serve-bench                                                        *)
+
+let serve_bench_cmd =
+  let module Workbench = Cdw_engine.Workbench in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke configuration (60 vertices, 12 sessions).")
+  in
+  let vertices =
+    Arg.(value & opt (some int) None & info [ "vertices"; "v" ] ~doc:"Workflow vertices.")
+  in
+  let stages =
+    Arg.(value & opt (some int) None & info [ "stages"; "k" ] ~doc:"Workflow stages (path length).")
+  in
+  let density =
+    Arg.(value & opt (some float) None & info [ "density"; "d" ] ~doc:"Minimum inter-stage edge density in [0,1].")
+  in
+  let sessions =
+    Arg.(value & opt (some int) None & info [ "sessions" ] ~doc:"Concurrent user sessions.")
+  in
+  let batches =
+    Arg.(value & opt (some int) None & info [ "batches" ] ~doc:"Constraint batches per session.")
+  in
+  let pairs =
+    Arg.(value & opt (some int) None & info [ "pairs" ] ~doc:"Constraint pairs per batch.")
+  in
+  let no_withdrawals =
+    Arg.(value & flag & info [ "no-withdrawals" ] ~doc:"Skip the per-session withdrawal round.")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"PRNG seed.") in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Domains of the parallel drain.")
+  in
+  let algo =
+    Arg.(value & opt (some algo_conv) None & info [ "algorithm"; "a" ] ~doc:"Solving algorithm.")
+  in
+  let trials =
+    Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Timing trials per server (best-of).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the full result (config, timings, engine metrics) as JSON.")
+  in
+  let run quick vertices stages density sessions batches pairs no_withdrawals
+      seed domains algo trials out =
+    let base = if quick then Workbench.quick else Workbench.default in
+    let pick field = function Some v -> v | None -> field base in
+    let config =
+      {
+        Workbench.n_vertices = pick (fun c -> c.Workbench.n_vertices) vertices;
+        stages = pick (fun c -> c.Workbench.stages) stages;
+        density = pick (fun c -> c.Workbench.density) density;
+        n_sessions = pick (fun c -> c.Workbench.n_sessions) sessions;
+        batches_per_session =
+          pick (fun c -> c.Workbench.batches_per_session) batches;
+        pairs_per_batch = pick (fun c -> c.Workbench.pairs_per_batch) pairs;
+        withdrawals = base.Workbench.withdrawals && not no_withdrawals;
+        seed = pick (fun c -> c.Workbench.seed) seed;
+        algorithm = pick (fun c -> c.Workbench.algorithm) algo;
+        domains = pick (fun c -> c.Workbench.domains) domains;
+      }
+    in
+    match Workbench.run ~trials config with
+    | result ->
+        Format.printf "%a@." Workbench.pp result;
+        print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
+        (match out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc
+              (Cdw_util.Json.to_string (Workbench.result_json result));
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "wrote %s\n" file);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Benchmark the multi-user serving engine against naive \
+          per-request solving; prints the engine's metrics as JSON.")
+    Term.(
+      ret
+        (const run $ quick $ vertices $ stages $ density $ sessions $ batches
+       $ pairs $ no_withdrawals $ seed $ domains $ algo $ trials $ out))
 
 (* ---------------------------------------------------------------- *)
 (* experiment                                                         *)
@@ -242,6 +343,6 @@ let experiment_cmd =
 let main =
   let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
   Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
-    [ generate_cmd; show_cmd; solve_cmd; experiment_cmd ]
+    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; experiment_cmd ]
 
 let eval ?argv () = Cmd.eval ?argv main

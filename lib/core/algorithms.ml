@@ -6,6 +6,37 @@ module Multicut = Cdw_cut.Multicut
 module Splitmix = Cdw_util.Splitmix
 module Timing = Cdw_util.Timing
 
+module Options = struct
+  type path_provider =
+    Workflow.t ->
+    source:int ->
+    target:int ->
+    Digraph.edge list list
+
+  type t = {
+    rng : Splitmix.t option;
+    deadline : float;
+    max_paths : int option;
+    scheme : Utility.weight_scheme option;
+    backend : Multicut.backend;
+    utility : (Workflow.t -> float) option;
+    utility_before : float option;
+    paths_for : path_provider option;
+  }
+
+  let default =
+    {
+      rng = None;
+      deadline = infinity;
+      max_paths = None;
+      scheme = None;
+      backend = Multicut.Auto 5_000.0;
+      utility = None;
+      utility_before = None;
+      paths_for = None;
+    }
+end
+
 type outcome = {
   workflow : Workflow.t;
   removed : Digraph.edge list;
@@ -33,8 +64,10 @@ let pp_outcome wf ppf o =
    the number of candidates it evaluated. [utility] is the system
    utility evaluator — Eq. 1 over the linear model unless a caller
    supplies a general CDW model. *)
-let on_copy ?(utility = fun wf -> Utility.total wf) wf solve =
-  let utility_before = utility wf in
+let on_copy ?(utility = fun wf -> Utility.total wf) ?utility_before wf solve =
+  let utility_before =
+    match utility_before with Some u -> u | None -> utility wf
+  in
   let copy = Workflow.copy wf in
   let before_ids = Digraph.removed_edge_ids (Workflow.graph copy) in
   let candidates = solve copy in
@@ -53,19 +86,27 @@ let on_copy ?(utility = fun wf -> Utility.total wf) wf solve =
     candidates;
   }
 
-(* Paths of one constraint on the current live graph. *)
-let constraint_paths ?max_paths ?deadline wf (pair : Constraint_set.pair) =
-  Paths.all_paths ?max_paths ?deadline (Workflow.graph wf)
-    ~src:pair.Constraint_set.source ~dst:pair.Constraint_set.target
+(* Paths of one constraint on the current live graph. The caps apply
+   only to the default DFS enumeration: a [paths_for] provider answers
+   from its own precomputed state. *)
+let constraint_paths ?max_paths ?deadline ?paths_for wf
+    (pair : Constraint_set.pair) =
+  match (paths_for : Options.path_provider option) with
+  | Some f ->
+      f wf ~source:pair.Constraint_set.source
+        ~target:pair.Constraint_set.target
+  | None ->
+      Paths.all_paths ?max_paths ?deadline (Workflow.graph wf)
+        ~src:pair.Constraint_set.source ~dst:pair.Constraint_set.target
 
 (* Algorithms 1 and 2 share their structure: pick one edge of each path
    of each constraint and remove it (dependencies cascade), skipping
    edges a previous step already removed. *)
-let per_path_removal pick wf cs =
-  on_copy wf (fun copy ->
+let per_path_removal ?paths_for ?utility_before pick wf cs =
+  on_copy ?utility_before wf (fun copy ->
       List.iter
         (fun pair ->
-          let paths = constraint_paths copy pair in
+          let paths = constraint_paths ?paths_for copy pair in
           List.iter
             (fun path ->
               let e = pick path in
@@ -75,9 +116,14 @@ let per_path_removal pick wf cs =
         cs;
       1)
 
-let remove_random_edge ?rng wf cs =
-  let rng = match rng with Some r -> r | None -> Splitmix.create 0xC0FFEE in
-  per_path_removal
+let random_impl (o : Options.t) wf cs =
+  let rng =
+    match o.Options.rng with
+    | Some r -> r
+    | None -> Splitmix.create 0xC0FFEE
+  in
+  per_path_removal ?paths_for:o.Options.paths_for
+    ?utility_before:o.Options.utility_before
     (fun path -> Splitmix.pick rng (Array.of_list path))
     wf cs
 
@@ -90,11 +136,17 @@ let rec last_of_path = function
   | _ :: rest -> last_of_path rest
   | [] -> invalid_arg "Algorithms: empty path"
 
-let remove_first_edge wf cs = per_path_removal first_of_path wf cs
-let remove_last_edge wf cs = per_path_removal last_of_path wf cs
+let first_impl (o : Options.t) wf cs =
+  per_path_removal ?paths_for:o.Options.paths_for
+    ?utility_before:o.Options.utility_before first_of_path wf cs
 
-let remove_min_cuts ?scheme wf cs =
-  on_copy wf (fun copy ->
+let last_impl (o : Options.t) wf cs =
+  per_path_removal ?paths_for:o.Options.paths_for
+    ?utility_before:o.Options.utility_before last_of_path wf cs
+
+let min_cuts_impl (o : Options.t) wf cs =
+  let scheme = o.Options.scheme in
+  on_copy ?utility_before:o.Options.utility_before wf (fun copy ->
       let g = Workflow.graph copy in
       List.iter
         (fun { Constraint_set.source; target } ->
@@ -112,14 +164,16 @@ let remove_min_cuts ?scheme wf cs =
         cs;
       1)
 
-let default_minmc_backend = Multicut.Auto 5_000.0
-
-let remove_min_mc ?(backend = default_minmc_backend) ?scheme ?deadline wf cs =
-  on_copy wf (fun copy ->
+let min_mc_impl (o : Options.t) wf cs =
+  let scheme = o.Options.scheme in
+  let deadline =
+    if o.Options.deadline = infinity then None else Some o.Options.deadline
+  in
+  on_copy ?utility_before:o.Options.utility_before wf (fun copy ->
       let g = Workflow.graph copy in
       let w = Utility.cut_weights ?scheme copy in
       let result =
-        Multicut.solve ~backend ?deadline g
+        Multicut.solve ~backend:o.Options.backend ?deadline g
           ~weight:(fun e -> w.(Digraph.edge_id e))
           ~pairs:(Constraint_set.pairs cs)
       in
@@ -127,9 +181,9 @@ let remove_min_mc ?(backend = default_minmc_backend) ?scheme ?deadline wf cs =
       1)
 
 (* All constraint paths that must be broken, over the initial graph. *)
-let all_constraint_paths ?max_paths ?deadline wf cs =
+let all_constraint_paths ?max_paths ?deadline ?paths_for wf cs =
   List.concat_map
-    (fun pair -> constraint_paths ?max_paths ?deadline wf pair)
+    (fun pair -> constraint_paths ?max_paths ?deadline ?paths_for wf pair)
     cs
 
 let candidate_key edges =
@@ -152,11 +206,13 @@ let dedup_candidate edges =
    choice function yields a candidate multicut (the union of the chosen
    edges). Candidates are deduplicated, evaluated by soft-removal +
    utility recomputation, and the best kept. *)
-let brute_force ?(deadline = infinity) ?max_paths ?utility wf cs =
-  on_copy ?utility wf (fun copy ->
+let brute_force_impl (o : Options.t) wf cs =
+  let { Options.deadline; max_paths; utility; utility_before; paths_for; _ } = o in
+  on_copy ?utility ?utility_before wf (fun copy ->
       let paths =
         Array.of_list
-          (List.map Array.of_list (all_constraint_paths ?max_paths ~deadline copy cs))
+          (List.map Array.of_list
+             (all_constraint_paths ?max_paths ~deadline ?paths_for copy cs))
       in
       let k = Array.length paths in
       if k = 0 then 0
@@ -222,11 +278,13 @@ let brute_force ?(deadline = infinity) ?max_paths ?utility wf cs =
    which edge of the next still-unbroken path to remove. Removing edges
    can only lower the (non-negative, additive) utility, so the current
    utility is an admissible upper bound for the subtree. *)
-let brute_force_bnb ?(deadline = infinity) ?max_paths ?utility wf cs =
-  on_copy ?utility wf (fun copy ->
+let brute_force_bnb_impl (o : Options.t) wf cs =
+  let { Options.deadline; max_paths; utility; utility_before; paths_for; _ } = o in
+  on_copy ?utility ?utility_before wf (fun copy ->
       let g = Workflow.graph copy in
       let paths =
-        List.map Array.of_list (all_constraint_paths ?max_paths ~deadline copy cs)
+        List.map Array.of_list
+          (all_constraint_paths ?max_paths ~deadline ?paths_for copy cs)
       in
       (* Shorter paths first: fewer branches near the root. *)
       let paths =
@@ -302,6 +360,39 @@ let brute_force_bnb ?(deadline = infinity) ?max_paths ?utility wf cs =
         !evaluated
       end)
 
+(* Thin per-algorithm wrappers over the [Options]-taking implementations,
+   kept because most call sites tune one knob at most. *)
+
+let remove_random_edge ?rng wf cs =
+  random_impl { Options.default with Options.rng } wf cs
+
+let remove_first_edge wf cs = first_impl Options.default wf cs
+let remove_last_edge wf cs = last_impl Options.default wf cs
+
+let remove_min_cuts ?scheme wf cs =
+  min_cuts_impl { Options.default with Options.scheme } wf cs
+
+let remove_min_mc ?backend ?scheme ?deadline wf cs =
+  min_mc_impl
+    {
+      Options.default with
+      Options.backend =
+        Option.value backend ~default:Options.default.Options.backend;
+      scheme;
+      deadline = Option.value deadline ~default:infinity;
+    }
+    wf cs
+
+let brute_force ?(deadline = infinity) ?max_paths ?utility wf cs =
+  brute_force_impl
+    { Options.default with Options.deadline; max_paths; utility }
+    wf cs
+
+let brute_force_bnb ?(deadline = infinity) ?max_paths ?utility wf cs =
+  brute_force_bnb_impl
+    { Options.default with Options.deadline; max_paths; utility }
+    wf cs
+
 type name =
   | Remove_random_edge
   | Remove_first_edge
@@ -334,12 +425,23 @@ let to_string = function
 let of_string s =
   List.find_opt (fun n -> to_string n = s) all_names
 
-let run ?rng ?deadline ?max_paths name wf cs =
+let solve ?(options = Options.default) name wf cs =
   match name with
-  | Remove_random_edge -> remove_random_edge ?rng wf cs
-  | Remove_first_edge -> remove_first_edge wf cs
-  | Remove_last_edge -> remove_last_edge wf cs
-  | Remove_min_cuts -> remove_min_cuts wf cs
-  | Remove_min_mc -> remove_min_mc ?deadline wf cs
-  | Brute_force -> brute_force ?deadline ?max_paths wf cs
-  | Brute_force_bnb -> brute_force_bnb ?deadline ?max_paths wf cs
+  | Remove_random_edge -> random_impl options wf cs
+  | Remove_first_edge -> first_impl options wf cs
+  | Remove_last_edge -> last_impl options wf cs
+  | Remove_min_cuts -> min_cuts_impl options wf cs
+  | Remove_min_mc -> min_mc_impl options wf cs
+  | Brute_force -> brute_force_impl options wf cs
+  | Brute_force_bnb -> brute_force_bnb_impl options wf cs
+
+let run ?rng ?deadline ?max_paths name wf cs =
+  let options =
+    {
+      Options.default with
+      Options.rng;
+      deadline = Option.value deadline ~default:infinity;
+      max_paths;
+    }
+  in
+  solve ~options name wf cs

@@ -24,6 +24,62 @@
     ({!Cdw_util.Timing.Timeout}) and a path-enumeration cap
     ({!Cdw_graph.Paths.Too_many_paths}). *)
 
+(** {1 Options}
+
+    Every tuning knob of every algorithm, gathered in one record. The
+    per-algorithm functions below remain as thin wrappers for the common
+    cases; {!solve} is the single entry point the CLI, the experiment
+    harness, {!Incremental} and the serving engine go through. *)
+module Options : sig
+  type path_provider =
+    Workflow.t ->
+    source:int ->
+    target:int ->
+    Cdw_graph.Digraph.edge list list
+  (** Supplies the *live* s→t paths of the given workflow, replacing the
+      default DFS enumeration of the path-based algorithms. The serving
+      engine uses this to answer path queries from a shared
+      per-(user, purpose) cache: enumerate once on the immutable base,
+      filter by edge liveness per request. The provider must return
+      exactly the paths [Cdw_graph.Paths.all_paths] would, in the same
+      order. *)
+
+  type t = {
+    rng : Cdw_util.Splitmix.t option;
+        (** randomness for [Remove_random_edge]; [None] uses a fixed
+            default seed *)
+    deadline : float;
+        (** absolute cooperative deadline ({!Cdw_util.Timing}); honoured
+            by the multicut backend and the exhaustive searches. Default
+            [infinity]. *)
+    max_paths : int option;
+        (** path-enumeration cap for the exhaustive searches *)
+    scheme : Utility.weight_scheme option;
+        (** cut-weight scheme of Algorithms 3/4 (default
+            [Path_count_mass], see DESIGN.md §2) *)
+    backend : Cdw_cut.Multicut.backend;
+        (** multicut backend of Algorithm 4. Default [Auto 5000.0]:
+            exact ILP with a 5 s budget, greedy fallback on dense
+            instances where exact multicut blows up. *)
+    utility : (Workflow.t -> float) option;
+        (** objective for the exhaustive searches; generalises to
+            arbitrary CDW models (must be monotone non-increasing under
+            edge removal for [Brute_force_bnb]) *)
+    utility_before : float option;
+        (** memoized utility of the *input* workflow, skipping the
+            before-solve evaluation. Must equal what the utility
+            evaluator would return on the input; the serving engine
+            passes the shared base's utility here when solving from the
+            pristine base. *)
+    paths_for : path_provider option;
+  }
+
+  val default : t
+  (** [None]/[infinity] everywhere, [Auto 5000.0] backend — the
+      behaviour of each wrapper function called with no optional
+      arguments. *)
+end
+
 type outcome = {
   workflow : Workflow.t;  (** solved copy of the input *)
   removed : Cdw_graph.Digraph.edge list;
@@ -97,6 +153,13 @@ val to_string : name -> string
 
 val of_string : string -> name option
 
+val solve :
+  ?options:Options.t -> name -> Workflow.t -> Constraint_set.t -> outcome
+(** Dispatch by name under the given {!Options.t} (default
+    {!Options.default}) — the unified entry point. Each algorithm reads
+    only the options that concern it, exactly as the wrapper functions
+    above document. *)
+
 val run :
   ?rng:Cdw_util.Splitmix.t ->
   ?deadline:float ->
@@ -105,4 +168,5 @@ val run :
   Workflow.t ->
   Constraint_set.t ->
   outcome
-(** Dispatch by name; used by the CLI and the experiment harness. *)
+(** [run ?rng ?deadline ?max_paths] is {!solve} with just those three
+    options set; kept for callers predating {!Options}. *)

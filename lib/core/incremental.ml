@@ -1,23 +1,34 @@
 type stats = { solver_runs : int; free_hits : int; full_resolves : int }
 
+type base_oracle = { connected : source:int -> target:int -> bool }
+
 type t = {
   base : Workflow.t;
   algorithm : Workflow.t -> Constraint_set.t -> Algorithms.outcome;
+  oracle : base_oracle option;
+  shares_base : bool;
   mutable current : Workflow.t;
+  mutable pristine : bool;
+      (* [current] carries no cuts, i.e. equals the base graph-wise;
+         base-connectivity answers (the oracle) then apply to it too *)
   mutable accepted : Constraint_set.t;
   mutable stats : stats;
 }
 
-let create ?algorithm wf =
+let create ?algorithm ?oracle ?(copy_base = true) wf =
   let algorithm =
     match algorithm with
     | Some f -> f
-    | None -> fun wf cs -> Algorithms.remove_min_mc wf cs
+    | None -> fun wf cs -> Algorithms.solve Algorithms.Remove_min_mc wf cs
   in
+  let base = if copy_base then Workflow.copy wf else wf in
   {
-    base = Workflow.copy wf;
+    base;
     algorithm;
-    current = Workflow.copy wf;
+    oracle;
+    shares_base = not copy_base;
+    current = (if copy_base then Workflow.copy wf else wf);
+    pristine = true;
     accepted = [];
     stats = { solver_runs = 0; free_hits = 0; full_resolves = 0 };
   }
@@ -32,55 +43,89 @@ let mem pair cs =
     (fun { Constraint_set.source; target } -> (source, target) = pair)
     cs
 
+(* Constraints of [cs] still connected on the pristine base: O(1) per
+   pair through the oracle, BFS without one. *)
+let violated_on_base t cs =
+  match t.oracle with
+  | Some o ->
+      List.filter
+        (fun { Constraint_set.source; target } -> o.connected ~source ~target)
+        cs
+  | None -> Constraint_set.violated t.base cs
+
+let violated_on_current t cs =
+  if t.pristine then violated_on_base t cs
+  else Constraint_set.violated t.current cs
+
 let solve_on t wf cs =
   let outcome = t.algorithm wf cs in
   t.stats <- { t.stats with solver_runs = t.stats.solver_runs + 1 };
   outcome.Algorithms.workflow
 
-let add t pairs =
-  match Constraint_set.make t.base (List.sort_uniq compare pairs) with
+let resolve_all t =
+  t.stats <- { t.stats with full_resolves = t.stats.full_resolves + 1 };
+  if violated_on_base t t.accepted = [] then begin
+    t.current <- (if t.shares_base then t.base else Workflow.copy t.base);
+    t.pristine <- true
+  end
+  else begin
+    t.current <- solve_on t t.base t.accepted;
+    t.pristine <- false
+  end
+
+(* One atomic net change — the batched equivalent of [add] followed by
+   [withdraw], paying at most one solver run. Both halves validate
+   before either mutates, so an error leaves the session untouched. *)
+let update t ~add:add_pairs ~withdraw:withdraw_pairs =
+  match Constraint_set.make t.base (List.sort_uniq compare add_pairs) with
   | Error _ as e -> Result.map ignore e
-  | Ok validated ->
+  | Ok validated -> (
       let fresh =
         List.filter
           (fun { Constraint_set.source; target } ->
             not (mem (source, target) t.accepted))
           validated
       in
-      let still_violated = Constraint_set.violated t.current fresh in
-      t.stats <-
-        {
-          t.stats with
-          free_hits =
-            t.stats.free_hits + List.length fresh - List.length still_violated;
-        };
-      if still_violated <> [] then
-        t.current <- solve_on t t.current still_violated;
-      t.accepted <- t.accepted @ fresh;
-      Ok ()
+      let merged = t.accepted @ fresh in
+      let unknown =
+        List.filter (fun pair -> not (mem pair merged)) withdraw_pairs
+      in
+      match unknown with
+      | (s, _) :: _ ->
+          Error
+            (Printf.sprintf "cannot withdraw unknown constraint from %s"
+               (Workflow.name t.base s))
+      | [] ->
+          if withdraw_pairs = [] then begin
+            (* Pure addition: solve incrementally on the current
+               solution, only for pairs earlier cuts left connected. *)
+            let still_violated = violated_on_current t fresh in
+            t.stats <-
+              {
+                t.stats with
+                free_hits =
+                  t.stats.free_hits + List.length fresh
+                  - List.length still_violated;
+              };
+            if still_violated <> [] then begin
+              t.current <- solve_on t t.current still_violated;
+              t.pristine <- false
+            end;
+            t.accepted <- merged;
+            Ok ()
+          end
+          else begin
+            (* A withdrawal invalidates previous cuts: re-solve the
+               surviving set (new additions included) from the base. *)
+            t.accepted <-
+              List.filter
+                (fun { Constraint_set.source; target } ->
+                  not (List.mem (source, target) withdraw_pairs))
+                merged;
+            resolve_all t;
+            Ok ()
+          end)
 
-let resolve_all t =
-  t.stats <- { t.stats with full_resolves = t.stats.full_resolves + 1 };
-  if Constraint_set.violated t.base t.accepted = [] then
-    t.current <- Workflow.copy t.base
-  else t.current <- solve_on t t.base t.accepted
-
-let withdraw t pairs =
-  let unknown =
-    List.filter (fun pair -> not (mem pair t.accepted)) pairs
-  in
-  match unknown with
-  | (s, _) :: _ ->
-      Error
-        (Printf.sprintf "cannot withdraw unknown constraint from %s"
-           (Workflow.name t.base s))
-  | [] ->
-      t.accepted <-
-        List.filter
-          (fun { Constraint_set.source; target } ->
-            not (List.mem (source, target) pairs))
-          t.accepted;
-      resolve_all t;
-      Ok ()
-
+let add t pairs = update t ~add:pairs ~withdraw:[]
+let withdraw t pairs = update t ~add:[] ~withdraw:pairs
 let resolve_batch t = resolve_all t

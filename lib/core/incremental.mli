@@ -25,12 +25,29 @@ type stats = {
   full_resolves : int;  (** scratch recomputations (withdrawals, batch) *)
 }
 
+type base_oracle = { connected : source:int -> target:int -> bool }
+(** Answers connectivity questions about the *pristine base* workflow —
+    typically a precomputed {!Cdw_graph.Reach.Snapshot} shared by many
+    sessions over the same base. Used wherever the session would
+    otherwise BFS the un-cut base (or the still-pristine current
+    workflow), turning those checks into O(1) lookups. *)
+
 val create :
   ?algorithm:(Workflow.t -> Constraint_set.t -> Algorithms.outcome) ->
+  ?oracle:base_oracle ->
+  ?copy_base:bool ->
   Workflow.t ->
   t
-(** [algorithm] defaults to {!Algorithms.remove_min_mc}. The session
-    works on private copies; the input workflow is never modified. *)
+(** [algorithm] defaults to [Algorithms.solve Remove_min_mc]. The
+    session works on private copies; the input workflow is never
+    modified.
+
+    [copy_base] (default [true]) controls whether the session snapshots
+    the input workflow. A serving engine pooling hundreds of sessions
+    over one immutable base passes [~copy_base:false] to share that base
+    instead of duplicating it per session; the caller then guarantees
+    the input workflow is never mutated, and must treat {!workflow}'s
+    result as read-only (it aliases the base until the first cut). *)
 
 val workflow : t -> Workflow.t
 (** The current consented workflow (satisfies every accepted
@@ -50,6 +67,17 @@ val add : t -> (int * int) list -> (unit, string) result
 val withdraw : t -> (int * int) list -> (unit, string) result
 (** Remove accepted constraints (unknown pairs are an error) and
     re-solve the remainder from the pristine base. *)
+
+val update :
+  t -> add:(int * int) list -> withdraw:(int * int) list ->
+  (unit, string) result
+(** Apply additions and withdrawals as one atomic net change with at
+    most one solver run — the batched equivalent of {!add} followed by
+    {!withdraw} (which are both special cases of this). Withdrawn pairs
+    may come from [add] of the same call; validation happens before any
+    mutation, so an error leaves the session untouched. The serving
+    engine uses this to collapse a user's whole request batch into a
+    single solve. *)
 
 val resolve_batch : t -> unit
 (** Re-solve all accepted constraints in one batch from the base,

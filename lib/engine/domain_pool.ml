@@ -1,0 +1,34 @@
+let recommended_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count ()))
+
+let run ~domains tasks =
+  let n = Array.length tasks in
+  let domains = min domains n in
+  if domains <= 1 || n < 2 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each result cell has exactly one writer (the domain that claimed
+       its index) and is read only after the joins below. *)
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some (match tasks.(i) () with
+                 | v -> Ok v
+                 | exception e -> Error e)
+      done
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

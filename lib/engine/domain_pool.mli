@@ -1,0 +1,21 @@
+(** Fixed-size OCaml 5 domain pool for embarrassingly parallel task
+    arrays.
+
+    The engine's batch solves are independent per session (each task
+    works on its own workflow copy), so the pool is deliberately simple:
+    one atomic work-stealing counter over the task array, [domains]
+    domains (the calling domain included) racing down it. No task
+    submission after {!run} starts, no futures, no cancellation —
+    everything the consent engine needs and nothing it doesn't. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1, 8] — consent
+    solving saturates memory bandwidth long before it saturates a large
+    core count. *)
+
+val run : domains:int -> (unit -> 'a) array -> 'a array
+(** Execute every task, returning results in task order. With
+    [domains <= 1] (or fewer than two tasks) everything runs on the
+    calling domain with no spawns. If tasks raise, the exception of the
+    lowest-indexed failing task is re-raised after every domain has
+    joined — no domain is left running. *)

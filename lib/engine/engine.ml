@@ -1,0 +1,237 @@
+module Algorithms = Cdw_core.Algorithms
+module Constraint_set = Cdw_core.Constraint_set
+module Incremental = Cdw_core.Incremental
+module Json = Cdw_util.Json
+module Timing = Cdw_util.Timing
+module Workflow = Cdw_core.Workflow
+
+type request =
+  | Add of (int * int) list
+  | Withdraw of (int * int) list
+  | Resolve
+
+type reply = {
+  user : string;
+  request : request;
+  result : (unit, string) result;
+  time_ms : float;
+}
+
+type t = {
+  index : Shared_index.t;
+  algorithm : Algorithms.name;
+  options : Algorithms.Options.t;
+  seed : int;
+  sessions : (string, Session.t) Hashtbl.t;
+  mutable queue : (string * request) list;  (* reversed *)
+  lock : Mutex.t;  (* guards [sessions] and [queue] *)
+}
+
+let create ?(algorithm = Algorithms.Remove_min_mc)
+    ?(options = Algorithms.Options.default) ?(seed = 0x5EED) ?max_cached_pairs
+    ?max_paths wf =
+  {
+    index = Shared_index.create ?max_cached_pairs ?max_paths wf;
+    algorithm;
+    options;
+    seed;
+    sessions = Hashtbl.create 64;
+    queue = [];
+    lock = Mutex.create ();
+  }
+
+let index t = t.index
+let metrics t = Shared_index.metrics t.index
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let session_seed t user = t.seed lxor Hashtbl.hash user
+
+let session t user =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.sessions user with
+      | Some s -> s
+      | None ->
+          let s =
+            Session.create ~index:t.index ~algorithm:t.algorithm
+              ~options:t.options ~rng_seed:(session_seed t user) user
+          in
+          Hashtbl.add t.sessions user s;
+          Metrics.incr (metrics t) "engine.sessions.created";
+          s)
+
+let sessions t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun user s acc -> (user, s) :: acc) t.sessions [])
+  |> List.sort compare
+
+let submit t ~user request =
+  Metrics.incr (metrics t) "engine.submitted";
+  with_lock t (fun () -> t.queue <- (user, request) :: t.queue)
+
+let pending t = with_lock t (fun () -> List.length t.queue)
+
+(* Group by user, preserving first-submission order of users and
+   submission order of each user's requests. *)
+let group_by_user requests =
+  let order = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (user, request) ->
+      match Hashtbl.find_opt groups user with
+      | Some cell -> cell := request :: !cell
+      | None ->
+          order := user :: !order;
+          Hashtbl.add groups user (ref [ request ]))
+    requests;
+  List.rev_map
+    (fun user -> (user, List.rev !(Hashtbl.find groups user)))
+    !order
+  |> List.rev
+
+(* Batch coalescing. Inside one drain a user's intermediate states are
+   unobservable, so a run of consecutive valid [Add]/[Withdraw]s
+   collapses into a single {!Session.update} over its *net* constraint
+   change — the core amortization of the batching API: a session that
+   submitted k requests pays (at most) one solve, not k. [Resolve] is a
+   sequence point (its whole point is forcing a re-optimisation, which
+   a net-change of zero would elide). Invalid requests are pre-validated
+   out against a simulation of the session's constraint set — they
+   answer individually with their error, leave the session untouched
+   ([Incremental] semantics) and don't poison the surrounding batch. *)
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type segment =
+  | Batch of request list * (int * int) list * (int * int) list
+      (* ≥1 valid Add/Withdraw requests in submission order, plus their
+         net (additions, withdrawals) relative to the session's
+         constraint set at batch start *)
+  | One of request  (* Resolve, or an invalid request *)
+
+let segments t session reqs =
+  let wf = Shared_index.base t.index in
+  (* Simulated accepted set: each request validates against the state it
+     will actually meet when its segment executes. *)
+  let accepted =
+    ref (Pair_set.of_list (Constraint_set.pairs (Session.constraints session)))
+  in
+  let valid = function
+    | Add pairs ->
+        Result.is_ok (Constraint_set.make wf (List.sort_uniq compare pairs))
+    | Withdraw pairs -> List.for_all (fun p -> Pair_set.mem p !accepted) pairs
+    | Resolve -> false
+  in
+  let close acc start = function
+    | [] -> acc
+    | run ->
+        let net_add = Pair_set.diff !accepted start in
+        let net_withdraw = Pair_set.diff start !accepted in
+        Batch
+          ( List.rev run,
+            Pair_set.elements net_add,
+            Pair_set.elements net_withdraw )
+        :: acc
+  in
+  let acc, run, start =
+    List.fold_left
+      (fun (acc, run, start) r ->
+        if valid r then begin
+          let start = if run = [] then !accepted else start in
+          (match r with
+          | Add pairs ->
+              accepted :=
+                List.fold_left (fun s p -> Pair_set.add p s) !accepted pairs
+          | Withdraw pairs ->
+              accepted :=
+                List.fold_left (fun s p -> Pair_set.remove p s) !accepted pairs
+          | Resolve -> ());
+          (acc, r :: run, start)
+        end
+        else (One r :: close acc start run, [], !accepted))
+      ([], [], !accepted) reqs
+  in
+  List.rev (close acc start run)
+
+let serve session request =
+  match request with
+  | Add pairs -> Session.add session pairs
+  | Withdraw pairs -> Session.withdraw session pairs
+  | Resolve ->
+      Session.resolve session;
+      Ok ()
+
+(* Serve one segment; every constituent request gets a reply carrying
+   the segment's result and service time. *)
+let serve_segment m user s segment =
+  match segment with
+  | One request ->
+      let result, time_ms = Timing.time_f (fun () -> serve s request) in
+      Metrics.record_ms m "request" time_ms;
+      [ { user; request; result; time_ms } ]
+  | Batch (reqs, add, withdraw) ->
+      let result, time_ms =
+        Timing.time_f (fun () -> Session.update s ~add ~withdraw)
+      in
+      Metrics.incr ~by:(List.length reqs - 1) m "engine.coalesced";
+      Metrics.record_ms m "request" time_ms;
+      List.map (fun request -> { user; request; result; time_ms }) reqs
+
+let drain ?mode t =
+  let m = metrics t in
+  Metrics.incr m "engine.drains";
+  Metrics.time m "drain" (fun () ->
+      let requests = with_lock t (fun () ->
+          let q = List.rev t.queue in
+          t.queue <- [];
+          q)
+      in
+      let groups = group_by_user requests in
+      (* Sessions are created on the calling domain: the table is then
+         only read inside the tasks. *)
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun (user, reqs) ->
+               let s = session t user in
+               let segs = segments t s reqs in
+               fun () -> List.concat_map (serve_segment m user s) segs)
+             groups)
+      in
+      let domains =
+        match mode with
+        | Some `Sequential -> 1
+        | Some (`Parallel n) -> max 1 n
+        | None -> Domain_pool.recommended_domains ()
+      in
+      Metrics.incr ~by:(Array.length tasks) m "engine.user_batches";
+      List.concat (Array.to_list (Domain_pool.run ~domains tasks)))
+
+let metrics_json t =
+  let all = sessions t in
+  let sum f =
+    List.fold_left (fun acc (_, s) -> acc + f (Session.stats s)) 0 all
+  in
+  let sessions_json =
+    Json.Object
+      [
+        ("count", Json.Number (float_of_int (List.length all)));
+        ( "solver_runs",
+          Json.Number
+            (float_of_int (sum (fun s -> s.Incremental.solver_runs))) );
+        ( "free_hits",
+          Json.Number (float_of_int (sum (fun s -> s.Incremental.free_hits)))
+        );
+        ( "full_resolves",
+          Json.Number
+            (float_of_int (sum (fun s -> s.Incremental.full_resolves))) );
+      ]
+  in
+  match Metrics.to_json (metrics t) with
+  | Json.Object fields -> Json.Object (fields @ [ ("sessions", sessions_json) ])
+  | other -> other

@@ -1,0 +1,99 @@
+(** The multi-user consent-serving engine (the §8 "many users, one
+    workflow" scenario).
+
+    An engine owns one immutable base workflow wrapped in a
+    {!Shared_index}, a pool of per-user {!Session}s that reuse that
+    index, and a request queue with batched draining:
+
+    {[
+      let engine = Engine.create workflow in
+      Engine.submit engine ~user:"alice" (Add [ (s, t) ]);
+      Engine.submit engine ~user:"bob" (Add [ (s', t') ]);
+      let replies = Engine.drain engine in
+      ...
+    ]}
+
+    {!drain} groups the pending requests by user — preserving each
+    user's submission order — and solves different users' groups in
+    parallel on an OCaml 5 domain pool (sessions mutate only their own
+    state plus the thread-safe shared caches, so user groups are
+    embarrassingly parallel). Results are deterministic: a session's
+    randomness is seeded from the engine seed and the user id alone, so
+    [`Parallel n] and [`Sequential] drains produce identical replies and
+    identical final session states (tested in [test_engine.ml]).
+
+    [submit]/[drain] themselves are meant to be driven from one serving
+    thread; only the solving fan-out is parallel. *)
+
+type request =
+  | Add of (int * int) list  (** accept constraints (user, purpose) *)
+  | Withdraw of (int * int) list  (** withdraw accepted constraints *)
+  | Resolve  (** batch re-solve from the base (re-optimisation) *)
+
+type reply = {
+  user : string;
+  request : request;
+  result : (unit, string) result;
+  time_ms : float;
+      (** service time of the solver call that answered this request —
+          shared by every request of a coalesced batch (see {!drain}) *)
+}
+
+type t
+
+val create :
+  ?algorithm:Cdw_core.Algorithms.name ->
+  ?options:Cdw_core.Algorithms.Options.t ->
+  ?seed:int ->
+  ?max_cached_pairs:int ->
+  ?max_paths:int ->
+  Cdw_core.Workflow.t ->
+  t
+(** [algorithm] (default [Remove_min_mc]) and [options] (default
+    {!Cdw_core.Algorithms.Options.default}) configure every session's
+    solver; the options' [rng] and [paths_for] fields are overridden per
+    session (see {!Session.create}). [seed] (default [0x5EED]) drives
+    the per-session generators. [max_cached_pairs]/[max_paths] configure
+    the {!Shared_index}. The workflow is copied once; the input is never
+    modified. *)
+
+val index : t -> Shared_index.t
+
+val metrics : t -> Metrics.t
+
+val session : t -> string -> Session.t
+(** Get-or-create the session of the given user id. *)
+
+val sessions : t -> (string * Session.t) list
+(** All sessions, sorted by user id. *)
+
+val session_seed : t -> string -> int
+(** The rng seed the session of this user id gets — exposed so external
+    verification can replay a session's solves exactly. *)
+
+val submit : t -> user:string -> request -> unit
+
+val pending : t -> int
+
+val drain : ?mode:[ `Sequential | `Parallel of int ] -> t -> reply list
+(** Serve every pending request and empty the queue. Replies come back
+    grouped by user in first-submission order, each user's requests in
+    submission order. [mode] defaults to
+    [`Parallel (Domain_pool.recommended_domains ())].
+
+    Within one drain, a user's run of consecutive valid [Add]s and
+    [Withdraw]s is *coalesced* into a single solver call over its net
+    constraint change ({!Session.update}) — the intermediate states are
+    unobservable inside the batch, so a session that queued k requests
+    pays at most one solve instead of k ([engine.coalesced] counts the
+    saved calls). [Resolve] acts as a sequence point (it forces a
+    re-optimisation a zero net change would elide); an invalid request —
+    an [Add] with a malformed pair, a [Withdraw] of a never-accepted
+    pair — is answered individually with its error and leaves both the
+    session and the rest of its batch untouched. *)
+
+val metrics_json : t -> Cdw_util.Json.t
+(** {!Metrics.to_json} extended with a ["sessions"] object: session
+    count plus the pool-wide sums of the per-session
+    {!Cdw_core.Incremental.stats} (solver runs, free hits, full
+    resolves). *)

@@ -1,0 +1,96 @@
+module Json = Cdw_util.Json
+module Stats = Cdw_util.Stats
+module Timing = Cdw_util.Timing
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;  (* reversed *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    samples = Hashtbl.create 16;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let cell tbl key fresh =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+      let c = fresh () in
+      Hashtbl.add tbl key c;
+      c
+
+let incr ?(by = 1) t name =
+  with_lock t (fun () ->
+      let c = cell t.counters name (fun () -> ref 0) in
+      c := !c + by)
+
+let counter t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> !c
+      | None -> 0)
+
+let counters t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters [])
+  |> List.sort compare
+
+let record_ms t key ms =
+  with_lock t (fun () ->
+      let c = cell t.samples key (fun () -> ref []) in
+      c := ms :: !c)
+
+let time t key f =
+  let result, ms = Timing.time_f f in
+  record_ms t key ms;
+  result
+
+let summary t key =
+  let samples =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.samples key with
+        | Some c -> !c
+        | None -> [])
+  in
+  match samples with [] -> None | xs -> Some (Stats.summarize xs)
+
+let summaries t =
+  let keys =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun key _ acc -> key :: acc) t.samples [])
+  in
+  List.filter_map
+    (fun key -> Option.map (fun s -> (key, s)) (summary t key))
+    (List.sort compare keys)
+
+let summary_json (s : Stats.summary) =
+  Json.Object
+    [
+      ("n", Json.Number (float_of_int s.Stats.n));
+      ("mean", Json.Number s.Stats.mean);
+      ("std", Json.Number s.Stats.std);
+      ("se", Json.Number s.Stats.se);
+      ("min", Json.Number s.Stats.min);
+      ("max", Json.Number s.Stats.max);
+    ]
+
+let to_json t =
+  Json.Object
+    [
+      ( "counters",
+        Json.Object
+          (List.map
+             (fun (name, n) -> (name, Json.Number (float_of_int n)))
+             (counters t)) );
+      ( "latency_ms",
+        Json.Object
+          (List.map (fun (key, s) -> (key, summary_json s)) (summaries t)) );
+    ]

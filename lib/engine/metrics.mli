@@ -1,0 +1,47 @@
+(** Engine observability: named counters and latency recorders.
+
+    One {!t} is shared by everything inside an engine — the shared
+    index, every session, the batch scheduler — and possibly by several
+    domains at once during a parallel drain, so every operation is
+    thread-safe (one mutex per registry; the critical sections are a few
+    instructions). Counters and latency keys spring into existence on
+    first use: callers never pre-register.
+
+    Latency summaries come from {!Cdw_util.Stats} and the whole registry
+    exports as {!Cdw_util.Json} for the [cdw serve-bench] subcommand and
+    the engine benchmark. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val counter : t -> string -> int
+(** 0 for never-touched counters. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Latencies} *)
+
+val record_ms : t -> string -> float -> unit
+(** Append one latency sample (milliseconds) under the given key. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, record its wall-clock duration under the key, return
+    its result. Exceptions propagate without recording. *)
+
+val summary : t -> string -> Cdw_util.Stats.summary option
+(** [None] when no sample was recorded under the key. *)
+
+val summaries : t -> (string * Cdw_util.Stats.summary) list
+(** All latency summaries, sorted by key. *)
+
+(** {1 Export} *)
+
+val to_json : t -> Cdw_util.Json.t
+(** [{ "counters": { name: count, … },
+       "latency_ms": { key: { "n", "mean", "std", "se", "min", "max" }, … } }] *)

@@ -1,0 +1,54 @@
+module Algorithms = Cdw_core.Algorithms
+module Incremental = Cdw_core.Incremental
+module Splitmix = Cdw_util.Splitmix
+
+type t = { id : string; inner : Incremental.t }
+
+let create ~index ~algorithm ~(options : Algorithms.Options.t) ~rng_seed id =
+  let metrics = Shared_index.metrics index in
+  let options =
+    {
+      options with
+      Algorithms.Options.rng = Some (Splitmix.create rng_seed);
+      paths_for = Some (Shared_index.path_provider index);
+    }
+  in
+  let base = Shared_index.base index in
+  let solver wf cs =
+    Metrics.incr metrics ("solve." ^ Algorithms.to_string algorithm);
+    (* Solves from the pristine base (the common case: every first add
+       and every full re-solve) reuse the index's memoized base
+       utility instead of re-sweeping the workflow. *)
+    let options =
+      if wf == base && options.Algorithms.Options.utility = None then
+        {
+          options with
+          Algorithms.Options.utility_before =
+            Some (Shared_index.base_utility index);
+        }
+      else options
+    in
+    Metrics.time metrics "solve" (fun () ->
+        Algorithms.solve ~options algorithm wf cs)
+  in
+  let oracle =
+    {
+      Incremental.connected =
+        (fun ~source ~target -> Shared_index.connected index ~source ~target);
+    }
+  in
+  let inner =
+    Incremental.create ~algorithm:solver ~oracle ~copy_base:false
+      (Shared_index.base index)
+  in
+  { id; inner }
+
+let id t = t.id
+let workflow t = Incremental.workflow t.inner
+let constraints t = Incremental.constraints t.inner
+let utility t = Incremental.utility t.inner
+let stats t = Incremental.stats t.inner
+let add t pairs = Incremental.add t.inner pairs
+let withdraw t pairs = Incremental.withdraw t.inner pairs
+let update t ~add ~withdraw = Incremental.update t.inner ~add ~withdraw
+let resolve t = Incremental.resolve_batch t.inner

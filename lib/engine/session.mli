@@ -1,0 +1,59 @@
+(** One user's consent session inside the engine pool.
+
+    A session is a {!Cdw_core.Incremental} consent state wired onto the
+    engine's shared structure instead of private recomputation:
+
+    - it shares the pool's immutable base workflow (no per-session
+      copies of the base),
+    - base-connectivity checks go through the shared reachability
+      snapshot (O(1) instead of BFS),
+    - the solving algorithm pulls constraint paths from the shared
+      per-(user, purpose) cache,
+    - every solve is counted and timed in the engine's {!Metrics.t}
+      ([solve.<algorithm>] counters, [solve] latency key).
+
+    Randomized solves draw from a per-session generator seeded
+    deterministically from the engine seed and the session id, so batch
+    results are reproducible and independent of drain parallelism (the
+    engine serialises each session's requests). Sessions are not
+    themselves thread-safe — the engine never runs two requests of one
+    session concurrently. *)
+
+type t
+
+val create :
+  index:Shared_index.t ->
+  algorithm:Cdw_core.Algorithms.name ->
+  options:Cdw_core.Algorithms.Options.t ->
+  rng_seed:int ->
+  string ->
+  t
+(** [create ~index ~algorithm ~options ~rng_seed id]: [options] is the
+    engine-wide template; its [rng] is replaced by a fresh
+    [Splitmix.create rng_seed] and its [paths_for] by the shared
+    index's path provider. *)
+
+val id : t -> string
+
+val workflow : t -> Cdw_core.Workflow.t
+(** The session's current consented workflow. Read-only: it aliases the
+    shared base until the first cut. *)
+
+val constraints : t -> Cdw_core.Constraint_set.t
+
+val utility : t -> float
+
+val stats : t -> Cdw_core.Incremental.stats
+
+val add : t -> (int * int) list -> (unit, string) result
+
+val withdraw : t -> (int * int) list -> (unit, string) result
+
+val update :
+  t -> add:(int * int) list -> withdraw:(int * int) list ->
+  (unit, string) result
+(** {!Cdw_core.Incremental.update}: one atomic net change, at most one
+    solve — what a coalesced drain batch executes. *)
+
+val resolve : t -> unit
+(** Batch re-solve of all accepted constraints from the base. *)

@@ -1,0 +1,107 @@
+module Digraph = Cdw_graph.Digraph
+module Paths = Cdw_graph.Paths
+module Reach = Cdw_graph.Reach
+module Topo = Cdw_graph.Topo
+module Workflow = Cdw_core.Workflow
+
+type path_entry =
+  | Cached of int list list  (* edge ids, in base DFS order *)
+  | Overflow  (* more than [max_paths] paths: never cache, enumerate *)
+
+type t = {
+  base : Workflow.t;
+  topo : int array;
+  snapshot : Reach.Snapshot.t;
+  mutable base_utility : float option;  (* lazy; guarded by [lock] *)
+  paths : (int * int, path_entry) Hashtbl.t;
+  lock : Mutex.t;
+  max_cached_pairs : int;
+  max_paths : int;
+  metrics : Metrics.t;
+}
+
+let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let base = Workflow.copy wf in
+  let g = Workflow.graph base in
+  {
+    base;
+    topo = Topo.sort g;
+    snapshot = Reach.Snapshot.create g;
+    base_utility = None;
+    paths = Hashtbl.create 256;
+    lock = Mutex.create ();
+    max_cached_pairs;
+    max_paths;
+    metrics;
+  }
+
+let base t = t.base
+let metrics t = t.metrics
+let topo_order t = t.topo
+let snapshot t = t.snapshot
+
+let connected t ~source ~target =
+  Metrics.incr t.metrics "index.connected";
+  Reach.Snapshot.reaches t.snapshot source target
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let cached_pairs t = with_lock t (fun () -> Hashtbl.length t.paths)
+
+(* The base never changes, so its utility is a constant of the index:
+   sessions solving from the pristine base reuse it instead of paying a
+   full [Utility.total] sweep before every solve. *)
+let base_utility t =
+  with_lock t (fun () ->
+      match t.base_utility with
+      | Some u -> u
+      | None ->
+          let u = Cdw_core.Utility.total t.base in
+          t.base_utility <- Some u;
+          u)
+
+(* The base path set of a pair, memoizing on first use. Enumeration runs
+   outside the lock: two domains racing on the same cold pair duplicate
+   a little work instead of serialising every other pair behind it. *)
+let base_entry t ~source ~target =
+  let key = (source, target) in
+  match with_lock t (fun () -> Hashtbl.find_opt t.paths key) with
+  | Some entry ->
+      Metrics.incr t.metrics "index.paths.hit";
+      entry
+  | None ->
+      Metrics.incr t.metrics "index.paths.miss";
+      let entry =
+        match
+          Paths.all_paths ~max_paths:t.max_paths (Workflow.graph t.base)
+            ~src:source ~dst:target
+        with
+        | paths ->
+            Cached (List.map (List.map Digraph.edge_id) paths)
+        | exception Paths.Too_many_paths _ -> Overflow
+      in
+      with_lock t (fun () ->
+          if
+            Hashtbl.length t.paths < t.max_cached_pairs
+            && not (Hashtbl.mem t.paths key)
+          then Hashtbl.add t.paths key entry);
+      entry
+
+let live_paths t wf ~source ~target =
+  let g = Workflow.graph wf in
+  match base_entry t ~source ~target with
+  | Overflow ->
+      Metrics.incr t.metrics "index.paths.overflow";
+      Paths.all_paths ~max_paths:t.max_paths g ~src:source ~dst:target
+  | Cached ids ->
+      List.filter_map
+        (fun path ->
+          let edges = List.map (Digraph.edge g) path in
+          if List.exists Digraph.edge_removed edges then None
+          else Some edges)
+        ids
+
+let path_provider t = fun wf ~source ~target -> live_paths t wf ~source ~target

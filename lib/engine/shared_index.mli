@@ -1,0 +1,73 @@
+(** The engine's amortization core: one immutable base workflow plus the
+    structure every solve would otherwise re-derive from scratch.
+
+    A naive consent service answers each request by re-running topo
+    sort, reachability BFS and per-constraint path enumeration on a
+    private copy of the workflow. Since the base workflow is the same
+    for every user, all of that is shared here instead:
+
+    - the topological order of the base,
+    - an all-pairs reachability snapshot ({!Cdw_graph.Reach.Snapshot}) —
+      O(1) [connected] queries,
+    - a memoized per-(user, purpose) path cache with a bounded number of
+      cached pairs and a per-pair enumeration cap.
+
+    Sessions work on *cut copies* of the base. Cached base paths still
+    serve them: a base path is a live path of the copy iff every one of
+    its edges is still live (copies preserve edge ids), so
+    {!live_paths} filters rather than re-enumerates — and the filtered
+    list provably equals what a fresh DFS on the copy would produce, in
+    the same order (property-tested in [test_engine.ml]).
+
+    All queries are thread-safe; the underlying snapshot and the base
+    itself are immutable, the path cache takes a mutex. Cache traffic is
+    counted in the shared {!Metrics.t} under [index.*]. *)
+
+type t
+
+val create :
+  ?max_cached_pairs:int ->
+  ?max_paths:int ->
+  ?metrics:Metrics.t ->
+  Cdw_core.Workflow.t ->
+  t
+(** Snapshots the given workflow (private copy, taken as the immutable
+    base) and precomputes topo order and the reachability snapshot.
+    [max_cached_pairs] (default 4096) bounds the number of
+    (source, target) pairs whose path sets are memoized; beyond it, path
+    queries fall through to plain enumeration. [max_paths] (default
+    200_000) caps enumeration per pair; pairs that overflow are
+    remembered as such and always answered by direct (capped)
+    enumeration on the live workflow. *)
+
+val base : t -> Cdw_core.Workflow.t
+(** The immutable base. Never mutate it — every session of the pool
+    shares it. *)
+
+val metrics : t -> Metrics.t
+
+val topo_order : t -> int array
+
+val snapshot : t -> Cdw_graph.Reach.Snapshot.t
+
+val connected : t -> source:int -> target:int -> bool
+(** O(1): was [target] reachable from [source] in the base? *)
+
+val live_paths :
+  t -> Cdw_core.Workflow.t -> source:int -> target:int ->
+  Cdw_graph.Digraph.edge list list
+(** The live source→target paths of the given workflow, which must be
+    the base itself or a (possibly cut) copy of it. Served by filtering
+    the cached base path set by edge liveness; counts
+    [index.paths.hit]/[.miss]/[.overflow]. *)
+
+val path_provider : t -> Cdw_core.Algorithms.Options.path_provider
+(** {!live_paths} packaged for {!Cdw_core.Algorithms.Options}. *)
+
+val cached_pairs : t -> int
+(** Number of (source, target) path sets currently memoized. *)
+
+val base_utility : t -> float
+(** [Cdw_core.Utility.total] of the base, computed once and memoized —
+    the before-solve utility of every solve that starts from the
+    pristine base. *)

@@ -14,10 +14,17 @@ type point = {
 }
 
 let once ~(profile : Profile.t) name (instance : Generator.t) =
-  let deadline = Timing.deadline_after_ms profile.Profile.timeout_ms in
+  let options =
+    {
+      Algorithms.Options.default with
+      Algorithms.Options.deadline =
+        Timing.deadline_after_ms profile.Profile.timeout_ms;
+      max_paths = Some profile.Profile.max_paths;
+    }
+  in
   let run () =
-    Algorithms.run ~deadline ~max_paths:profile.Profile.max_paths name
-      instance.Generator.workflow instance.Generator.constraints
+    Algorithms.solve ~options name instance.Generator.workflow
+      instance.Generator.constraints
   in
   match Timing.time_f (fun () ->
       try Some (run ()) with

@@ -43,6 +43,33 @@ let target_bitsets g ~targets =
   done;
   sets
 
+module Snapshot = struct
+  type t = { n : int; desc : Bitset.t array }
+
+  let create g =
+    let n = Digraph.n_vertices g in
+    let desc =
+      Array.init n (fun v ->
+          let b = Bitset.create n in
+          Bitset.add b v;
+          b)
+    in
+    let order = Topo.sort g in
+    (* Reverse topological order: a vertex's successors are finalised
+       before the vertex itself, exactly as in [target_bitsets]. *)
+    for pos = Array.length order - 1 downto 0 do
+      let v = order.(pos) in
+      List.iter
+        (fun e -> Bitset.union_into desc.(v) desc.(Digraph.edge_dst e))
+        (Digraph.out_edges g v)
+    done;
+    { n; desc }
+
+  let n_vertices t = t.n
+  let reaches t u v = Bitset.mem t.desc.(u) v
+  let descendants t u = t.desc.(u)
+end
+
 let reachability_subgraph_edges g t =
   let reaches = to_target g t in
   List.rev

@@ -27,3 +27,31 @@ val reachability_subgraph_edges : Digraph.t -> int -> Digraph.edge list
 (** Live edges [(u, v)] such that the given target is reachable from [v]
     (or [v] is the target): the edge set [E_p] of the paper's
     reachability subgraph [G_p]. *)
+
+(** Reusable all-pairs reachability snapshots.
+
+    A snapshot captures, for every vertex, the bitset of vertices
+    reachable from it over the live edges at construction time — one DP
+    sweep in reverse topological order, [O(V·E/w)] words total. Queries
+    are then O(1), which is what a serving layer needs when the same
+    immutable base graph answers connectivity questions for thousands of
+    user sessions (each per-query BFS would re-walk the whole graph).
+
+    The snapshot is immutable and does not observe later edge removals;
+    build it once per pristine base graph and share it freely across
+    domains (reads only). Requires the live subgraph to be a DAG. *)
+module Snapshot : sig
+  type t
+
+  val create : Digraph.t -> t
+
+  val n_vertices : t -> int
+
+  val reaches : t -> int -> int -> bool
+  (** [reaches s u v] iff a directed (possibly empty) path [u → … → v]
+      existed when the snapshot was taken; [reaches s v v] is [true]. *)
+
+  val descendants : t -> int -> Cdw_util.Bitset.t
+  (** The full reachable set of a vertex (self included). Treat as
+      read-only: the bitset is the snapshot's internal storage. *)
+end

@@ -27,6 +27,7 @@ let () =
       ("substrate/scc-pushrelabel-enforce", Test_scc_pushrelabel_enforce.suite);
       ("workload/generator", Test_generator.suite);
       ("workload/catalog", Test_catalog.suite);
+      ("engine", Test_engine.suite);
       ("expers", Test_expers.suite);
       ("cli", Test_cli.suite);
       ("edge-cases", Test_edge_cases.suite);

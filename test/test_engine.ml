@@ -1,0 +1,298 @@
+(* Tests for the multi-user serving engine: shared-index correctness
+   (reachability snapshot, cached-path filtering), engine-vs-fresh-solve
+   equivalence for every algorithm, withdrawal invalidation, and
+   determinism of parallel drains. *)
+
+open Cdw_core
+module Engine = Cdw_engine.Engine
+module Metrics = Cdw_engine.Metrics
+module Session = Cdw_engine.Session
+module Shared_index = Cdw_engine.Shared_index
+module Workbench = Cdw_engine.Workbench
+module Digraph = Cdw_graph.Digraph
+module Paths = Cdw_graph.Paths
+module Reach = Cdw_graph.Reach
+module Generator = Cdw_workload.Generator
+module Json = Cdw_util.Json
+module Splitmix = Cdw_util.Splitmix
+
+let instance ?(n_vertices = 24) ?(stages = 3) seed =
+  Generator.generate ~seed
+    {
+      Cdw_workload.Gen_params.default with
+      Cdw_workload.Gen_params.n_vertices;
+      n_constraints = 0;
+      stages;
+    }
+
+(* The first [k] (user, purpose) pairs connected in the base. *)
+let connected_pairs wf k =
+  let g = Workflow.graph wf in
+  let all =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun t ->
+            if Reach.exists_path g s t then Some (s, t) else None)
+          (Workflow.purposes wf))
+      (Workflow.users wf)
+  in
+  List.filteri (fun i _ -> i < k) all
+
+let ok_or_fail = function Ok () -> () | Error e -> Alcotest.fail e
+
+(* ---------------------------------------------------------------- *)
+(* Reach.Snapshot                                                     *)
+
+let test_snapshot_matches_bfs =
+  Test_helpers.qcheck ~count:50 "snapshot matches per-query BFS"
+    QCheck2.Gen.(pair small_nat (int_bound 1000))
+    (fun (n, seed) ->
+      let n = max 2 (n mod 30) in
+      let g = Test_helpers.random_dag ~seed ~n ~density:0.15 in
+      let snap = Reach.Snapshot.create g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if not (Reach.Snapshot.reaches snap u u) then ok := false;
+        for v = 0 to n - 1 do
+          if u <> v
+             && Reach.Snapshot.reaches snap u v <> Reach.exists_path g u v
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------------------------------------------------------------- *)
+(* Shared_index                                                       *)
+
+(* Cached base paths filtered by liveness must equal a fresh DFS
+   enumeration on the cut copy — same paths, same order. *)
+let test_live_paths_equal_fresh =
+  Test_helpers.qcheck ~count:50 "live_paths == fresh enumeration on cut copies"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let i = instance seed in
+      let wf = i.Generator.workflow in
+      let index = Shared_index.create wf in
+      let base = Shared_index.base index in
+      let pairs = connected_pairs base 4 in
+      (* Cut a copy: remove the first edge of the first path of each pair. *)
+      let copy = Workflow.copy base in
+      List.iter
+        (fun (s, t) ->
+          match Paths.all_paths (Workflow.graph copy) ~src:s ~dst:t with
+          | (e :: _) :: _ when not (Digraph.edge_removed e) ->
+              ignore (Valuation.remove_with_cascade copy [ e ])
+          | _ -> ())
+        pairs;
+      List.for_all
+        (fun (s, t) ->
+          let cached =
+            Shared_index.live_paths index copy ~source:s ~target:t
+            |> List.map (List.map Digraph.edge_id)
+          in
+          let fresh =
+            Paths.all_paths (Workflow.graph copy) ~src:s ~dst:t
+            |> List.map (List.map Digraph.edge_id)
+          in
+          cached = fresh)
+        pairs)
+
+let test_base_utility () =
+  let i = instance 7 in
+  let index = Shared_index.create i.Generator.workflow in
+  Alcotest.(check (float 1e-9))
+    "memoized base utility"
+    (Utility.total (Shared_index.base index))
+    (Shared_index.base_utility index)
+
+(* ---------------------------------------------------------------- *)
+(* Engine vs fresh solve, per algorithm                               *)
+
+let live_ids wf = Test_helpers.live_edge_ids (Workflow.graph wf)
+
+(* One user, one Add: the engine session (shared base, cached paths,
+   memoized base utility) must land on exactly the solution a fresh
+   [Algorithms.solve] computes from scratch. *)
+let test_engine_matches_fresh () =
+  let i = instance 11 in
+  let wf = i.Generator.workflow in
+  let pairs = connected_pairs wf 3 in
+  List.iter
+    (fun algorithm ->
+      let engine = Engine.create ~algorithm ~seed:123 wf in
+      Engine.submit engine ~user:"u" (Engine.Add pairs);
+      List.iter
+        (fun (r : Engine.reply) -> ok_or_fail r.Engine.result)
+        (Engine.drain engine);
+      let session = Engine.session engine "u" in
+      let options =
+        {
+          Algorithms.Options.default with
+          Algorithms.Options.rng =
+            Some (Splitmix.create (Engine.session_seed engine "u"));
+        }
+      in
+      let cs = Constraint_set.make_exn wf (List.sort_uniq compare pairs) in
+      let outcome = Algorithms.solve ~options algorithm wf cs in
+      let name = Algorithms.to_string algorithm in
+      Alcotest.(check (list int))
+        (name ^ ": same removed edges")
+        (live_ids outcome.Algorithms.workflow)
+        (live_ids (Session.workflow session));
+      Alcotest.(check (float 1e-9))
+        (name ^ ": same utility")
+        outcome.Algorithms.utility_after (Session.utility session);
+      Alcotest.(check bool)
+        (name ^ ": consented") true
+        (Constraint_set.satisfied (Session.workflow session)
+           (Session.constraints session)))
+    Algorithms.all_names
+
+(* ---------------------------------------------------------------- *)
+(* Withdrawal invalidation                                            *)
+
+let test_withdrawal_invalidation () =
+  let i = instance 13 in
+  let wf = i.Generator.workflow in
+  let pairs = connected_pairs wf 4 in
+  let withdrawn, kept =
+    (List.filteri (fun i _ -> i < 2) pairs, List.filteri (fun i _ -> i >= 2) pairs)
+  in
+  let engine = Engine.create ~algorithm:Algorithms.Remove_first_edge wf in
+  Engine.submit engine ~user:"u" (Engine.Add pairs);
+  List.iter
+    (fun (r : Engine.reply) -> ok_or_fail r.Engine.result)
+    (Engine.drain engine);
+  (* Separate drain: the withdrawal must rebuild from the pristine
+     base, resurrecting edges cut only for the withdrawn pairs. *)
+  Engine.submit engine ~user:"u" (Engine.Withdraw withdrawn);
+  List.iter
+    (fun (r : Engine.reply) -> ok_or_fail r.Engine.result)
+    (Engine.drain engine);
+  let session = Engine.session engine "u" in
+  Alcotest.(check (list (pair int int)))
+    "remaining constraints"
+    (List.sort compare kept)
+    (List.sort compare (Constraint_set.pairs (Session.constraints session)));
+  let fresh =
+    Algorithms.solve Algorithms.Remove_first_edge wf
+      (Constraint_set.make_exn wf (List.sort_uniq compare kept))
+  in
+  Alcotest.(check (list int))
+    "state equals fresh solve of the remaining set"
+    (live_ids fresh.Algorithms.workflow)
+    (live_ids (Session.workflow session));
+  Alcotest.(check int) "full resolve counted" 1
+    (Session.stats session).Incremental.full_resolves;
+  (* Withdrawing an unknown pair is an error and changes nothing. *)
+  let before = live_ids (Session.workflow session) in
+  Engine.submit engine ~user:"u" (Engine.Withdraw withdrawn);
+  (match Engine.drain engine with
+  | [ { Engine.result = Error _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an error reply");
+  Alcotest.(check (list int)) "session untouched" before
+    (live_ids (Session.workflow session))
+
+(* Coalescing inside one drain: add-then-withdraw nets out to a single
+   update; the final state matches serving the same script request by
+   request on a second engine across separate drains. *)
+let test_coalescing_net_change () =
+  let i = instance 17 in
+  let wf = i.Generator.workflow in
+  let pairs = connected_pairs wf 4 in
+  let first = List.filteri (fun i _ -> i < 2) pairs in
+  let script =
+    [ Engine.Add first; Engine.Add pairs; Engine.Withdraw first ]
+  in
+  let coalesced = Engine.create ~algorithm:Algorithms.Remove_first_edge wf in
+  List.iter (fun r -> Engine.submit coalesced ~user:"u" r) script;
+  let replies = Engine.drain coalesced in
+  Alcotest.(check int) "one reply per request" (List.length script)
+    (List.length replies);
+  List.iter (fun (r : Engine.reply) -> ok_or_fail r.Engine.result) replies;
+  let stepwise = Engine.create ~algorithm:Algorithms.Remove_first_edge wf in
+  List.iter
+    (fun r ->
+      Engine.submit stepwise ~user:"u" r;
+      List.iter
+        (fun (r : Engine.reply) -> ok_or_fail r.Engine.result)
+        (Engine.drain stepwise))
+    script;
+  Alcotest.(check (list (pair int int)))
+    "same final constraint set"
+    (List.sort compare
+       (Constraint_set.pairs (Session.constraints (Engine.session stepwise "u"))))
+    (List.sort compare
+       (Constraint_set.pairs (Session.constraints (Engine.session coalesced "u"))));
+  Alcotest.(check (list int))
+    "same final workflow"
+    (live_ids (Session.workflow (Engine.session stepwise "u")))
+    (live_ids (Session.workflow (Engine.session coalesced "u")));
+  Alcotest.(check int) "one solve for the whole batch" 1
+    (Session.stats (Engine.session coalesced "u")).Incremental.solver_runs
+
+(* ---------------------------------------------------------------- *)
+(* Parallel drain determinism                                         *)
+
+let strip (r : Engine.reply) = (r.Engine.user, r.Engine.request, r.Engine.result)
+
+let run_drain mode =
+  let i = instance ~n_vertices:40 19 in
+  let wf = i.Generator.workflow in
+  let pairs = Array.of_list (connected_pairs wf 8) in
+  let engine = Engine.create ~algorithm:Algorithms.Remove_random_edge ~seed:7 wf in
+  let rng = Splitmix.create 99 in
+  for round = 0 to 2 do
+    for u = 0 to 4 do
+      let user = Printf.sprintf "user-%d" u in
+      let pair = Splitmix.pick rng pairs in
+      Engine.submit engine ~user
+        (if round = 2 && u mod 2 = 0 then Engine.Resolve else Engine.Add [ pair ])
+    done
+  done;
+  let replies = Engine.drain ~mode engine in
+  let states =
+    List.map
+      (fun (user, s) -> (user, live_ids (Session.workflow s), Session.utility s))
+      (Engine.sessions engine)
+  in
+  (List.map strip replies, states)
+
+let test_parallel_equals_sequential () =
+  let seq_replies, seq_states = run_drain `Sequential in
+  let par_replies, par_states = run_drain (`Parallel 4) in
+  Alcotest.(check bool) "same replies" true (seq_replies = par_replies);
+  Alcotest.(check bool) "same final session states" true
+    (seq_states = par_states)
+
+(* ---------------------------------------------------------------- *)
+(* Metrics / workbench                                                *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_metrics_json () =
+  let result = Workbench.run ~trials:1 Workbench.quick in
+  Alcotest.(check bool) "speedup positive" true (result.Workbench.speedup > 0.0);
+  Alcotest.(check bool) "shared path cache hit" true
+    (result.Workbench.path_cache_hits > 0);
+  let json = Json.to_string result.Workbench.metrics in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (contains json key))
+    [ "counters"; "latency_ms"; "sessions"; "index.paths.hit"; "solve" ]
+
+let suite =
+  [
+    test_snapshot_matches_bfs;
+    test_live_paths_equal_fresh;
+    ("memoized base utility", `Quick, test_base_utility);
+    ("engine matches fresh solve", `Quick, test_engine_matches_fresh);
+    ("withdrawal invalidation", `Quick, test_withdrawal_invalidation);
+    ("coalesced net change", `Quick, test_coalescing_net_change);
+    ("parallel == sequential drain", `Quick, test_parallel_equals_sequential);
+    ("metrics json", `Quick, test_metrics_json);
+  ]
