@@ -10,4 +10,16 @@ dune runtest
 # perf trajectory stays current PR over PR.
 dune exec bench/engine.exe -- --quick --out BENCH_engine.json
 
+# Crash-recovery smoke: journal a serving run, tear the last append,
+# prove the ledger recovers and compacts back to a clean state.
+STORE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR"' EXIT
+dune exec bin/cdw.exe -- serve-bench --quick --trials 1 \
+  --journal "$STORE_DIR" --fsync never > /dev/null
+dune exec bin/cdw.exe -- store fault "$STORE_DIR" --truncate-tail 7
+dune exec bin/cdw.exe -- store verify "$STORE_DIR" > /dev/null  # damaged but scannable
+dune exec bin/cdw.exe -- store replay "$STORE_DIR"              # prefix-consistent rebuild
+dune exec bin/cdw.exe -- store compact "$STORE_DIR"
+dune exec bin/cdw.exe -- store verify "$STORE_DIR" --strict     # clean after compaction
+
 echo "check.sh: ok"

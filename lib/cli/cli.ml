@@ -219,8 +219,28 @@ let serve_bench_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the full result (config, timings, engine metrics) as JSON.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write just the engine's metrics registry (counters and latency summaries) as JSON.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc:"Journal the engine run into a durable consent ledger at $(docv), measuring the durability overhead.")
+  in
+  let fsync_conv =
+    let parse s =
+      match Cdw_store.Wal.fsync_policy_of_string s with
+      | Ok p -> Ok p
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      ( parse,
+        fun ppf p ->
+          Format.pp_print_string ppf (Cdw_store.Wal.fsync_policy_to_string p) )
+  in
+  let fsync =
+    Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
+  in
   let run quick vertices stages density sessions batches pairs no_withdrawals
-      seed domains algo trials out =
+      seed domains algo trials out metrics_out journal fsync =
     let base = if quick then Workbench.quick else Workbench.default in
     let pick field = function Some v -> v | None -> field base in
     let config =
@@ -238,21 +258,52 @@ let serve_bench_cmd =
         domains = pick (fun c -> c.Workbench.domains) domains;
       }
     in
-    match Workbench.run ~trials config with
+    (* Each timing trial gets a fresh engine, so the attach hook
+       re-creates the ledger per trial (closing the previous one);
+       what survives the run is the last trial's ledger. *)
+    let store = ref None in
+    let close_store () =
+      match !store with
+      | Some s ->
+          Cdw_store.Store.close s;
+          store := None
+      | None -> ()
+    in
+    let attach =
+      Option.map
+        (fun dir engine ->
+          close_store ();
+          store := Some (Cdw_store.Store.create_for ?fsync ~dir engine))
+        journal
+    in
+    let write_json file json =
+      let oc = open_out file in
+      output_string oc (Cdw_util.Json.to_string json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+    in
+    match Workbench.run ~trials ?attach config with
     | result ->
+        close_store ();
         Format.printf "%a@." Workbench.pp result;
         print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
+        Option.iter
+          (fun dir ->
+            Printf.printf "journaled to %s (fsync %s)\n" dir
+              (Cdw_store.Wal.fsync_policy_to_string
+                 (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
+          journal;
         (match out with
         | None -> ()
-        | Some file ->
-            let oc = open_out file in
-            output_string oc
-              (Cdw_util.Json.to_string (Workbench.result_json result));
-            output_string oc "\n";
-            close_out oc;
-            Printf.printf "wrote %s\n" file);
+        | Some file -> write_json file (Workbench.result_json result));
+        (match metrics_out with
+        | None -> ()
+        | Some file -> write_json file result.Workbench.metrics);
         `Ok ()
-    | exception Invalid_argument msg -> `Error (false, msg)
+    | exception Invalid_argument msg ->
+        close_store ();
+        `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -262,7 +313,122 @@ let serve_bench_cmd =
     Term.(
       ret
         (const run $ quick $ vertices $ stages $ density $ sessions $ batches
-       $ pairs $ no_withdrawals $ seed $ domains $ algo $ trials $ out))
+       $ pairs $ no_withdrawals $ seed $ domains $ algo $ trials $ out
+       $ metrics_out $ journal $ fsync))
+
+(* ---------------------------------------------------------------- *)
+(* store                                                              *)
+
+let store_cmd =
+  let module Store = Cdw_store.Store in
+  let module Wal = Cdw_store.Wal in
+  let module Fault = Cdw_store.Fault in
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Ledger directory.")
+  in
+  let verify_cmd =
+    let strict =
+      Arg.(value & flag & info [ "strict" ] ~doc:"Fail unless the ledger is clean (no torn or corrupt tail).")
+    in
+    let run dir strict =
+      match Store.verify dir with
+      | Error msg -> `Error (false, msg)
+      | Ok report ->
+          Format.printf "%a@." Store.pp_report report;
+          if strict && not (Store.report_clean report) then
+            `Error (false, "ledger has a damaged tail (see report above)")
+          else `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Scan the ledger's whole WAL, checking every frame CRC and record.")
+      Term.(ret (const run $ dir_arg $ strict))
+  in
+  let replay_cmd =
+    let state =
+      Arg.(value & flag & info [ "state" ] ~doc:"Also print the recovered per-user constraint state as JSON.")
+    in
+    let run dir state =
+      match Store.recover dir with
+      | Error msg -> `Error (false, msg)
+      | Ok r ->
+          Format.printf
+            "@[<v>recovered %s@,\
+             algorithm       %s (seed %d)@,\
+             generation      %d@,\
+             snapshot users  %d@,\
+             replayed        %d records@,\
+             valid prefix    %d bytes@,\
+             tail            %a@]@."
+            dir
+            (Algorithms.to_string r.Store.algorithm)
+            r.Store.seed r.Store.generation r.Store.snapshot_users
+            r.Store.replayed r.Store.valid_end Wal.pp_tail r.Store.tail;
+          if state then
+            print_endline
+              (Cdw_util.Json.to_string (Store.snapshot_state_json r.Store.engine));
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Rebuild engine state from the ledger (snapshot + WAL tail) and report it.")
+      Term.(ret (const run $ dir_arg $ state))
+  in
+  let compact_cmd =
+    let run dir =
+      match Store.resume dir with
+      | Error msg -> `Error (false, msg)
+      | Ok (store, r) ->
+          let old_generation = r.Store.generation in
+          Store.compact store r.Store.engine;
+          Printf.printf
+            "compacted %s: generation %d -> %d, log folded into snapshot\n" dir
+            old_generation (Store.generation store);
+          Store.close store;
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Fold the WAL into a fresh snapshot and start an empty next-generation log.")
+      Term.(ret (const run $ dir_arg))
+  in
+  let fault_cmd =
+    let truncate_tail =
+      Arg.(value & opt (some int) None & info [ "truncate-tail" ] ~docv:"N" ~doc:"Cut the last $(docv) bytes off the current WAL (simulates a torn append).")
+    in
+    let flip_bit =
+      Arg.(value & opt (some (pair ~sep:':' int int)) None & info [ "flip-bit" ] ~docv:"BYTE:BIT" ~doc:"Flip one bit of the current WAL (simulates bit rot).")
+    in
+    let run dir truncate_tail flip_bit =
+      if truncate_tail = None && flip_bit = None then
+        `Error (true, "no fault requested: pass --truncate-tail or --flip-bit")
+      else
+        match Store.current_wal_path dir with
+        | Error msg -> `Error (false, msg)
+        | Ok wal -> (
+            try
+              Option.iter
+                (fun n ->
+                  Fault.truncate_tail wal n;
+                  Printf.printf "truncated %d tail byte(s) of %s\n" n wal)
+                truncate_tail;
+              Option.iter
+                (fun (byte, bit) ->
+                  Fault.flip_bit wal ~byte ~bit;
+                  Printf.printf "flipped bit %d of byte %d in %s\n" bit byte wal)
+                flip_bit;
+              `Ok ()
+            with Invalid_argument msg | Failure msg -> `Error (false, msg))
+    in
+    Cmd.v
+      (Cmd.info "fault"
+         ~doc:"Inject a fault into the current WAL, for recovery drills.")
+      Term.(ret (const run $ dir_arg $ truncate_tail $ flip_bit))
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect, replay, compact and fault-test the durable consent ledger.")
+    [ verify_cmd; replay_cmd; compact_cmd; fault_cmd ]
 
 (* ---------------------------------------------------------------- *)
 (* experiment                                                         *)
@@ -343,6 +509,6 @@ let experiment_cmd =
 let main =
   let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
   Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
-    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; experiment_cmd ]
+    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; experiment_cmd ]
 
 let eval ?argv () = Cmd.eval ?argv main

@@ -4,11 +4,17 @@ type pair = { source : int; target : int }
 type t = pair list
 
 let make wf raw =
+  let n = Workflow.n_vertices wf in
   let seen = Hashtbl.create 16 in
   let rec loop acc = function
     | [] -> Ok (List.rev acc)
     | (s, t) :: rest -> (
-        if Hashtbl.mem seen (s, t) then
+        (* Ids straight from a request may never have named a vertex;
+           that is an error reply, not an exception. *)
+        if s < 0 || s >= n then Error (Printf.sprintf "unknown vertex id %d" s)
+        else if t < 0 || t >= n then
+          Error (Printf.sprintf "unknown vertex id %d" t)
+        else if Hashtbl.mem seen (s, t) then
           Error
             (Printf.sprintf "duplicate constraint (%s, %s)" (Workflow.name wf s)
                (Workflow.name wf t))

@@ -17,6 +17,12 @@ type reply = {
   time_ms : float;
 }
 
+type event =
+  | Submitted of { user : string; request : request }
+  | Session_opened of { user : string }
+  | Session_closed of { user : string }
+  | Drained of { seq : int; requests : int }
+
 type t = {
   index : Shared_index.t;
   algorithm : Algorithms.name;
@@ -24,7 +30,9 @@ type t = {
   seed : int;
   sessions : (string, Session.t) Hashtbl.t;
   mutable queue : (string * request) list;  (* reversed *)
-  lock : Mutex.t;  (* guards [sessions] and [queue] *)
+  mutable journal : (event -> unit) option;
+  mutable drains : int;  (* sequence number of the next drain *)
+  lock : Mutex.t;  (* guards [sessions], [queue], [journal], [drains] *)
 }
 
 let create ?(algorithm = Algorithms.Remove_min_mc)
@@ -37,15 +45,23 @@ let create ?(algorithm = Algorithms.Remove_min_mc)
     seed;
     sessions = Hashtbl.create 64;
     queue = [];
+    journal = None;
+    drains = 0;
     lock = Mutex.create ();
   }
 
 let index t = t.index
 let metrics t = Shared_index.metrics t.index
+let algorithm t = t.algorithm
+let seed t = t.seed
+
+let emit t event = match t.journal with Some j -> j event | None -> ()
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_journal t journal = with_lock t (fun () -> t.journal <- journal)
 
 let session_seed t user = t.seed lxor Hashtbl.hash user
 
@@ -60,7 +76,16 @@ let session t user =
           in
           Hashtbl.add t.sessions user s;
           Metrics.incr (metrics t) "engine.sessions.created";
+          emit t (Session_opened { user });
           s)
+
+let forget t user =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.sessions user then begin
+        Hashtbl.remove t.sessions user;
+        Metrics.incr (metrics t) "engine.sessions.forgotten";
+        emit t (Session_closed { user })
+      end)
 
 let sessions t =
   with_lock t (fun () ->
@@ -69,7 +94,12 @@ let sessions t =
 
 let submit t ~user request =
   Metrics.incr (metrics t) "engine.submitted";
-  with_lock t (fun () -> t.queue <- (user, request) :: t.queue)
+  (* The journal entry is written under the lock so the WAL order is
+     exactly the queue order even with concurrent submitters; [submit]
+     only returns once the event is durable per the journal's policy. *)
+  with_lock t (fun () ->
+      t.queue <- (user, request) :: t.queue;
+      emit t (Submitted { user; request }))
 
 let pending t = with_lock t (fun () -> List.length t.queue)
 
@@ -210,7 +240,22 @@ let drain ?mode t =
         | None -> Domain_pool.recommended_domains ()
       in
       Metrics.incr ~by:(Array.length tasks) m "engine.user_batches";
-      List.concat (Array.to_list (Domain_pool.run ~domains tasks)))
+      let replies =
+        List.concat (Array.to_list (Domain_pool.run ~domains tasks))
+      in
+      (* The drain boundary is journaled only once every reply is
+         computed: a WAL ending without it replays as submissions that
+         crashed mid-drain and get drained on recovery instead. Empty
+         drains leave no mark. *)
+      if replies <> [] then begin
+        let seq = with_lock t (fun () ->
+            let seq = t.drains in
+            t.drains <- seq + 1;
+            seq)
+        in
+        emit t (Drained { seq; requests = List.length replies })
+      end;
+      replies)
 
 let metrics_json t =
   let all = sessions t in

@@ -39,6 +39,17 @@ type reply = {
           shared by every request of a coalesced batch (see {!drain}) *)
 }
 
+type event =
+  | Submitted of { user : string; request : request }
+      (** a request entered the queue (emitted before {!submit} returns) *)
+  | Session_opened of { user : string }  (** a session joined the pool *)
+  | Session_closed of { user : string }  (** a session was {!forget}ten *)
+  | Drained of { seq : int; requests : int }
+      (** a non-empty {!drain} completed; [seq] counts drains from 0 *)
+(** The journaled lifecycle of an engine — what a durable consent
+    ledger ({!Cdw_store.Store}) persists to reconstruct the engine
+    after a crash. *)
+
 type t
 
 val create :
@@ -61,8 +72,29 @@ val index : t -> Shared_index.t
 
 val metrics : t -> Metrics.t
 
+val algorithm : t -> Cdw_core.Algorithms.name
+(** The solver every session of this engine runs. *)
+
+val seed : t -> int
+(** The engine seed the per-session generators derive from. *)
+
+val set_journal : t -> (event -> unit) option -> unit
+(** Install (or remove) the journal callback. [Submitted] and
+    [Session_*] events are emitted while the engine lock is held — the
+    callback must not call back into the engine for those (appending to
+    a log is fine); [Drained] is emitted outside the lock, so a
+    callback may inspect engine state there (e.g. to snapshot it).
+    {!submit} does not return before the callback has, which is what
+    makes write-ahead logging possible. *)
+
 val session : t -> string -> Session.t
 (** Get-or-create the session of the given user id. *)
+
+val forget : t -> string -> unit
+(** Drop the user's session (GDPR erasure / session close): its
+    accepted constraints and consented workflow are discarded. A no-op
+    for unknown users. Requests of that user still in the queue are
+    kept and will re-create a fresh session at the next drain. *)
 
 val sessions : t -> (string * Session.t) list
 (** All sessions, sorted by user id. *)

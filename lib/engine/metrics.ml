@@ -1,19 +1,44 @@
 module Json = Cdw_util.Json
+module Splitmix = Cdw_util.Splitmix
 module Stats = Cdw_util.Stats
 module Timing = Cdw_util.Timing
 
-type t = {
-  lock : Mutex.t;
-  counters : (string, int ref) Hashtbl.t;
-  samples : (string, float list ref) Hashtbl.t;  (* reversed *)
+(* One latency key: exact running aggregates (count, sum, min, max)
+   plus a bounded reservoir of samples (Vitter's algorithm R) that the
+   std/se estimate is computed from. A long-running engine records
+   millions of samples; storing them all would grow without limit, so
+   beyond [max_samples] each new sample replaces a uniformly random
+   slot with probability cap/count — the reservoir stays a uniform
+   sample of the whole stream. *)
+type series = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable filled : int;
+  buf : float array;
+  rng : Splitmix.t;  (* deterministic per key: replacement is seeded *)
 }
 
-let create () =
+type t = {
+  lock : Mutex.t;
+  max_samples : int;
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, series) Hashtbl.t;
+}
+
+let default_max_samples = 4096
+
+let create ?(max_samples = default_max_samples) () =
+  if max_samples < 2 then invalid_arg "Metrics.create: max_samples < 2";
   {
     lock = Mutex.create ();
+    max_samples;
     counters = Hashtbl.create 32;
     samples = Hashtbl.create 16;
   }
+
+let max_samples t = t.max_samples
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -43,33 +68,79 @@ let counters t =
       Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters [])
   |> List.sort compare
 
+let fresh_series t key () =
+  {
+    count = 0;
+    sum = 0.0;
+    minv = infinity;
+    maxv = neg_infinity;
+    filled = 0;
+    buf = Array.make t.max_samples 0.0;
+    rng = Splitmix.create (Hashtbl.hash key lxor 0x5A17);
+  }
+
 let record_ms t key ms =
   with_lock t (fun () ->
-      let c = cell t.samples key (fun () -> ref []) in
-      c := ms :: !c)
+      let s = cell t.samples key (fresh_series t key) in
+      s.count <- s.count + 1;
+      s.sum <- s.sum +. ms;
+      if ms < s.minv then s.minv <- ms;
+      if ms > s.maxv then s.maxv <- ms;
+      if s.filled < Array.length s.buf then begin
+        s.buf.(s.filled) <- ms;
+        s.filled <- s.filled + 1
+      end
+      else
+        let j = Splitmix.int s.rng s.count in
+        if j < Array.length s.buf then s.buf.(j) <- ms)
 
 let time t key f =
   let result, ms = Timing.time_f f in
   record_ms t key ms;
   result
 
+let stored_samples t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.samples key with
+      | Some s -> s.filled
+      | None -> 0)
+
+(* The summary blends exact aggregates (n, mean, min, max — tracked for
+   the whole stream) with the spread estimated from the reservoir, so
+   quantile-style fields stay stable however far [count] outruns the
+   cap. *)
+let summary_of_series s =
+  if s.count = 0 then None
+  else
+    let std =
+      if s.filled < 2 then 0.0
+      else
+        (Stats.summarize (Array.to_list (Array.sub s.buf 0 s.filled)))
+          .Stats.std
+    in
+    Some
+      {
+        Stats.n = s.count;
+        mean = s.sum /. float_of_int s.count;
+        std;
+        se = std /. sqrt (float_of_int s.count);
+        min = s.minv;
+        max = s.maxv;
+      }
+
 let summary t key =
-  let samples =
-    with_lock t (fun () ->
-        match Hashtbl.find_opt t.samples key with
-        | Some c -> !c
-        | None -> [])
-  in
-  match samples with [] -> None | xs -> Some (Stats.summarize xs)
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.samples key) summary_of_series)
 
 let summaries t =
-  let keys =
-    with_lock t (fun () ->
-        Hashtbl.fold (fun key _ acc -> key :: acc) t.samples [])
-  in
-  List.filter_map
-    (fun key -> Option.map (fun s -> (key, s)) (summary t key))
-    (List.sort compare keys)
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun key s acc ->
+          match summary_of_series s with
+          | Some summary -> (key, summary) :: acc
+          | None -> acc)
+        t.samples [])
+  |> List.sort compare
 
 let summary_json (s : Stats.summary) =
   Json.Object

@@ -9,11 +9,22 @@
 
     Latency summaries come from {!Cdw_util.Stats} and the whole registry
     exports as {!Cdw_util.Json} for the [cdw serve-bench] subcommand and
-    the engine benchmark. *)
+    the engine benchmark.
+
+    Latency storage is bounded: each key keeps exact running aggregates
+    (count, mean, min, max) plus a fixed-size uniform {e reservoir} of
+    samples (Vitter's algorithm R, deterministic per key) that the
+    std/se estimate comes from — a long-running engine records millions
+    of samples in O([max_samples]) memory, and {!summary} stays stable
+    however far the count outruns the cap. *)
 
 type t
 
-val create : unit -> t
+val create : ?max_samples:int -> unit -> t
+(** [max_samples] (default 4096, minimum 2) caps the per-key sample
+    reservoir. *)
+
+val max_samples : t -> int
 
 (** {1 Counters} *)
 
@@ -28,14 +39,22 @@ val counters : t -> (string * int) list
 (** {1 Latencies} *)
 
 val record_ms : t -> string -> float -> unit
-(** Append one latency sample (milliseconds) under the given key. *)
+(** Record one latency sample (milliseconds) under the given key. Past
+    the reservoir cap it replaces a uniformly random retained sample
+    with probability [cap/count]. *)
+
+val stored_samples : t -> string -> int
+(** Samples currently retained for the key — at most
+    {!max_samples}. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk, record its wall-clock duration under the key, return
     its result. Exceptions propagate without recording. *)
 
 val summary : t -> string -> Cdw_util.Stats.summary option
-(** [None] when no sample was recorded under the key. *)
+(** [None] when no sample was recorded under the key. [n], [mean],
+    [min] and [max] are exact over the full stream; [std]/[se] are
+    estimated from the reservoir. *)
 
 val summaries : t -> (string * Cdw_util.Stats.summary) list
 (** All latency summaries, sorted by key. *)

@@ -127,8 +127,10 @@ let run_naive config wf requests =
       solve_from_scratch user)
     requests
 
-let run_engine config wf requests =
+let run_engine ?attach config wf requests =
   let engine = Engine.create ~algorithm:config.algorithm ~seed:config.seed wf in
+  (* Attach before any submit so journaling hooks see every event. *)
+  (match attach with Some f -> f engine | None -> ());
   List.iter (fun (user, request) -> Engine.submit engine ~user request) requests;
   let replies = Engine.drain ~mode:(`Parallel config.domains) engine in
   (engine, replies)
@@ -150,7 +152,7 @@ let best_of trials f =
   | Some x -> x
   | None -> invalid_arg "Workbench: trials must be >= 1"
 
-let run ?(trials = 3) config =
+let run ?(trials = 3) ?attach config =
   let instance = generate config in
   let wf = instance.Generator.workflow in
   let pairs = connected_pairs wf in
@@ -160,7 +162,7 @@ let run ?(trials = 3) config =
   let n_requests = List.length requests in
   let (), naive_ms = best_of trials (fun () -> run_naive config wf requests) in
   let (engine, replies), engine_ms =
-    best_of trials (fun () -> run_engine config wf requests)
+    best_of trials (fun () -> run_engine ?attach config wf requests)
   in
   List.iter
     (fun (r : Engine.reply) ->

@@ -57,12 +57,18 @@ type result = {
   metrics : Cdw_util.Json.t;  (** {!Engine.metrics_json} after the drain *)
 }
 
-val run : ?trials:int -> config -> result
+val run : ?trials:int -> ?attach:(Engine.t -> unit) -> config -> result
 (** Runs both servers on the identical script and reports the best of
     [trials] (default 3) wall times for each — both are stateless across
     trials, so the minimum is the measurement least disturbed by the
     rest of the machine. Raises [Invalid_argument] if any engine reply
-    is an error or [trials < 1]. *)
+    is an error or [trials < 1].
+
+    [attach] is called on each freshly created engine before any
+    request is submitted — the hook [cdw serve-bench --journal] uses to
+    wire a {!Cdw_store.Store} journal onto the engine under test (its
+    cost is charged to the engine's time, which is the point: it
+    measures the durability overhead of the chosen fsync policy). *)
 
 val result_json : result -> Cdw_util.Json.t
 (** Everything in {!result} (config included) as one JSON object —

@@ -1,0 +1,42 @@
+let header_size = 8
+let max_payload = 16 * 1024 * 1024
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_size + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.string payload));
+  Bytes.blit_string payload 0 b header_size len;
+  Bytes.unsafe_to_string b
+
+let u32_le buf pos =
+  (* Read as unsigned: Int32 round-trip would sign-extend bit 31. *)
+  Char.code buf.[pos]
+  lor (Char.code buf.[pos + 1] lsl 8)
+  lor (Char.code buf.[pos + 2] lsl 16)
+  lor (Char.code buf.[pos + 3] lsl 24)
+
+let decode buf ~pos =
+  let total = String.length buf in
+  if pos = total then Error `Eof
+  else if total - pos < header_size then
+    Error (`Torn (Printf.sprintf "%d trailing bytes, need an 8-byte header"
+                    (total - pos)))
+  else
+    let len = u32_le buf pos in
+    let crc = u32_le buf (pos + 4) in
+    if len > max_payload then
+      Error (`Corrupt (Printf.sprintf "implausible record length %d" len))
+    else if total - pos - header_size < len then
+      Error
+        (`Torn (Printf.sprintf "record of %d bytes truncated after %d" len
+                  (total - pos - header_size)))
+    else
+      let payload = String.sub buf (pos + header_size) len in
+      let actual = Crc32.string payload in
+      if actual <> crc then
+        Error
+          (`Corrupt (Printf.sprintf "crc mismatch (stored %08x, computed %08x)"
+                       crc actual))
+      else Ok (payload, pos + header_size + len)

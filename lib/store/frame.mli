@@ -1,0 +1,38 @@
+(** Record framing for the write-ahead log.
+
+    Every ledger record is laid out on disk as
+
+    {v [ length : u32 LE ][ crc32(payload) : u32 LE ][ payload ] v}
+
+    so a reader can always classify the tail of a log:
+
+    - the file ends exactly on a frame boundary → clean;
+    - fewer than 8 header bytes, or fewer than [length] payload bytes,
+      remain → a {e torn} write (the process died mid-append) — the
+      partial frame is garbage by construction and is discarded;
+    - the length is implausible or the CRC does not match → {e
+      corruption} (bit rot, overwrite) — everything from that offset on
+      is untrusted.
+
+    Both cases stop a scan at the last preceding frame boundary, which
+    is what makes WAL replay prefix-consistent. *)
+
+val header_size : int
+(** 8 bytes: length + CRC. *)
+
+val max_payload : int
+(** Plausibility cap on [length] (16 MiB) — a corrupted length field
+    must not read gigabytes of garbage as one record. *)
+
+val encode : string -> string
+(** The frame of one payload. Raises [Invalid_argument] beyond
+    {!max_payload}. *)
+
+val decode :
+  string ->
+  pos:int ->
+  (string * int, [ `Eof | `Torn of string | `Corrupt of string ]) result
+(** [decode buf ~pos] reads the frame starting at [pos] and returns
+    [(payload, next_pos)]. [`Eof] means [pos] is exactly the end of
+    [buf]; the error payloads describe why the tail is torn or
+    corrupt. *)

@@ -1,0 +1,97 @@
+module Json = Cdw_util.Json
+
+type t =
+  | Grant of { user : string; pairs : (string * string) list }
+  | Withdraw of { user : string; pairs : (string * string) list }
+  | Resolve of { user : string }
+  | Session_open of { user : string }
+  | Session_close of { user : string }
+  | Drain of { seq : int }
+
+let pairs_json pairs =
+  Json.Array
+    (List.map
+       (fun (s, t) -> Json.Array [ Json.String s; Json.String t ])
+       pairs)
+
+let to_json = function
+  | Grant { user; pairs } ->
+      Json.Object
+        [ ("t", Json.String "grant"); ("u", Json.String user);
+          ("p", pairs_json pairs) ]
+  | Withdraw { user; pairs } ->
+      Json.Object
+        [ ("t", Json.String "withdraw"); ("u", Json.String user);
+          ("p", pairs_json pairs) ]
+  | Resolve { user } ->
+      Json.Object [ ("t", Json.String "resolve"); ("u", Json.String user) ]
+  | Session_open { user } ->
+      Json.Object [ ("t", Json.String "open"); ("u", Json.String user) ]
+  | Session_close { user } ->
+      Json.Object [ ("t", Json.String "close"); ("u", Json.String user) ]
+  | Drain { seq } ->
+      Json.Object
+        [ ("t", Json.String "drain"); ("n", Json.Number (float_of_int seq)) ]
+
+let encode t = Json.to_string ~pretty:false (to_json t)
+
+let ( let* ) = Result.bind
+
+let field json key to_type =
+  match Option.bind (Json.member key json) to_type with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "record field %S missing or mistyped" key)
+
+let decode_pairs json =
+  let* items = field json "p" Json.to_list in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      match item with
+      | Json.Array [ Json.String s; Json.String t ] -> Ok ((s, t) :: acc)
+      | _ -> Error "record pair is not a [source, target] string pair")
+    (Ok []) items
+  |> Result.map List.rev
+
+let of_json json =
+  let* tag = field json "t" Json.to_text in
+  match tag with
+  | "grant" ->
+      let* user = field json "u" Json.to_text in
+      let* pairs = decode_pairs json in
+      Ok (Grant { user; pairs })
+  | "withdraw" ->
+      let* user = field json "u" Json.to_text in
+      let* pairs = decode_pairs json in
+      Ok (Withdraw { user; pairs })
+  | "resolve" ->
+      let* user = field json "u" Json.to_text in
+      Ok (Resolve { user })
+  | "open" ->
+      let* user = field json "u" Json.to_text in
+      Ok (Session_open { user })
+  | "close" ->
+      let* user = field json "u" Json.to_text in
+      Ok (Session_close { user })
+  | "drain" ->
+      let* seq = field json "n" Json.to_float in
+      Ok (Drain { seq = int_of_float seq })
+  | other -> Error (Printf.sprintf "unknown record tag %S" other)
+
+let decode s =
+  let* json = Json.parse s in
+  of_json json
+
+let pp ppf t =
+  let pairs ps =
+    String.concat ", " (List.map (fun (s, d) -> s ^ "->" ^ d) ps)
+  in
+  match t with
+  | Grant { user; pairs = ps } ->
+      Format.fprintf ppf "grant %s [%s]" user (pairs ps)
+  | Withdraw { user; pairs = ps } ->
+      Format.fprintf ppf "withdraw %s [%s]" user (pairs ps)
+  | Resolve { user } -> Format.fprintf ppf "resolve %s" user
+  | Session_open { user } -> Format.fprintf ppf "open %s" user
+  | Session_close { user } -> Format.fprintf ppf "close %s" user
+  | Drain { seq } -> Format.fprintf ppf "drain #%d" seq

@@ -1,0 +1,30 @@
+(** Ledger records — the durable form of {!Cdw_engine.Engine.event}.
+
+    One record per WAL frame, encoded as compact JSON. Vertices are
+    identified by {e name}, not by integer id: names are the stable
+    identity of a workflow across serialisation round-trips (dense ids
+    may be renumbered by a reload), and they keep the audit trail
+    human-readable — a GDPR reviewer can read the log without the
+    workflow file at hand.
+
+    {v {"t":"grant","u":"alice","p":[["alice","ads"]]}
+   {"t":"withdraw","u":"alice","p":[["alice","ads"]]}
+   {"t":"resolve","u":"alice"}
+   {"t":"open","u":"alice"}      {"t":"close","u":"alice"}
+   {"t":"drain","n":3} v} *)
+
+type t =
+  | Grant of { user : string; pairs : (string * string) list }
+      (** consent constraints accepted (source name, target name) *)
+  | Withdraw of { user : string; pairs : (string * string) list }
+  | Resolve of { user : string }  (** forced re-optimisation *)
+  | Session_open of { user : string }
+  | Session_close of { user : string }
+  | Drain of { seq : int }  (** a drain boundary: everything before is served *)
+
+val encode : t -> string
+(** Compact (non-pretty) JSON, newline-free. *)
+
+val decode : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,579 @@
+module Algorithms = Cdw_core.Algorithms
+module Constraint_set = Cdw_core.Constraint_set
+module Serialize = Cdw_core.Serialize
+module Workflow = Cdw_core.Workflow
+module Engine = Cdw_engine.Engine
+module Session = Cdw_engine.Session
+module Shared_index = Cdw_engine.Shared_index
+module Json = Cdw_util.Json
+
+let ( let* ) = Result.bind
+
+let manifest_path dir = Filename.concat dir "manifest.json"
+let snapshot_path dir = Filename.concat dir "snapshot.json"
+let wal_path dir ~generation =
+  Filename.concat dir (Printf.sprintf "wal-%06d.log" generation)
+
+(* ---------------------------------------------------------------- *)
+(* Vertex naming. The ledger refers to vertices by name (stable across
+   workflow reloads, auditable without the id layout). Requests may
+   legitimately carry ids that never named a vertex — users submit
+   garbage, the engine answers with an error reply — and the log must
+   reproduce them faithfully, so such ids journal as "#<id>" and
+   resolve back to the same (still invalid) id on replay. *)
+
+let encode_vertex wf id =
+  if id >= 0 && id < Workflow.n_vertices wf then Workflow.name wf id
+  else "#" ^ string_of_int id
+
+let decode_vertex wf name =
+  match Workflow.vertex_of_name wf name with
+  | Some id -> Ok id
+  | None ->
+      if String.length name > 1 && name.[0] = '#' then
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some id -> Ok id
+        | None -> Error (Printf.sprintf "unresolvable vertex %S" name)
+      else Error (Printf.sprintf "unknown vertex %S" name)
+
+let encode_pairs wf = List.map (fun (s, t) -> (encode_vertex wf s, encode_vertex wf t))
+
+let decode_pairs wf pairs =
+  List.fold_left
+    (fun acc (s, t) ->
+      let* acc = acc in
+      let* s = decode_vertex wf s in
+      let* t = decode_vertex wf t in
+      Ok ((s, t) :: acc))
+    (Ok []) pairs
+  |> Result.map List.rev
+
+(* ---------------------------------------------------------------- *)
+(* File helpers                                                       *)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok s
+  | exception Sys_error msg -> Error msg
+
+let fsync_dir dir =
+  (* Make a rename durable. Failure is survivable (some filesystems
+     refuse fsync on directories): worst case the rename is ordered by
+     the next journal fsync. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* Atomic publication: write to a tmp file, fsync, rename over the
+   destination. Readers see either the old file or the new, never a
+   prefix. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+(* ---------------------------------------------------------------- *)
+(* Manifest                                                           *)
+
+type manifest = {
+  m_algorithm : Algorithms.name;
+  m_seed : int;
+  m_workflow : Workflow.t;
+}
+
+let manifest_json ~algorithm ~seed wf =
+  Json.Object
+    [
+      ("version", Json.Number 1.0);
+      ("algorithm", Json.String (Algorithms.to_string algorithm));
+      ("seed", Json.Number (float_of_int seed));
+      ("workflow", Json.String (Serialize.to_string wf));
+    ]
+
+let json_field json key to_type =
+  match Option.bind (Json.member key json) to_type with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "field %S missing or mistyped" key)
+
+let read_manifest dir =
+  let* text = read_file (manifest_path dir) in
+  let* json =
+    Result.map_error (fun e -> "manifest: " ^ e) (Json.parse text)
+  in
+  let* algo_name = json_field json "algorithm" Json.to_text in
+  let* algorithm =
+    match Algorithms.of_string algo_name with
+    | Some a -> Ok a
+    | None -> Error (Printf.sprintf "manifest: unknown algorithm %S" algo_name)
+  in
+  let* seed = json_field json "seed" Json.to_float in
+  let* wf_text = json_field json "workflow" Json.to_text in
+  let* wf, _ =
+    Result.map_error (fun e -> "manifest workflow: " ^ e)
+      (Serialize.parse wf_text)
+  in
+  Ok { m_algorithm = algorithm; m_seed = int_of_float seed; m_workflow = wf }
+
+(* ---------------------------------------------------------------- *)
+(* Snapshot                                                           *)
+
+type snapshot = {
+  s_generation : int;
+  s_offset : int;
+  s_users : (string * (string * string) list) list;
+}
+
+let snapshot_state_json engine =
+  let wf = Shared_index.base (Engine.index engine) in
+  let users =
+    List.map
+      (fun (user, session) ->
+        let pairs =
+          Constraint_set.pairs (Session.constraints session)
+          |> encode_pairs wf |> List.sort compare
+        in
+        Json.Object
+          [
+            ("user", Json.String user);
+            ( "pairs",
+              Json.Array
+                (List.map
+                   (fun (s, t) -> Json.Array [ Json.String s; Json.String t ])
+                   pairs) );
+          ])
+      (Engine.sessions engine)  (* already sorted by user *)
+  in
+  Json.Object [ ("users", Json.Array users) ]
+
+let snapshot_json ~generation ~offset state =
+  Json.Object
+    [
+      ("version", Json.Number 1.0);
+      ("generation", Json.Number (float_of_int generation));
+      ("wal_offset", Json.Number (float_of_int offset));
+      ("state", state);
+    ]
+
+let read_snapshot dir =
+  if not (Sys.file_exists (snapshot_path dir)) then Ok None
+  else
+    let* text = read_file (snapshot_path dir) in
+    let* json =
+      Result.map_error (fun e -> "snapshot: " ^ e) (Json.parse text)
+    in
+    let* generation = json_field json "generation" Json.to_float in
+    let* offset = json_field json "wal_offset" Json.to_float in
+    let* state =
+      match Json.member "state" json with
+      | Some s -> Ok s
+      | None -> Error "snapshot: missing field \"state\""
+    in
+    let* user_objs = json_field state "users" Json.to_list in
+    let* users =
+      List.fold_left
+        (fun acc obj ->
+          let* acc = acc in
+          let* user = json_field obj "user" Json.to_text in
+          let* pair_objs = json_field obj "pairs" Json.to_list in
+          let* pairs =
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                match p with
+                | Json.Array [ Json.String s; Json.String t ] ->
+                    Ok ((s, t) :: acc)
+                | _ -> Error "snapshot: malformed pair")
+              (Ok []) pair_objs
+          in
+          Ok ((user, List.rev pairs) :: acc))
+        (Ok []) user_objs
+    in
+    Ok
+      (Some
+         {
+           s_generation = int_of_float generation;
+           s_offset = int_of_float offset;
+           s_users = List.rev users;
+         })
+
+(* ---------------------------------------------------------------- *)
+(* The open ledger                                                    *)
+
+type t = {
+  t_dir : string;
+  fsync : Wal.fsync_policy;
+  snapshot_every : int;
+  mutable gen : int;
+  mutable wal : Wal.t;
+  mutable last_snapshot_len : int;
+  lock : Mutex.t;  (* guards generation rollover vs appends *)
+}
+
+let dir t = t.t_dir
+let generation t = t.gen
+let wal_length t = Wal.length t.wal
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let log t record = with_lock t (fun () -> Wal.append t.wal (Record.encode record))
+
+let close t = with_lock t (fun () -> Wal.close t.wal)
+
+let default_snapshot_every = 1 lsl 20
+
+let create ?fsync ?(snapshot_every_bytes = default_snapshot_every) ~dir
+    ~algorithm ~seed wf =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* Drop any previous ledger: stale WALs of other generations included. *)
+  Array.iter
+    (fun f ->
+      if
+        f = "manifest.json" || f = "snapshot.json"
+        || (String.length f >= 4 && String.sub f 0 4 = "wal-")
+        || Filename.check_suffix f ".tmp"
+      then Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  write_atomic (manifest_path dir)
+    (Json.to_string (manifest_json ~algorithm ~seed wf) ^ "\n");
+  let wal = Wal.create ?fsync (wal_path dir ~generation:0) in
+  {
+    t_dir = dir;
+    fsync = Option.value fsync ~default:(Every 32 : Wal.fsync_policy);
+    snapshot_every = snapshot_every_bytes;
+    gen = 0;
+    wal;
+    last_snapshot_len = 0;
+    lock = Mutex.create ();
+  }
+
+let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
+  let* _manifest = read_manifest dir in
+  let* snapshot = read_snapshot dir in
+  let gen, offset =
+    match snapshot with
+    | Some s -> (s.s_generation, s.s_offset)
+    | None -> (0, 0)
+  in
+  let wal = Wal.open_append ?fsync (wal_path dir ~generation:gen) in
+  Ok
+    {
+      t_dir = dir;
+      fsync = Option.value fsync ~default:(Every 32 : Wal.fsync_policy);
+      snapshot_every = snapshot_every_bytes;
+      gen;
+      wal;
+      last_snapshot_len = min offset (Wal.length wal);
+      lock = Mutex.create ();
+    }
+
+(* ---------------------------------------------------------------- *)
+(* Snapshots and compaction                                           *)
+
+let write_snapshot_locked t engine =
+  if Engine.pending engine > 0 then
+    invalid_arg "Store.write_snapshot: requests pending (drain first)";
+  let state = snapshot_state_json engine in
+  let offset = Wal.length t.wal in
+  write_atomic (snapshot_path t.t_dir)
+    (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n");
+  t.last_snapshot_len <- offset
+
+let write_snapshot t engine =
+  with_lock t (fun () -> write_snapshot_locked t engine)
+
+let compact t engine =
+  with_lock t (fun () ->
+      if Engine.pending engine > 0 then
+        invalid_arg "Store.compact: requests pending (drain first)";
+      let state = snapshot_state_json engine in
+      let old_gen = t.gen in
+      let new_gen = old_gen + 1 in
+      (* Order matters: the new (empty) log must exist before the
+         snapshot rename commits the generation switch; the old log is
+         deleted last. A crash anywhere recovers to the same state. *)
+      let new_wal = Wal.create ~fsync:t.fsync (wal_path t.t_dir ~generation:new_gen) in
+      Wal.sync new_wal;
+      write_atomic (snapshot_path t.t_dir)
+        (Json.to_string (snapshot_json ~generation:new_gen ~offset:0 state)
+         ^ "\n");
+      Wal.close t.wal;
+      t.wal <- new_wal;
+      t.gen <- new_gen;
+      t.last_snapshot_len <- 0;
+      try Sys.remove (wal_path t.t_dir ~generation:old_gen)
+      with Sys_error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Journaling hooks                                                   *)
+
+let attach t engine =
+  let wf = Shared_index.base (Engine.index engine) in
+  let hook = function
+    | Engine.Submitted { user; request } -> (
+        match request with
+        | Engine.Add pairs ->
+            log t (Record.Grant { user; pairs = encode_pairs wf pairs })
+        | Engine.Withdraw pairs ->
+            log t (Record.Withdraw { user; pairs = encode_pairs wf pairs })
+        | Engine.Resolve -> log t (Record.Resolve { user }))
+    | Engine.Session_opened { user } -> log t (Record.Session_open { user })
+    | Engine.Session_closed { user } -> log t (Record.Session_close { user })
+    | Engine.Drained { seq; requests = _ } ->
+        log t (Record.Drain { seq });
+        (* Auto-snapshot: only at drain boundaries (the queue is empty,
+           sessions are settled) and only once enough log accumulated. *)
+        if
+          wal_length t - t.last_snapshot_len >= t.snapshot_every
+          && Engine.pending engine = 0
+        then write_snapshot t engine
+  in
+  Engine.set_journal engine (Some hook)
+
+let create_for ?fsync ?snapshot_every_bytes ~dir engine =
+  let wf = Shared_index.base (Engine.index engine) in
+  let t =
+    create ?fsync ?snapshot_every_bytes ~dir
+      ~algorithm:(Engine.algorithm engine) ~seed:(Engine.seed engine) wf
+  in
+  attach t engine;
+  t
+
+(* ---------------------------------------------------------------- *)
+(* Recovery                                                           *)
+
+type recovery = {
+  engine : Engine.t;
+  algorithm : Algorithms.name;
+  seed : int;
+  generation : int;
+  snapshot_users : int;
+  replayed : int;
+  valid_end : int;
+  tail : Wal.tail;
+}
+
+let scan_wal dir ~generation ~from =
+  let path = wal_path dir ~generation in
+  if not (Sys.file_exists path) then
+    Ok { Wal.entries = []; valid_end = from; tail = Wal.Clean }
+  else Wal.scan ~from path
+
+let drain_now engine = ignore (Engine.drain ~mode:`Sequential engine)
+
+let restore_snapshot engine wf snapshot =
+  match snapshot with
+  | None -> Ok 0
+  | Some s ->
+      let* () =
+        List.fold_left
+          (fun acc (user, pairs) ->
+            let* () = acc in
+            ignore (Engine.session engine user);
+            let* ids =
+              Result.map_error (fun e -> "snapshot: " ^ e)
+                (decode_pairs wf pairs)
+            in
+            if ids <> [] then Engine.submit engine ~user (Engine.Add ids);
+            Ok ())
+          (Ok ()) s.s_users
+      in
+      if Engine.pending engine > 0 then drain_now engine;
+      Ok (List.length s.s_users)
+
+(* Replay the decoded WAL tail. Decoding happens lazily, record by
+   record: an undecodable or unresolvable record re-classifies the
+   tail as corruption at that offset and stops the replay there —
+   everything before it is already applied, which is exactly
+   prefix-consistency. *)
+let replay engine wf entries ~valid_end ~tail =
+  let rec loop replayed = function
+    | [] ->
+        if Engine.pending engine > 0 then drain_now engine;
+        (replayed, valid_end, tail)
+    | (offset, payload) :: rest -> (
+        let applied =
+          let* record =
+            Result.map_error (fun e -> "undecodable record: " ^ e)
+              (Record.decode payload)
+          in
+          match record with
+          | Record.Grant { user; pairs } ->
+              let* ids = decode_pairs wf pairs in
+              Engine.submit engine ~user (Engine.Add ids);
+              Ok ()
+          | Record.Withdraw { user; pairs } ->
+              let* ids = decode_pairs wf pairs in
+              Engine.submit engine ~user (Engine.Withdraw ids);
+              Ok ()
+          | Record.Resolve { user } ->
+              Engine.submit engine ~user Engine.Resolve;
+              Ok ()
+          | Record.Session_open { user } ->
+              ignore (Engine.session engine user);
+              Ok ()
+          | Record.Session_close { user } ->
+              Engine.forget engine user;
+              Ok ()
+          | Record.Drain _ ->
+              drain_now engine;
+              Ok ()
+        in
+        match applied with
+        | Ok () -> loop (replayed + 1) rest
+        | Error reason ->
+            if Engine.pending engine > 0 then drain_now engine;
+            (replayed, offset, Wal.Corrupt { offset; reason }))
+  in
+  loop 0 entries
+
+let recover dir =
+  let* manifest = read_manifest dir in
+  let* snapshot = read_snapshot dir in
+  let generation =
+    match snapshot with Some s -> s.s_generation | None -> 0
+  in
+  let from = match snapshot with Some s -> s.s_offset | None -> 0 in
+  let* scan = scan_wal dir ~generation ~from in
+  let wf = manifest.m_workflow in
+  let engine =
+    Engine.create ~algorithm:manifest.m_algorithm ~seed:manifest.m_seed wf
+  in
+  let* snapshot_users = restore_snapshot engine wf snapshot in
+  let replayed, valid_end, tail =
+    replay engine wf scan.Wal.entries ~valid_end:scan.Wal.valid_end
+      ~tail:scan.Wal.tail
+  in
+  Ok
+    {
+      engine;
+      algorithm = manifest.m_algorithm;
+      seed = manifest.m_seed;
+      generation;
+      snapshot_users;
+      replayed;
+      valid_end;
+      tail;
+    }
+
+let resume ?fsync ?snapshot_every_bytes dir =
+  let* recovery = recover dir in
+  let path = wal_path dir ~generation:recovery.generation in
+  (* Drop the torn/corrupt tail so new appends extend a valid log. *)
+  if Sys.file_exists path then begin
+    let size = (Unix.stat path).Unix.st_size in
+    if recovery.valid_end < size then Unix.truncate path recovery.valid_end
+  end;
+  let* t = open_existing ?fsync ?snapshot_every_bytes dir in
+  attach t recovery.engine;
+  Ok (t, recovery)
+
+(* ---------------------------------------------------------------- *)
+(* Verification                                                       *)
+
+type report = {
+  r_dir : string;
+  r_algorithm : Algorithms.name;
+  r_seed : int;
+  r_vertices : int;
+  r_edges : int;
+  r_generation : int;
+  r_has_snapshot : bool;
+  r_snapshot_offset : int;
+  r_snapshot_users : int;
+  r_wal_bytes : int;
+  r_valid_end : int;
+  r_records : int;
+  r_drains : int;
+  r_tail : Wal.tail;
+}
+
+let current_wal_path dir =
+  let* snapshot = read_snapshot dir in
+  let generation =
+    match snapshot with Some s -> s.s_generation | None -> 0
+  in
+  Ok (wal_path dir ~generation)
+
+let verify dir =
+  let* manifest = read_manifest dir in
+  let* snapshot = read_snapshot dir in
+  let generation =
+    match snapshot with Some s -> s.s_generation | None -> 0
+  in
+  let* scan = scan_wal dir ~generation ~from:0 in
+  let wal_file = wal_path dir ~generation in
+  let wal_bytes =
+    if Sys.file_exists wal_file then (Unix.stat wal_file).Unix.st_size else 0
+  in
+  (* Decode every frame: CRC protects bytes, not meaning. *)
+  let records, drains, valid_end, tail =
+    List.fold_left
+      (fun (records, drains, valid_end, tail) (offset, payload) ->
+        match tail with
+        | Wal.Corrupt _ | Wal.Torn _ -> (records, drains, valid_end, tail)
+        | Wal.Clean -> (
+            match Record.decode payload with
+            | Ok (Record.Drain _) ->
+                (records + 1, drains + 1, valid_end, tail)
+            | Ok _ -> (records + 1, drains, valid_end, tail)
+            | Error e ->
+                ( records,
+                  drains,
+                  offset,
+                  Wal.Corrupt { offset; reason = "undecodable record: " ^ e } )))
+      (0, 0, scan.Wal.valid_end, Wal.Clean)
+      scan.Wal.entries
+  in
+  let tail = match tail with Wal.Clean -> scan.Wal.tail | t -> t in
+  Ok
+    {
+      r_dir = dir;
+      r_algorithm = manifest.m_algorithm;
+      r_seed = manifest.m_seed;
+      r_vertices = Workflow.n_vertices manifest.m_workflow;
+      r_edges = Workflow.n_edges manifest.m_workflow;
+      r_generation = generation;
+      r_has_snapshot = snapshot <> None;
+      r_snapshot_offset =
+        (match snapshot with Some s -> s.s_offset | None -> 0);
+      r_snapshot_users =
+        (match snapshot with Some s -> List.length s.s_users | None -> 0);
+      r_wal_bytes = wal_bytes;
+      r_valid_end = valid_end;
+      r_records = records;
+      r_drains = drains;
+      r_tail = tail;
+    }
+
+let report_clean r = r.r_tail = Wal.Clean
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>ledger    %s@,\
+     workflow  %d vertices, %d edges; algorithm %s, seed %d@,\
+     snapshot  %s@,\
+     wal       generation %d, %d bytes (%d valid), %d records, %d drains@,\
+     tail      %a@]"
+    r.r_dir r.r_vertices r.r_edges
+    (Algorithms.to_string r.r_algorithm)
+    r.r_seed
+    (if r.r_has_snapshot then
+       Printf.sprintf "%d users at offset %d" r.r_snapshot_users
+         r.r_snapshot_offset
+     else "none")
+    r.r_generation r.r_wal_bytes r.r_valid_end r.r_records r.r_drains
+    Wal.pp_tail r.r_tail

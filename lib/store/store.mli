@@ -1,0 +1,170 @@
+(** The durable consent ledger beneath {!Cdw_engine.Engine}.
+
+    Consent decisions are legally load-bearing state (audit trails,
+    GDPR article 7(1) proof of consent); an engine that loses them on
+    restart cannot be trusted with them. A store makes the engine
+    durable with the classic WAL + snapshot architecture:
+
+    - a {b manifest} ([manifest.json]) pins what state is relative to:
+      the base workflow (embedded in its text serialisation — names are
+      the stable identity), the solving algorithm and the engine seed;
+    - a {b write-ahead log} ([wal-NNNNNN.log], {!Wal}) of framed
+      {!Record}s — every {!Cdw_engine.Engine.submit} is journaled
+      before it returns, drain boundaries and session opens/closes
+      ride along;
+    - a {b snapshot} ([snapshot.json]) of every session's accepted
+      constraint set, keyed to the log generation and byte offset it
+      covers, written atomically (tmp + rename);
+    - {b recovery} ({!recover}): load the manifest, restore the latest
+      snapshot into a fresh engine, replay the WAL tail, and stop
+      cleanly at a torn or corrupted record — yielding exactly the
+      state implied by the surviving event prefix;
+    - {b compaction} ({!compact}): fold the whole log into a new
+      snapshot pointing at a fresh (next-generation) empty WAL, then
+      delete the old one. The snapshot rename is the commit point, so
+      a crash at any byte of compaction recovers to the same state.
+
+    Wiring is one call: [Store.attach store engine] installs a journal
+    hook ({!Cdw_engine.Engine.set_journal}) that logs every event and
+    auto-snapshots at drain boundaries once [snapshot_every_bytes] of
+    log have accumulated.
+
+    Recovery invariants (fault-injection tested in [test_store.ml]):
+    the recovered per-user constraint sets equal those of a fresh
+    engine fed the surviving record prefix; with a deterministic
+    algorithm, resolving every recovered session yields the same cut
+    edges and utility as a fresh solve of those constraint sets. The
+    engine's solver options beyond algorithm and seed are not
+    persisted (they contain closures); recovery uses the defaults. *)
+
+type t
+
+val create :
+  ?fsync:Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  dir:string ->
+  algorithm:Cdw_core.Algorithms.name ->
+  seed:int ->
+  Cdw_core.Workflow.t ->
+  t
+(** A fresh ledger: creates [dir] if needed, removes any previous
+    ledger files in it, writes the manifest and an empty
+    generation-0 WAL. [fsync] defaults to [Every 32];
+    [snapshot_every_bytes] (default 1 MiB) is the auto-snapshot
+    threshold used by {!attach} ([max_int] disables). *)
+
+val open_existing :
+  ?fsync:Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  string ->
+  (t, string) result
+(** Open an existing ledger directory for appending. Does {e not}
+    replay state and does {e not} truncate a torn tail — use {!resume}
+    to continue serving after a crash. *)
+
+type recovery = {
+  engine : Cdw_engine.Engine.t;  (** fresh engine holding the recovered state *)
+  algorithm : Cdw_core.Algorithms.name;
+  seed : int;
+  generation : int;  (** WAL generation recovered from *)
+  snapshot_users : int;  (** sessions restored from the snapshot *)
+  replayed : int;  (** WAL records replayed after the snapshot *)
+  valid_end : int;  (** byte length of the valid WAL prefix *)
+  tail : Wal.tail;  (** why replay stopped, if not at a clean end *)
+}
+
+val recover : string -> (recovery, string) result
+(** Reconstruct engine state from the ledger directory, read-only.
+    [Error] means the manifest or snapshot is unreadable — a damaged
+    WAL {e tail} never fails recovery, it only shortens the prefix
+    (reported in [tail]). *)
+
+val resume :
+  ?fsync:Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  string ->
+  (t * recovery, string) result
+(** The crash-restart entry point: {!recover} the engine, truncate the
+    WAL to its valid prefix (discarding any torn/corrupt tail so new
+    appends extend a well-formed log), open the store and {!attach} it
+    to the recovered engine. *)
+
+val attach : t -> Cdw_engine.Engine.t -> unit
+(** Journal every engine event into the WAL and auto-snapshot at drain
+    boundaries. The engine's base workflow must be the manifest's
+    workflow (names resolve the journal's vertex references). *)
+
+val create_for :
+  ?fsync:Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  dir:string ->
+  Cdw_engine.Engine.t ->
+  t
+(** {!create} with workflow, algorithm and seed taken from the engine,
+    followed by {!attach}. *)
+
+val log : t -> Record.t -> unit
+(** Append one record (done automatically by {!attach} hooks). *)
+
+val wal_length : t -> int
+
+val generation : t -> int
+
+val dir : t -> string
+
+val write_snapshot : t -> Cdw_engine.Engine.t -> unit
+(** Snapshot the engine's current per-session constraint state, keyed
+    to the current WAL generation and offset. Atomic (tmp + rename).
+    Raises [Invalid_argument] if requests are pending — snapshots are
+    only consistent at drain boundaries. *)
+
+val compact : t -> Cdw_engine.Engine.t -> unit
+(** {!write_snapshot} into the {e next} WAL generation (offset 0) and
+    delete the old log. Same drain-boundary precondition. *)
+
+val close : t -> unit
+
+(** {1 Offline inspection} *)
+
+type report = {
+  r_dir : string;
+  r_algorithm : Cdw_core.Algorithms.name;
+  r_seed : int;
+  r_vertices : int;
+  r_edges : int;
+  r_generation : int;
+  r_has_snapshot : bool;
+  r_snapshot_offset : int;
+  r_snapshot_users : int;
+  r_wal_bytes : int;
+  r_valid_end : int;  (** end of the decodable record prefix *)
+  r_records : int;
+  r_drains : int;
+  r_tail : Wal.tail;
+}
+
+val verify : string -> (report, string) result
+(** Scan the whole current-generation WAL, decoding every record.
+    An undecodable-but-CRC-valid record is reported as a corrupt tail
+    at its offset. *)
+
+val report_clean : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Paths} (for tooling and fault injection) *)
+
+val manifest_path : string -> string
+
+val snapshot_path : string -> string
+
+val wal_path : string -> generation:int -> string
+
+val current_wal_path : string -> (string, string) result
+(** The generation the snapshot (or, absent one, generation 0) points
+    at. *)
+
+val snapshot_state_json : Cdw_engine.Engine.t -> Cdw_util.Json.t
+(** The deterministic per-user state object embedded in snapshots
+    (users sorted, pairs sorted) — exposed so tests can assert
+    compaction preserves state byte-for-byte. *)

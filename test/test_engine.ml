@@ -274,6 +274,43 @@ let contains s sub =
   let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
   m = 0 || loop 0
 
+(* Reservoir-sampled latency storage: memory stays bounded however many
+   samples stream in, while n/mean/min/max stay exact. *)
+let test_metrics_reservoir () =
+  let m = Metrics.create ~max_samples:64 () in
+  Alcotest.(check int) "cap recorded" 64 (Metrics.max_samples m);
+  let n = 10_000 in
+  for i = 1 to n do
+    Metrics.record_ms m "drain" (float_of_int i)
+  done;
+  Alcotest.(check int) "storage bounded by the cap" 64
+    (Metrics.stored_samples m "drain");
+  (match Metrics.summary m "drain" with
+  | None -> Alcotest.fail "no summary"
+  | Some s ->
+      Alcotest.(check int) "n is the full stream" n s.Cdw_util.Stats.n;
+      Alcotest.(check (float 1e-9)) "exact min" 1.0 s.Cdw_util.Stats.min;
+      Alcotest.(check (float 1e-9)) "exact max" (float_of_int n) s.Cdw_util.Stats.max;
+      Alcotest.(check (float 1e-6)) "exact mean"
+        (float_of_int (n + 1) /. 2.0)
+        s.Cdw_util.Stats.mean;
+      (* The reservoir is a uniform sample of [1, n]: its std estimate
+         must be in the right ballpark of the true n/sqrt(12). *)
+      let true_std = float_of_int n /. sqrt 12.0 in
+      Alcotest.(check bool) "std estimated from the reservoir" true
+        (s.Cdw_util.Stats.std > 0.3 *. true_std
+        && s.Cdw_util.Stats.std < 3.0 *. true_std));
+  (* Below the cap nothing is sampled away. *)
+  let small = Metrics.create ~max_samples:64 () in
+  for i = 1 to 10 do
+    Metrics.record_ms small "k" (float_of_int i)
+  done;
+  Alcotest.(check int) "under the cap everything is stored" 10
+    (Metrics.stored_samples small "k");
+  match Metrics.create ~max_samples:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cap of 1 accepted"
+
 let test_metrics_json () =
   let result = Workbench.run ~trials:1 Workbench.quick in
   Alcotest.(check bool) "speedup positive" true (result.Workbench.speedup > 0.0);
@@ -294,5 +331,6 @@ let suite =
     ("withdrawal invalidation", `Quick, test_withdrawal_invalidation);
     ("coalesced net change", `Quick, test_coalescing_net_change);
     ("parallel == sequential drain", `Quick, test_parallel_equals_sequential);
+    ("metrics reservoir sampling", `Quick, test_metrics_reservoir);
     ("metrics json", `Quick, test_metrics_json);
   ]

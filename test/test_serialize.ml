@@ -118,6 +118,76 @@ let prop_roundtrip_generated =
       && Constraint_set.size cs = Constraint_set.size cs'
       && Float.abs (Utility.total wf -. Utility.total wf') < 1e-6)
 
+(* Structural fingerprints keyed by name — ids may renumber across a
+   round-trip, names may not. Floats are compared with a relative
+   tolerance because the text format prints them with %.12g. *)
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a)
+
+let vertex_fingerprint wf =
+  List.sort compare
+    (List.map
+       (fun v ->
+         let weight =
+           match Workflow.kind wf v with
+           | Workflow.Purpose -> Workflow.purpose_weight wf v
+           | Workflow.User | Workflow.Algorithm -> 1.0
+         in
+         (Workflow.name wf v, Workflow.kind wf v, weight))
+       (Workflow.users wf @ Workflow.algorithms wf @ Workflow.purposes wf))
+
+let edge_fingerprint wf =
+  let module Digraph = Cdw_graph.Digraph in
+  List.sort compare
+    (Digraph.fold_edges
+       (fun acc e ->
+         ( Workflow.name wf (Digraph.edge_src e),
+           Workflow.name wf (Digraph.edge_dst e),
+           Workflow.initial_value wf e )
+         :: acc)
+       []
+       (Workflow.graph wf))
+
+let constraint_fingerprint wf cs =
+  List.sort compare
+    (List.map
+       (fun (s, t) -> (Workflow.name wf s, Workflow.name wf t))
+       (Constraint_set.pairs cs))
+
+let same_fingerprints (wf, cs) (wf', cs') =
+  let triples_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (n, k, x) (n', k', x') -> n = n' && k = k' && close x x')
+         a b
+  in
+  triples_equal (vertex_fingerprint wf) (vertex_fingerprint wf')
+  && triples_equal (edge_fingerprint wf) (edge_fingerprint wf')
+  && constraint_fingerprint wf cs = constraint_fingerprint wf' cs'
+
+(* Properties: both serialisation formats preserve the full structure
+   of generated instances — every vertex (name, kind, weight), every
+   edge (endpoints, value) and every constraint, not just counts. *)
+let prop_text_structural =
+  Test_helpers.qcheck ~count:40 "text roundtrip preserves structure"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let cs = instance.Cdw_workload.Generator.constraints in
+      same_fingerprints (wf, cs)
+        (parse_exn (Serialize.to_string ~constraints:cs wf)))
+
+let prop_json_structural =
+  Test_helpers.qcheck ~count:40 "JSON roundtrip preserves structure"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let instance = Test_helpers.random_instance ~seed in
+      let wf = instance.Cdw_workload.Generator.workflow in
+      let cs = instance.Cdw_workload.Generator.constraints in
+      match Serialize.of_json (Serialize.to_json ~constraints:cs wf) with
+      | Ok pair -> same_fingerprints (wf, cs) pair
+      | Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "parse sample" `Quick test_parse_sample;
@@ -128,4 +198,6 @@ let suite =
     Alcotest.test_case "save/load" `Quick test_save_load;
     Alcotest.test_case "DOT output" `Quick test_dot_output;
     prop_roundtrip_generated;
+    prop_text_structural;
+    prop_json_structural;
   ]
