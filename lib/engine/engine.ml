@@ -22,6 +22,7 @@ type event =
   | Session_opened of { user : string }
   | Session_closed of { user : string }
   | Drained of { seq : int; requests : int }
+  | Drain_settled of { seq : int }
 
 type t = {
   index : Shared_index.t;
@@ -93,13 +94,17 @@ let sessions t =
   |> List.sort compare
 
 let submit t ~user request =
-  Metrics.incr (metrics t) "engine.submitted";
   (* The journal entry is written under the lock so the WAL order is
      exactly the queue order even with concurrent submitters; [submit]
-     only returns once the event is durable per the journal's policy. *)
+     only returns once the event is durable per the journal's policy.
+     The emit comes BEFORE the queue mutation: if the journal rejects
+     the record (e.g. it exceeds the WAL frame bound), the exception
+     reaches the submitter with the queue and the log still agreeing —
+     the request simply never happened. *)
   with_lock t (fun () ->
-      t.queue <- (user, request) :: t.queue;
-      emit t (Submitted { user; request }))
+      emit t (Submitted { user; request });
+      t.queue <- (user, request) :: t.queue);
+  Metrics.incr (metrics t) "engine.submitted"
 
 let pending t = with_lock t (fun () -> List.length t.queue)
 
@@ -216,10 +221,22 @@ let drain ?mode t =
   let m = metrics t in
   Metrics.incr m "engine.drains";
   Metrics.time m "drain" (fun () ->
-      let requests = with_lock t (fun () ->
-          let q = List.rev t.queue in
-          t.queue <- [];
-          q)
+      (* The queue swap and the [Drained] boundary are one lock section.
+         Submits journal under the same lock, so the records preceding
+         the boundary mark in the WAL are exactly the requests this
+         drain consumed — a submitter racing the drain lands (in both
+         the queue and the log) after the mark, and replay reproduces
+         the original batching. Empty drains leave no mark. *)
+      let requests, seq =
+        with_lock t (fun () ->
+            match List.rev t.queue with
+            | [] -> ([], None)
+            | q ->
+                t.queue <- [];
+                let seq = t.drains in
+                t.drains <- seq + 1;
+                emit t (Drained { seq; requests = List.length q });
+                (q, Some seq))
       in
       let groups = group_by_user requests in
       (* Sessions are created on the calling domain: the table is then
@@ -243,18 +260,12 @@ let drain ?mode t =
       let replies =
         List.concat (Array.to_list (Domain_pool.run ~domains tasks))
       in
-      (* The drain boundary is journaled only once every reply is
-         computed: a WAL ending without it replays as submissions that
-         crashed mid-drain and get drained on recovery instead. Empty
-         drains leave no mark. *)
-      if replies <> [] then begin
-        let seq = with_lock t (fun () ->
-            let seq = t.drains in
-            t.drains <- seq + 1;
-            seq)
-        in
-        emit t (Drained { seq; requests = List.length replies })
-      end;
+      (* Settlement fires outside the lock, once the whole batch is
+         applied: the one point where a journal callback may safely
+         call back into the engine (e.g. to snapshot session state). *)
+      (match seq with
+      | Some seq -> emit t (Drain_settled { seq })
+      | None -> ());
       replies)
 
 let metrics_json t =

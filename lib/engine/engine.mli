@@ -41,11 +41,20 @@ type reply = {
 
 type event =
   | Submitted of { user : string; request : request }
-      (** a request entered the queue (emitted before {!submit} returns) *)
+      (** a request is entering the queue (emitted before {!submit}
+          returns, and before the queue mutation — see {!submit}) *)
   | Session_opened of { user : string }  (** a session joined the pool *)
   | Session_closed of { user : string }  (** a session was {!forget}ten *)
   | Drained of { seq : int; requests : int }
-      (** a non-empty {!drain} completed; [seq] counts drains from 0 *)
+      (** a non-empty {!drain} took its batch off the queue; [seq]
+          counts drains from 0. Emitted atomically with the queue swap
+          (under the engine lock, like [Submitted]), so in a journal
+          the events preceding a [Drained] mark are exactly the
+          requests that drain consumed — even with submitters racing
+          the drain. *)
+  | Drain_settled of { seq : int }
+      (** drain [seq]'s batch has been fully applied to its sessions.
+          Emitted outside the engine lock, once per [Drained]. *)
 (** The journaled lifecycle of an engine — what a durable consent
     ledger ({!Cdw_store.Store}) persists to reconstruct the engine
     after a crash. *)
@@ -79,13 +88,17 @@ val seed : t -> int
 (** The engine seed the per-session generators derive from. *)
 
 val set_journal : t -> (event -> unit) option -> unit
-(** Install (or remove) the journal callback. [Submitted] and
-    [Session_*] events are emitted while the engine lock is held — the
-    callback must not call back into the engine for those (appending to
-    a log is fine); [Drained] is emitted outside the lock, so a
-    callback may inspect engine state there (e.g. to snapshot it).
-    {!submit} does not return before the callback has, which is what
-    makes write-ahead logging possible. *)
+(** Install (or remove) the journal callback. Every event except
+    [Drain_settled] is emitted while the engine lock is held — the
+    callback must not call back into the engine for those (appending
+    to a log is fine, and the lock totally orders them, so the journal
+    sees the exact engine event order); [Drain_settled] is emitted
+    outside the lock, so a callback may inspect engine state there
+    (e.g. to snapshot it). {!submit} does not return before the
+    callback has, which is what makes write-ahead logging possible.
+    If the callback raises on a [Submitted] event, the request is
+    rejected: the exception propagates out of {!submit} with the queue
+    unchanged (engine and journal stay consistent). *)
 
 val session : t -> string -> Session.t
 (** Get-or-create the session of the given user id. *)
@@ -104,6 +117,13 @@ val session_seed : t -> string -> int
     verification can replay a session's solves exactly. *)
 
 val submit : t -> user:string -> request -> unit
+(** Queue one request; with a journal attached, returns only after the
+    event is journaled (write-ahead). A journaled engine bounds the
+    size of a single request: its encoded record must fit one WAL
+    frame ({!Cdw_store.Frame.max_payload}, 16 MiB — hundreds of
+    thousands of pairs). An oversized request raises
+    [Invalid_argument] {e before} it is enqueued or logged, so engine
+    and journal never diverge. *)
 
 val pending : t -> int
 

@@ -218,8 +218,19 @@ type t = {
   mutable gen : int;
   mutable wal : Wal.t;
   mutable last_snapshot_len : int;
+  mutable boundary : int;
+      (* WAL length just past the last journaled [Drain] mark (or the
+         last snapshot) — the only offsets a snapshot may be keyed to:
+         every record before a boundary is applied session state, every
+         record after it is still queued and will replay. *)
   lock : Mutex.t;  (* guards generation rollover vs appends *)
 }
+
+(* Lock order, engine → store: Engine.submit/drain hold the engine
+   lock while the journal hook takes this store's lock, so nothing
+   below may call back into the engine (Engine.sessions, Engine.pending,
+   snapshot_state_json, …) while holding [lock] — capture engine state
+   first, lock second. *)
 
 let dir t = t.t_dir
 let generation t = t.gen
@@ -257,6 +268,7 @@ let create ?fsync ?(snapshot_every_bytes = default_snapshot_every) ~dir
     gen = 0;
     wal;
     last_snapshot_len = 0;
+    boundary = 0;
     lock = Mutex.create ();
   }
 
@@ -269,6 +281,7 @@ let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
     | None -> (0, 0)
   in
   let wal = Wal.open_append ?fsync (wal_path dir ~generation:gen) in
+  let covered = min offset (Wal.length wal) in
   Ok
     {
       t_dir = dir;
@@ -276,30 +289,38 @@ let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
       snapshot_every = snapshot_every_bytes;
       gen;
       wal;
-      last_snapshot_len = min offset (Wal.length wal);
+      last_snapshot_len = covered;
+      boundary = covered;
       lock = Mutex.create ();
     }
 
 (* ---------------------------------------------------------------- *)
 (* Snapshots and compaction                                           *)
 
-let write_snapshot_locked t engine =
+(* Publish a snapshot of pre-captured [state] keyed to [offset]
+   (store lock held). [offset] must be a boundary: all state-bearing
+   records at or before it applied, none after. *)
+let publish_snapshot_locked t ~offset state =
+  write_atomic (snapshot_path t.t_dir)
+    (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n");
+  t.last_snapshot_len <- offset;
+  t.boundary <- max t.boundary offset
+
+let write_snapshot t engine =
+  (* Engine state is captured before the store lock (lock order); the
+     caller guarantees quiescence, so the current WAL end is a valid
+     boundary. *)
   if Engine.pending engine > 0 then
     invalid_arg "Store.write_snapshot: requests pending (drain first)";
   let state = snapshot_state_json engine in
-  let offset = Wal.length t.wal in
-  write_atomic (snapshot_path t.t_dir)
-    (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n");
-  t.last_snapshot_len <- offset
-
-let write_snapshot t engine =
-  with_lock t (fun () -> write_snapshot_locked t engine)
+  with_lock t (fun () ->
+      publish_snapshot_locked t ~offset:(Wal.length t.wal) state)
 
 let compact t engine =
+  if Engine.pending engine > 0 then
+    invalid_arg "Store.compact: requests pending (drain first)";
+  let state = snapshot_state_json engine in
   with_lock t (fun () ->
-      if Engine.pending engine > 0 then
-        invalid_arg "Store.compact: requests pending (drain first)";
-      let state = snapshot_state_json engine in
       let old_gen = t.gen in
       let new_gen = old_gen + 1 in
       (* Order matters: the new (empty) log must exist before the
@@ -314,11 +335,36 @@ let compact t engine =
       t.wal <- new_wal;
       t.gen <- new_gen;
       t.last_snapshot_len <- 0;
+      t.boundary <- 0;
       try Sys.remove (wal_path t.t_dir ~generation:old_gen)
       with Sys_error _ -> ())
 
 (* ---------------------------------------------------------------- *)
 (* Journaling hooks                                                   *)
+
+(* Auto-snapshot, run from [Drain_settled] with no locks held: the
+   drained batch is applied and the offset it covers was captured when
+   its [Drain] mark was journaled. Submitters racing us sit after that
+   boundary in the WAL and simply replay on recovery, so unlike
+   {!write_snapshot} this needs no quiescence check and never raises —
+   if the world moved underneath (another snapshot, a compaction), it
+   skips and the next drain retries. *)
+let maybe_auto_snapshot t engine =
+  let due =
+    with_lock t (fun () ->
+        if t.boundary - t.last_snapshot_len >= t.snapshot_every then
+          Some (t.gen, t.boundary)
+        else None)
+  in
+  match due with
+  | None -> ()
+  | Some (gen, boundary) ->
+      (* Lock order engine → store: read the sessions first, lock the
+         store second. *)
+      let state = snapshot_state_json engine in
+      with_lock t (fun () ->
+          if t.gen = gen && t.boundary = boundary then
+            publish_snapshot_locked t ~offset:boundary state)
 
 let attach t engine =
   let wf = Shared_index.base (Engine.index engine) in
@@ -333,13 +379,13 @@ let attach t engine =
     | Engine.Session_opened { user } -> log t (Record.Session_open { user })
     | Engine.Session_closed { user } -> log t (Record.Session_close { user })
     | Engine.Drained { seq; requests = _ } ->
-        log t (Record.Drain { seq });
-        (* Auto-snapshot: only at drain boundaries (the queue is empty,
-           sessions are settled) and only once enough log accumulated. *)
-        if
-          wal_length t - t.last_snapshot_len >= t.snapshot_every
-          && Engine.pending engine = 0
-        then write_snapshot t engine
+        (* One lock section for the mark and the boundary it defines:
+           every record before it is this drain's (about-to-be-applied)
+           batch, everything after is still queued. *)
+        with_lock t (fun () ->
+            Wal.append t.wal (Record.encode (Record.Drain { seq }));
+            t.boundary <- Wal.length t.wal)
+    | Engine.Drain_settled _ -> maybe_auto_snapshot t engine
   in
   Engine.set_journal engine (Some hook)
 

@@ -10,11 +10,16 @@
       the stable identity), the solving algorithm and the engine seed;
     - a {b write-ahead log} ([wal-NNNNNN.log], {!Wal}) of framed
       {!Record}s — every {!Cdw_engine.Engine.submit} is journaled
-      before it returns, drain boundaries and session opens/closes
-      ride along;
+      before it returns (and before it is even enqueued, so a record
+      the log rejects leaves engine and WAL agreeing); session
+      opens/closes ride along, and each drain's boundary mark is
+      appended atomically with its queue swap, so the records
+      preceding a mark are exactly the batch that drain consumed;
     - a {b snapshot} ([snapshot.json]) of every session's accepted
-      constraint set, keyed to the log generation and byte offset it
-      covers, written atomically (tmp + rename);
+      constraint set, keyed to the log generation and the byte offset
+      of a drain boundary: every state-bearing record before the
+      offset is folded in, everything after is still queued and
+      replays on recovery. Written atomically (tmp + rename);
     - {b recovery} ({!recover}): load the manifest, restore the latest
       snapshot into a fresh engine, replay the WAL tail, and stop
       cleanly at a torn or corrupted record — yielding exactly the
@@ -27,7 +32,11 @@
     Wiring is one call: [Store.attach store engine] installs a journal
     hook ({!Cdw_engine.Engine.set_journal}) that logs every event and
     auto-snapshots at drain boundaries once [snapshot_every_bytes] of
-    log have accumulated.
+    log have accumulated. The lock order is engine before store — the
+    store never calls back into the engine while holding its own lock
+    (most events arrive with the engine lock held; the auto-snapshot
+    reads engine state from the [Drain_settled] callback, which runs
+    outside it) — so concurrent submitters are deadlock-free.
 
     Recovery invariants (fault-injection tested in [test_store.ml]):
     the recovered per-user constraint sets equal those of a fresh
@@ -91,8 +100,11 @@ val resume :
 
 val attach : t -> Cdw_engine.Engine.t -> unit
 (** Journal every engine event into the WAL and auto-snapshot at drain
-    boundaries. The engine's base workflow must be the manifest's
-    workflow (names resolve the journal's vertex references). *)
+    boundaries. The auto-snapshot keys to the journaled boundary
+    offset, so it tolerates submitters racing the drain (their records
+    sit after the boundary and replay on recovery) and never raises.
+    The engine's base workflow must be the manifest's workflow (names
+    resolve the journal's vertex references). *)
 
 val create_for :
   ?fsync:Wal.fsync_policy ->

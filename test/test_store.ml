@@ -426,6 +426,57 @@ let test_auto_snapshot () =
         (state_string engine)
         (state_string r.Store.engine))
 
+(* Concurrent submitters racing journaled drains with an aggressive
+   auto-snapshot threshold: the lock-order regression test. The engine
+   lock is taken before the store lock on every journaled event, and
+   the auto-snapshot must capture engine state before locking the
+   store — the old code did the reverse and deadlocked here. Because
+   each drain mark is journaled atomically with its queue swap, the
+   WAL reproduces the exact live batching, so recovery must equal the
+   live engine whatever the interleaving. *)
+let test_concurrent_submit_drain () =
+  with_dir (fun dir ->
+      let i = instance 47 in
+      let wf = i.Generator.workflow in
+      let pairs = connected_pairs wf 5 in
+      Alcotest.(check bool) "enough connected pairs" true
+        (List.length pairs = 5);
+      let engine =
+        Engine.create ~algorithm:Algorithms.Remove_first_edge ~seed:123 wf
+      in
+      let store =
+        Store.create ~snapshot_every_bytes:1 ~dir
+          ~algorithm:Algorithms.Remove_first_edge ~seed:123 wf
+      in
+      Store.attach store engine;
+      let p = Array.of_list pairs in
+      let submitter user =
+        Domain.spawn (fun () ->
+            for k = 0 to 149 do
+              Engine.submit engine ~user (Engine.Add [ p.(k mod 5) ]);
+              if k mod 3 = 0 then
+                Engine.submit engine ~user (Engine.Withdraw [ p.(k mod 5) ])
+            done)
+      in
+      let doms = List.map submitter [ "alice"; "bob"; "carol" ] in
+      (* Don't start draining before the submitters are live: the test
+         is about drains racing submits. *)
+      while Engine.pending engine = 0 do
+        Domain.cpu_relax ()
+      done;
+      for _ = 1 to 40 do
+        ignore (Engine.drain ~mode:`Sequential engine)
+      done;
+      List.iter Domain.join doms;
+      ignore (Engine.drain ~mode:`Sequential engine);
+      Store.close store;
+      Alcotest.(check bool) "auto-snapshot happened" true
+        (Sys.file_exists (Store.snapshot_path dir));
+      let r = check_prefix_consistent ~what:"concurrent serving" dir in
+      Alcotest.(check string) "recovered state equals the live engine"
+        (state_string engine)
+        (state_string r.Store.engine))
+
 (* ---------------------------------------------------------------- *)
 (* Fault injection                                                    *)
 
@@ -650,6 +701,8 @@ let suite =
     ("snapshot mid-stream", `Quick, test_snapshot_mid_stream);
     ("snapshot requires drained engine", `Quick, test_snapshot_requires_drained);
     ("auto-snapshot threshold", `Quick, test_auto_snapshot);
+    ("concurrent submitters vs journaled drains", `Quick,
+     test_concurrent_submit_drain);
     ("truncation sweep over the last record", `Quick, test_truncation_sweep);
     ("bit-flip sweep over the last record", `Quick, test_bit_flip_sweep);
     ("resume after torn tail", `Quick, test_resume_after_torn_tail);
