@@ -14,6 +14,7 @@
 
 module Algorithms = Cdw_core.Algorithms
 module Json = Cdw_util.Json
+module Trace = Cdw_obs.Trace
 module Workbench = Cdw_engine.Workbench
 
 let usage () =
@@ -21,12 +22,13 @@ let usage () =
     "usage: engine [--quick] [--vertices N] [--density D] [--stages N]\n\
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
-    \              [--algorithm NAME] [--out FILE]";
+    \              [--algorithm NAME] [--out FILE] [--trace-out FILE]";
   exit 2
 
 let () =
   let config = ref Workbench.default in
   let out = ref "BENCH_engine.json" in
+  let trace_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -71,6 +73,9 @@ let () =
     | "--out" :: file :: rest ->
         out := file;
         parse rest
+    | "--trace-out" :: file :: rest ->
+        trace_out := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
         usage ()
@@ -78,7 +83,18 @@ let () =
   (match parse (List.tl (Array.to_list Sys.argv)) with
   | () -> ()
   | exception (Failure _) -> usage ());
-  let result = Workbench.run !config in
+  if !trace_out <> None then Trace.set_enabled true;
+  (* Restart the trace as each engine trial starts, so the file holds
+     exactly the last (best-timed candidate) trial, not the naive
+     baseline or earlier trials. *)
+  let attach _engine = if !trace_out <> None then Trace.reset () in
+  let result = Workbench.run ~attach !config in
+  (match !trace_out with
+  | None -> ()
+  | Some file ->
+      Trace.set_enabled false;
+      Trace.write file;
+      Printf.printf "wrote %s\n" file);
   Format.printf "%a@." Workbench.pp result;
   let oc = open_out !out in
   output_string oc (Json.to_string (Workbench.result_json result));

@@ -22,4 +22,17 @@ dune exec bin/cdw.exe -- store replay "$STORE_DIR"              # prefix-consist
 dune exec bin/cdw.exe -- store compact "$STORE_DIR"
 dune exec bin/cdw.exe -- store verify "$STORE_DIR" --strict     # clean after compaction
 
+# Observability smoke: trace a serving run, prove the trace decomposes
+# the drain into named phases (>= 90% coverage) and the Prometheus
+# exposition round-trips through its own parser.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OBS_DIR"' EXIT
+dune exec bin/cdw.exe -- serve-bench --quick --trials 1 \
+  --trace-out "$OBS_DIR/trace.json" --prom-out "$OBS_DIR/metrics.prom" \
+  --stats-out "$OBS_DIR/stats.jsonl" --stats-interval 0.2 > /dev/null
+dune exec bin/cdw.exe -- trace summarize "$OBS_DIR/trace.json" \
+  --min-drain-coverage 0.9
+dune exec bin/cdw.exe -- trace prom-lint "$OBS_DIR/metrics.prom"
+test -s "$OBS_DIR/stats.jsonl"                                  # time series written
+
 echo "check.sh: ok"

@@ -239,8 +239,25 @@ let serve_bench_cmd =
   let fsync =
     Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the last engine trial and write it to $(docv) (open in Perfetto, or feed to `cdw trace summarize').")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc:"Rewrite $(docv) with the engine metrics in Prometheus text exposition format every --stats-interval while the benchmark runs, and once at the end.")
+  in
+  let stats_out =
+    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc:"Append one JSON line of engine metrics to $(docv) every --stats-interval: a live time series of the run.")
+  in
+  let stats_interval =
+    Arg.(value & opt float 1.0 & info [ "stats-interval" ] ~docv:"SECS" ~doc:"Telemetry emit interval in seconds (min 0.05).")
+  in
   let run quick vertices stages density sessions batches pairs no_withdrawals
-      seed domains algo trials out metrics_out journal fsync =
+      seed domains algo trials out metrics_out journal fsync trace_out prom_out
+      stats_out stats_interval =
+    let module Engine = Cdw_engine.Engine in
+    let module Metrics = Cdw_engine.Metrics in
+    let module Trace = Cdw_obs.Trace in
+    let module Telemetry = Cdw_obs.Telemetry in
     let base = if quick then Workbench.quick else Workbench.default in
     let pick field = function Some v -> v | None -> field base in
     let config =
@@ -269,9 +286,17 @@ let serve_bench_cmd =
           store := None
       | None -> ()
     in
-    let attach =
-      Option.map
-        (fun dir engine ->
+    (* The engine of the trial currently running; telemetry and the
+       SIGINT flush read whatever is live right now. *)
+    let live_metrics = ref None in
+    let attach engine =
+      (* Each trial gets a fresh engine; restarting the trace here keeps
+         only the last engine trial (and drops the naive baseline's
+         solver spans), which is the trial the timings report. *)
+      if trace_out <> None then Trace.reset ();
+      live_metrics := Some (Engine.metrics engine);
+      Option.iter
+        (fun dir ->
           close_store ();
           store := Some (Cdw_store.Store.create_for ?fsync ~dir engine))
         journal
@@ -283,9 +308,71 @@ let serve_bench_cmd =
       close_out oc;
       Printf.printf "wrote %s\n" file
     in
-    match Workbench.run ~trials ?attach config with
+    let emit_telemetry () =
+      match !live_metrics with
+      | None -> ()
+      | Some m ->
+          Option.iter
+            (fun file ->
+              let oc = open_out file in
+              output_string oc (Metrics.prometheus m);
+              close_out oc)
+            prom_out;
+          Option.iter
+            (fun file ->
+              let oc =
+                open_out_gen [ Open_append; Open_creat ] 0o644 file
+              in
+              (* JSON-lines: one compact object per interval. *)
+              output_string oc
+                (Cdw_util.Json.to_string ~pretty:false
+                   (Cdw_util.Json.Object
+                      [
+                        ("t", Cdw_util.Json.Number (Unix.gettimeofday ()));
+                        ("metrics", Metrics.to_json m);
+                      ]));
+              output_string oc "\n";
+              close_out oc)
+            stats_out
+    in
+    let write_trace () = Option.iter (fun file -> Trace.write file) trace_out in
+    if trace_out <> None then begin
+      Trace.reset ();
+      Trace.set_enabled true
+    end;
+    let telemetry =
+      if prom_out <> None || stats_out <> None then
+        Some (Telemetry.start ~interval_s:stats_interval emit_telemetry)
+      else None
+    in
+    let finish () =
+      Option.iter Telemetry.stop telemetry;
+      if trace_out <> None then Trace.set_enabled false;
+      close_store ()
+    in
+    (* Ctrl-C: flush everything observable before dying, so an aborted
+       soak run still leaves its trace, exposition and time series on
+       disk. The handler runs on the main thread at a safe point; the
+       emitter domain is left to die with the process. *)
+    let previous_sigint =
+      Sys.signal Sys.sigint
+        (Sys.Signal_handle
+           (fun _ ->
+             prerr_endline "interrupted: flushing telemetry";
+             emit_telemetry ();
+             write_trace ();
+             (match (metrics_out, !live_metrics) with
+             | Some file, Some m -> write_json file (Metrics.to_json m)
+             | _ -> ());
+             close_store ();
+             exit 130))
+    in
+    let restore_sigint () = Sys.set_signal Sys.sigint previous_sigint in
+    match Workbench.run ~trials ~attach config with
     | result ->
-        close_store ();
+        restore_sigint ();
+        finish ();
+        write_trace ();
         Format.printf "%a@." Workbench.pp result;
         print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
         Option.iter
@@ -294,6 +381,9 @@ let serve_bench_cmd =
               (Cdw_store.Wal.fsync_policy_to_string
                  (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
           journal;
+        Option.iter
+          (fun file -> Printf.printf "wrote %s\n" file)
+          trace_out;
         (match out with
         | None -> ()
         | Some file -> write_json file (Workbench.result_json result));
@@ -302,7 +392,8 @@ let serve_bench_cmd =
         | Some file -> write_json file result.Workbench.metrics);
         `Ok ()
     | exception Invalid_argument msg ->
-        close_store ();
+        restore_sigint ();
+        finish ();
         `Error (false, msg)
   in
   Cmd.v
@@ -314,7 +405,8 @@ let serve_bench_cmd =
       ret
         (const run $ quick $ vertices $ stages $ density $ sessions $ batches
        $ pairs $ no_withdrawals $ seed $ domains $ algo $ trials $ out
-       $ metrics_out $ journal $ fsync))
+       $ metrics_out $ journal $ fsync $ trace_out $ prom_out $ stats_out
+       $ stats_interval))
 
 (* ---------------------------------------------------------------- *)
 (* store                                                              *)
@@ -431,6 +523,70 @@ let store_cmd =
     [ verify_cmd; replay_cmd; compact_cmd; fault_cmd ]
 
 (* ---------------------------------------------------------------- *)
+(* trace                                                              *)
+
+let trace_cmd =
+  let module Trace_summary = Cdw_obs.Trace_summary in
+  let module Prom = Cdw_obs.Prom in
+  let trace_file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file.")
+  in
+  let summarize_cmd =
+    let min_coverage =
+      Arg.(value & opt (some float) None & info [ "min-drain-coverage" ] ~docv:"FRACTION" ~doc:"Fail unless at least $(docv) (in [0,1]) of the engine.drain wall time is accounted for by named child phases.")
+    in
+    let run file min_coverage =
+      match Trace_summary.of_file file with
+      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+      | Ok report -> (
+          Format.printf "%a@." Trace_summary.pp report;
+          match min_coverage with
+          | None -> `Ok ()
+          | Some want ->
+              let got = Trace_summary.coverage report in
+              if got >= want then `Ok ()
+              else
+                `Error
+                  ( false,
+                    Printf.sprintf
+                      "drain coverage %.1f%% is below the required %.1f%%"
+                      (100.0 *. got) (100.0 *. want) ))
+    in
+    Cmd.v
+      (Cmd.info "summarize"
+         ~doc:
+           "Aggregate a Chrome trace (as written by serve-bench \
+            --trace-out) into a per-phase time breakdown.")
+      Term.(ret (const run $ trace_file_arg $ min_coverage))
+  in
+  let prom_lint_cmd =
+    let run file =
+      match
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error msg -> `Error (false, msg)
+      | text -> (
+          match Prom.parse text with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          | Ok samples ->
+              Printf.printf "%s: %d samples, exposition parses cleanly\n" file
+                (List.length samples);
+              `Ok ())
+    in
+    Cmd.v
+      (Cmd.info "prom-lint"
+         ~doc:"Check that a Prometheus text exposition file parses.")
+      Term.(ret (const run $ trace_file_arg))
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Inspect telemetry artifacts: trace breakdowns, exposition lint.")
+    [ summarize_cmd; prom_lint_cmd ]
+
+(* ---------------------------------------------------------------- *)
 (* experiment                                                         *)
 
 let experiment_cmd =
@@ -509,6 +665,6 @@ let experiment_cmd =
 let main =
   let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
   Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
-    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; experiment_cmd ]
+    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; trace_cmd; experiment_cmd ]
 
 let eval ?argv () = Cmd.eval ?argv main

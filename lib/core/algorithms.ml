@@ -5,6 +5,7 @@ module Mincut = Cdw_flow.Mincut
 module Multicut = Cdw_cut.Multicut
 module Splitmix = Cdw_util.Splitmix
 module Timing = Cdw_util.Timing
+module Trace = Cdw_obs.Trace
 
 module Options = struct
   type path_provider =
@@ -91,13 +92,14 @@ let on_copy ?(utility = fun wf -> Utility.total wf) ?utility_before wf solve =
    from its own precomputed state. *)
 let constraint_paths ?max_paths ?deadline ?paths_for wf
     (pair : Constraint_set.pair) =
-  match (paths_for : Options.path_provider option) with
-  | Some f ->
-      f wf ~source:pair.Constraint_set.source
-        ~target:pair.Constraint_set.target
-  | None ->
-      Paths.all_paths ?max_paths ?deadline (Workflow.graph wf)
-        ~src:pair.Constraint_set.source ~dst:pair.Constraint_set.target
+  Trace.span "solve.paths" (fun () ->
+      match (paths_for : Options.path_provider option) with
+      | Some f ->
+          f wf ~source:pair.Constraint_set.source
+            ~target:pair.Constraint_set.target
+      | None ->
+          Paths.all_paths ?max_paths ?deadline (Workflow.graph wf)
+            ~src:pair.Constraint_set.source ~dst:pair.Constraint_set.target)
 
 (* Algorithms 1 and 2 share their structure: pick one edge of each path
    of each constraint and remove it (dependencies cascade), skipping
@@ -107,12 +109,13 @@ let per_path_removal ?paths_for ?utility_before pick wf cs =
       List.iter
         (fun pair ->
           let paths = constraint_paths ?paths_for copy pair in
-          List.iter
-            (fun path ->
-              let e = pick path in
-              if not (Digraph.edge_removed e) then
-                ignore (Valuation.remove_with_cascade copy [ e ]))
-            paths)
+          Trace.span "solve.enforce" (fun () ->
+              List.iter
+                (fun path ->
+                  let e = pick path in
+                  if not (Digraph.edge_removed e) then
+                    ignore (Valuation.remove_with_cascade copy [ e ]))
+                paths))
         cs;
       1)
 
@@ -153,13 +156,18 @@ let min_cuts_impl (o : Options.t) wf cs =
           if Reach.exists_path g source target then begin
             (* Refresh weights so they reflect removals made for earlier
                constraints (the paper's §6 worked example does this). *)
-            let w = Utility.cut_weights ?scheme copy in
-            let cut =
-              Mincut.compute g
-                ~capacity:(fun e -> w.(Digraph.edge_id e))
-                ~src:source ~dst:target
+            let w =
+              Trace.span "solve.weights" (fun () ->
+                  Utility.cut_weights ?scheme copy)
             in
-            ignore (Valuation.remove_with_cascade copy cut.Mincut.edges)
+            let cut =
+              Trace.span "solve.mincut" (fun () ->
+                  Mincut.compute g
+                    ~capacity:(fun e -> w.(Digraph.edge_id e))
+                    ~src:source ~dst:target)
+            in
+            Trace.span "solve.enforce" (fun () ->
+                ignore (Valuation.remove_with_cascade copy cut.Mincut.edges))
           end)
         cs;
       1)
@@ -171,13 +179,17 @@ let min_mc_impl (o : Options.t) wf cs =
   in
   on_copy ?utility_before:o.Options.utility_before wf (fun copy ->
       let g = Workflow.graph copy in
-      let w = Utility.cut_weights ?scheme copy in
-      let result =
-        Multicut.solve ~backend:o.Options.backend ?deadline g
-          ~weight:(fun e -> w.(Digraph.edge_id e))
-          ~pairs:(Constraint_set.pairs cs)
+      let w =
+        Trace.span "solve.weights" (fun () -> Utility.cut_weights ?scheme copy)
       in
-      ignore (Valuation.remove_with_cascade copy result.Multicut.edges);
+      let result =
+        Trace.span "solve.multicut" (fun () ->
+            Multicut.solve ~backend:o.Options.backend ?deadline g
+              ~weight:(fun e -> w.(Digraph.edge_id e))
+              ~pairs:(Constraint_set.pairs cs))
+      in
+      Trace.span "solve.enforce" (fun () ->
+          ignore (Valuation.remove_with_cascade copy result.Multicut.edges));
       1)
 
 (* All constraint paths that must be broken, over the initial graph. *)
@@ -242,6 +254,9 @@ let brute_force_impl (o : Options.t) wf cs =
         let best_candidate = ref [] in
         let evaluated = ref 0 in
         let continue = ref true in
+        Trace.span "solve.enumerate"
+          ~args:[ ("paths", string_of_int k) ]
+          (fun () ->
         while !continue do
           Timing.check_deadline deadline;
           let candidate =
@@ -269,7 +284,7 @@ let brute_force_impl (o : Options.t) wf cs =
             end
           in
           bump (k - 1)
-        done;
+        done);
         ignore (Valuation.remove_with_cascade copy !best_candidate);
         !evaluated
       end)
@@ -355,7 +370,9 @@ let brute_force_bnb_impl (o : Options.t) wf cs =
                 path
           end
         in
-        dfs 0;
+        Trace.span "solve.search"
+          ~args:[ ("paths", string_of_int k) ]
+          (fun () -> dfs 0);
         List.iter (fun id -> Digraph.remove_edge g (Digraph.edge g id)) !best_removed_ids;
         !evaluated
       end)

@@ -1,6 +1,7 @@
 module Digraph = Cdw_graph.Digraph
 module Reach = Cdw_graph.Reach
 module Timing = Cdw_util.Timing
+module Trace = Cdw_obs.Trace
 module Simplex = Cdw_lp.Simplex
 
 type backend = Ilp | Bnb | Greedy | Lp_rounding | Auto of float
@@ -173,17 +174,31 @@ let rec solve ?(backend = Ilp) ?(deadline = infinity) g ~weight ~pairs =
   let scale = if !max_weight > 0.0 then 1.0 /. !max_weight else 1.0 in
   let scaled_weight e = weight e *. scale in
   let pool = fresh_pool () in
+  let backend_name = function
+    | Ilp -> "ilp"
+    | Bnb -> "bnb"
+    | Greedy -> "greedy"
+    | Lp_rounding -> "lp-rounding"
+    | Auto _ -> "auto"
+  in
   let solve_pool () =
-    let problem = pool_problem pool ~weight:scaled_weight in
-    let chosen =
-      match backend with
-      | Ilp -> Hitting_set.solve_ilp ~deadline problem
-      | Bnb -> Hitting_set.solve_bnb ~deadline problem
-      | Greedy -> Hitting_set.solve_greedy problem
-      | Lp_rounding -> lp_round ~deadline problem
-      | Auto _ -> assert false (* dispatched before the loop *)
-    in
-    chosen_edges pool chosen
+    Trace.span "multicut.hitting_set"
+      ~args:
+        [
+          ("backend", backend_name backend);
+          ("paths", string_of_int pool.n_sets);
+        ]
+      (fun () ->
+        let problem = pool_problem pool ~weight:scaled_weight in
+        let chosen =
+          match backend with
+          | Ilp -> Hitting_set.solve_ilp ~deadline problem
+          | Bnb -> Hitting_set.solve_bnb ~deadline problem
+          | Greedy -> Hitting_set.solve_greedy problem
+          | Lp_rounding -> lp_round ~deadline problem
+          | Auto _ -> assert false (* dispatched before the loop *)
+        in
+        chosen_edges pool chosen)
   in
   let finish rounds candidate =
     (* The approximate backends can leave redundant edges in the cut;
@@ -191,7 +206,9 @@ let rec solve ?(backend = Ilp) ?(deadline = infinity) g ~weight ~pairs =
     let candidate =
       match backend with
       | Ilp | Bnb -> candidate
-      | Greedy | Lp_rounding | Auto _ -> minimalize g candidate ~weight ~pairs
+      | Greedy | Lp_rounding | Auto _ ->
+          Trace.span "multicut.minimalize" (fun () ->
+              minimalize g candidate ~weight ~pairs)
     in
     let weight_total =
       List.fold_left (fun acc e -> acc +. weight e) 0.0 candidate
@@ -206,8 +223,9 @@ let rec solve ?(backend = Ilp) ?(deadline = infinity) g ~weight ~pairs =
   let rec loop rounds candidate =
     Timing.check_deadline deadline;
     let violated =
-      with_removed g candidate (fun () ->
-          List.filter_map (fun (s, t) -> find_path g s t) pairs)
+      Trace.span "multicut.find_paths" (fun () ->
+          with_removed g candidate (fun () ->
+              List.filter_map (fun (s, t) -> find_path g s t) pairs))
     in
     match violated with
     | [] -> finish rounds candidate

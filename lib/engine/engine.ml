@@ -3,6 +3,7 @@ module Constraint_set = Cdw_core.Constraint_set
 module Incremental = Cdw_core.Incremental
 module Json = Cdw_util.Json
 module Timing = Cdw_util.Timing
+module Trace = Cdw_obs.Trace
 module Workflow = Cdw_core.Workflow
 
 type request =
@@ -30,7 +31,9 @@ type t = {
   options : Algorithms.Options.t;
   seed : int;
   sessions : (string, Session.t) Hashtbl.t;
-  mutable queue : (string * request) list;  (* reversed *)
+  mutable queue : (string * request * float) list;
+      (* reversed; the float is the submit timestamp (ms), from which
+         the drain derives per-request queue-wait latency *)
   mutable journal : (event -> unit) option;
   mutable drains : int;  (* sequence number of the next drain *)
   lock : Mutex.t;  (* guards [sessions], [queue], [journal], [drains] *)
@@ -101,9 +104,10 @@ let submit t ~user request =
      the record (e.g. it exceeds the WAL frame bound), the exception
      reaches the submitter with the queue and the log still agreeing —
      the request simply never happened. *)
-  with_lock t (fun () ->
-      emit t (Submitted { user; request });
-      t.queue <- (user, request) :: t.queue);
+  Trace.span "engine.submit" ~args:[ ("user", user) ] (fun () ->
+      with_lock t (fun () ->
+          emit t (Submitted { user; request });
+          t.queue <- (user, request, Timing.now_ms ()) :: t.queue));
   Metrics.incr (metrics t) "engine.submitted"
 
 let pending t = with_lock t (fun () -> List.length t.queue)
@@ -206,12 +210,17 @@ let serve session request =
 let serve_segment m user s segment =
   match segment with
   | One request ->
-      let result, time_ms = Timing.time_f (fun () -> serve s request) in
+      let result, time_ms =
+        Trace.span "engine.request" (fun () ->
+            Timing.time_f (fun () -> serve s request))
+      in
       Metrics.record_ms m "request" time_ms;
       [ { user; request; result; time_ms } ]
   | Batch (reqs, add, withdraw) ->
       let result, time_ms =
-        Timing.time_f (fun () -> Session.update s ~add ~withdraw)
+        Trace.span "engine.batch"
+          ~args:[ ("requests", string_of_int (List.length reqs)) ]
+          (fun () -> Timing.time_f (fun () -> Session.update s ~add ~withdraw))
       in
       Metrics.incr ~by:(List.length reqs - 1) m "engine.coalesced";
       Metrics.record_ms m "request" time_ms;
@@ -221,52 +230,74 @@ let drain ?mode t =
   let m = metrics t in
   Metrics.incr m "engine.drains";
   Metrics.time m "drain" (fun () ->
-      (* The queue swap and the [Drained] boundary are one lock section.
-         Submits journal under the same lock, so the records preceding
-         the boundary mark in the WAL are exactly the requests this
-         drain consumed — a submitter racing the drain lands (in both
-         the queue and the log) after the mark, and replay reproduces
-         the original batching. Empty drains leave no mark. *)
-      let requests, seq =
-        with_lock t (fun () ->
-            match List.rev t.queue with
-            | [] -> ([], None)
-            | q ->
-                t.queue <- [];
-                let seq = t.drains in
-                t.drains <- seq + 1;
-                emit t (Drained { seq; requests = List.length q });
-                (q, Some seq))
-      in
-      let groups = group_by_user requests in
-      (* Sessions are created on the calling domain: the table is then
-         only read inside the tasks. *)
-      let tasks =
-        Array.of_list
-          (List.map
-             (fun (user, reqs) ->
-               let s = session t user in
-               let segs = segments t s reqs in
-               fun () -> List.concat_map (serve_segment m user s) segs)
-             groups)
-      in
-      let domains =
-        match mode with
-        | Some `Sequential -> 1
-        | Some (`Parallel n) -> max 1 n
-        | None -> Domain_pool.recommended_domains ()
-      in
-      Metrics.incr ~by:(Array.length tasks) m "engine.user_batches";
-      let replies =
-        List.concat (Array.to_list (Domain_pool.run ~domains tasks))
-      in
-      (* Settlement fires outside the lock, once the whole batch is
-         applied: the one point where a journal callback may safely
-         call back into the engine (e.g. to snapshot session state). *)
-      (match seq with
-      | Some seq -> emit t (Drain_settled { seq })
-      | None -> ());
-      replies)
+      Trace.span "engine.drain" (fun () ->
+          (* The queue swap and the [Drained] boundary are one lock
+             section. Submits journal under the same lock, so the
+             records preceding the boundary mark in the WAL are exactly
+             the requests this drain consumed — a submitter racing the
+             drain lands (in both the queue and the log) after the mark,
+             and replay reproduces the original batching. Empty drains
+             leave no mark. *)
+          let requests, seq =
+            Trace.span "drain.dequeue" (fun () ->
+                with_lock t (fun () ->
+                    match List.rev t.queue with
+                    | [] -> ([], None)
+                    | q ->
+                        t.queue <- [];
+                        let seq = t.drains in
+                        t.drains <- seq + 1;
+                        emit t (Drained { seq; requests = List.length q });
+                        (q, Some seq)))
+          in
+          let now = Timing.now_ms () in
+          List.iter
+            (fun (_, _, submitted) ->
+              Metrics.record_ms m "queue_wait" (now -. submitted))
+            requests;
+          let requests = List.map (fun (user, r, _) -> (user, r)) requests in
+          (* Sessions are created on the calling domain: the table is
+             then only read inside the tasks. Each task opens its own
+             span, explicitly parented to this drain so the fan-out
+             reads as one tree across domains. *)
+          let drain_sid = Trace.current_span () in
+          let tasks =
+            Trace.span "drain.plan" (fun () ->
+                let groups = group_by_user requests in
+                Array.of_list
+                  (List.map
+                     (fun (user, reqs) ->
+                       let s = session t user in
+                       let segs = segments t s reqs in
+                       fun () ->
+                         Trace.span "engine.user_batch" ~parent:drain_sid
+                           ~args:[ ("user", user) ]
+                           (fun () ->
+                             List.concat_map (serve_segment m user s) segs))
+                     groups))
+          in
+          let domains =
+            match mode with
+            | Some `Sequential -> 1
+            | Some (`Parallel n) -> max 1 n
+            | None -> Domain_pool.recommended_domains ()
+          in
+          Metrics.incr ~by:(Array.length tasks) m "engine.user_batches";
+          let replies =
+            Trace.span "drain.execute"
+              ~args:[ ("domains", string_of_int domains) ]
+              (fun () ->
+                List.concat (Array.to_list (Domain_pool.run ~domains tasks)))
+          in
+          (* Settlement fires outside the lock, once the whole batch is
+             applied: the one point where a journal callback may safely
+             call back into the engine (e.g. to snapshot session
+             state). *)
+          Trace.span "drain.settle" (fun () ->
+              match seq with
+              | Some seq -> emit t (Drain_settled { seq })
+              | None -> ());
+          replies))
 
 let metrics_json t =
   let all = sessions t in

@@ -1,15 +1,19 @@
+module Histogram = Cdw_obs.Histogram
 module Json = Cdw_util.Json
+module Prom = Cdw_obs.Prom
 module Splitmix = Cdw_util.Splitmix
 module Stats = Cdw_util.Stats
 module Timing = Cdw_util.Timing
 
-(* One latency key: exact running aggregates (count, sum, min, max)
-   plus a bounded reservoir of samples (Vitter's algorithm R) that the
-   std/se estimate is computed from. A long-running engine records
+(* One latency key: exact running aggregates (count, sum, min, max),
+   a bounded reservoir of samples (Vitter's algorithm R) that the
+   std/se estimate is computed from, and a log-linear histogram that
+   yields bucket-exact percentiles. A long-running engine records
    millions of samples; storing them all would grow without limit, so
    beyond [max_samples] each new sample replaces a uniformly random
    slot with probability cap/count — the reservoir stays a uniform
-   sample of the whole stream. *)
+   sample of the whole stream — while the histogram counts every sample
+   in O(buckets) memory. *)
 type series = {
   mutable count : int;
   mutable sum : float;
@@ -18,6 +22,7 @@ type series = {
   mutable filled : int;
   buf : float array;
   rng : Splitmix.t;  (* deterministic per key: replacement is seeded *)
+  hist : Histogram.t;
 }
 
 type t = {
@@ -77,6 +82,7 @@ let fresh_series t key () =
     filled = 0;
     buf = Array.make t.max_samples 0.0;
     rng = Splitmix.create (Hashtbl.hash key lxor 0x5A17);
+    hist = Histogram.create ();
   }
 
 let record_ms t key ms =
@@ -86,6 +92,7 @@ let record_ms t key ms =
       s.sum <- s.sum +. ms;
       if ms < s.minv then s.minv <- ms;
       if ms > s.maxv then s.maxv <- ms;
+      Histogram.record s.hist ms;
       if s.filled < Array.length s.buf then begin
         s.buf.(s.filled) <- ms;
         s.filled <- s.filled + 1
@@ -94,10 +101,21 @@ let record_ms t key ms =
         let j = Splitmix.int s.rng s.count in
         if j < Array.length s.buf then s.buf.(j) <- ms)
 
+(* A raising thunk still gets its duration recorded, plus an error
+   counter — failure latency matters as much as success latency, and a
+   key that silently stops reporting on errors hides exactly the runs
+   one is debugging. *)
 let time t key f =
-  let result, ms = Timing.time_f f in
-  record_ms t key ms;
-  result
+  let t0 = Timing.now_ms () in
+  match f () with
+  | result ->
+      record_ms t key (Timing.now_ms () -. t0);
+      result
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      record_ms t key (Timing.now_ms () -. t0);
+      incr t (key ^ ".error");
+      Printexc.raise_with_backtrace exn bt
 
 let stored_samples t key =
   with_lock t (fun () ->
@@ -142,18 +160,56 @@ let summaries t =
         t.samples [])
   |> List.sort compare
 
-let summary_json (s : Stats.summary) =
+(* Percentiles come from the histogram: bucket-exact at any stream
+   length, where the reservoir could only estimate. *)
+let percentile t key q =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.samples key with
+      | Some s when s.count > 0 -> Some (Histogram.percentile s.hist q)
+      | Some _ | None -> None)
+
+let histogram_buckets t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.samples key with
+      | None -> []
+      | Some s ->
+          List.map
+            (fun (i, c) ->
+              let lo, hi = Histogram.bucket_bounds i in
+              (lo, hi, c))
+            (Histogram.nonempty_buckets s.hist))
+
+let quantile_fields h =
+  [
+    ("p50", Json.Number (Histogram.percentile h 0.5));
+    ("p90", Json.Number (Histogram.percentile h 0.9));
+    ("p99", Json.Number (Histogram.percentile h 0.99));
+    ("p999", Json.Number (Histogram.percentile h 0.999));
+  ]
+
+let summary_json ?hist (s : Stats.summary) =
   Json.Object
-    [
-      ("n", Json.Number (float_of_int s.Stats.n));
-      ("mean", Json.Number s.Stats.mean);
-      ("std", Json.Number s.Stats.std);
-      ("se", Json.Number s.Stats.se);
-      ("min", Json.Number s.Stats.min);
-      ("max", Json.Number s.Stats.max);
-    ]
+    ([
+       ("n", Json.Number (float_of_int s.Stats.n));
+       ("mean", Json.Number s.Stats.mean);
+       ("std", Json.Number s.Stats.std);
+       ("se", Json.Number s.Stats.se);
+       ("min", Json.Number s.Stats.min);
+       ("max", Json.Number s.Stats.max);
+     ]
+    @ match hist with Some h when s.Stats.n > 0 -> quantile_fields h | _ -> [])
 
 let to_json t =
+  let latencies =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun key s acc ->
+            match summary_of_series s with
+            | Some summary -> (key, summary_json ~hist:s.hist summary) :: acc
+            | None -> acc)
+          t.samples [])
+    |> List.sort compare
+  in
   Json.Object
     [
       ( "counters",
@@ -161,7 +217,20 @@ let to_json t =
           (List.map
              (fun (name, n) -> (name, Json.Number (float_of_int n)))
              (counters t)) );
-      ( "latency_ms",
-        Json.Object
-          (List.map (fun (key, s) -> (key, summary_json s)) (summaries t)) );
+      ("latency_ms", Json.Object latencies);
     ]
+
+(* Prometheus text exposition of the whole registry. The histograms are
+   rendered under the metrics lock: recording mutates them in place and
+   the emitter runs on its own domain. *)
+let prometheus t =
+  with_lock t (fun () ->
+      let counters =
+        Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
+        |> List.sort compare
+      in
+      let histograms =
+        Hashtbl.fold (fun key s acc -> (key, s.hist) :: acc) t.samples []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Prom.render ~counters ~histograms ())

@@ -12,11 +12,13 @@
     the engine benchmark.
 
     Latency storage is bounded: each key keeps exact running aggregates
-    (count, mean, min, max) plus a fixed-size uniform {e reservoir} of
+    (count, mean, min, max), a fixed-size uniform {e reservoir} of
     samples (Vitter's algorithm R, deterministic per key) that the
-    std/se estimate comes from — a long-running engine records millions
-    of samples in O([max_samples]) memory, and {!summary} stays stable
-    however far the count outruns the cap. *)
+    std/se estimate comes from, and a log-linear
+    {!Cdw_obs.Histogram} giving bucket-exact p50/p90/p99/p999 — a
+    long-running engine records millions of samples in O([max_samples]
+    + buckets) memory, and {!summary}/{!percentile} stay stable however
+    far the count outruns the cap. *)
 
 type t
 
@@ -49,7 +51,19 @@ val stored_samples : t -> string -> int
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk, record its wall-clock duration under the key, return
-    its result. Exceptions propagate without recording. *)
+    its result. A raising thunk still gets its duration recorded and
+    bumps the [<key>.error] counter before the exception propagates
+    (with its original backtrace), so error paths stay visible in
+    telemetry. *)
+
+val percentile : t -> string -> float -> float option
+(** Histogram percentile ([q] in [0, 1]) for a key; [None] when no
+    sample was recorded. Within one log-linear bucket width (~6%
+    relative) of the true order statistic, at any stream length. *)
+
+val histogram_buckets : t -> string -> (float * float * int) list
+(** Non-empty histogram buckets of a key as [(lo, hi, count)], in value
+    order. *)
 
 val summary : t -> string -> Cdw_util.Stats.summary option
 (** [None] when no sample was recorded under the key. [n], [mean],
@@ -63,4 +77,10 @@ val summaries : t -> (string * Cdw_util.Stats.summary) list
 
 val to_json : t -> Cdw_util.Json.t
 (** [{ "counters": { name: count, … },
-       "latency_ms": { key: { "n", "mean", "std", "se", "min", "max" }, … } }] *)
+       "latency_ms": { key: { "n", "mean", "std", "se", "min", "max",
+                              "p50", "p90", "p99", "p999" }, … } }] *)
+
+val prometheus : t -> string
+(** The whole registry in Prometheus text exposition format (namespace
+    [cdw]): counters as counters, latency keys as [_ms] histograms with
+    cumulative [le] buckets, [_sum] and [_count]. *)

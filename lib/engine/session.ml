@@ -1,6 +1,7 @@
 module Algorithms = Cdw_core.Algorithms
 module Incremental = Cdw_core.Incremental
 module Splitmix = Cdw_util.Splitmix
+module Trace = Cdw_obs.Trace
 
 type t = { id : string; inner : Incremental.t }
 
@@ -29,7 +30,14 @@ let create ~index ~algorithm ~(options : Algorithms.Options.t) ~rng_seed id =
       else options
     in
     Metrics.time metrics "solve" (fun () ->
-        Algorithms.solve ~options algorithm wf cs)
+        Trace.span "solve"
+          ~args:
+            [
+              ("algorithm", Algorithms.to_string algorithm);
+              ("user", id);
+              ("constraints", string_of_int (List.length cs));
+            ]
+          (fun () -> Algorithms.solve ~options algorithm wf cs))
   in
   let oracle =
     {

@@ -2,6 +2,7 @@ module Digraph = Cdw_graph.Digraph
 module Paths = Cdw_graph.Paths
 module Reach = Cdw_graph.Reach
 module Topo = Cdw_graph.Topo
+module Trace = Cdw_obs.Trace
 module Workflow = Cdw_core.Workflow
 
 type path_entry =
@@ -27,7 +28,8 @@ let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
   {
     base;
     topo = Topo.sort g;
-    snapshot = Reach.Snapshot.create g;
+    snapshot =
+      Trace.span "index.snapshot" (fun () -> Reach.Snapshot.create g);
     base_utility = None;
     paths = Hashtbl.create 256;
     lock = Mutex.create ();
@@ -75,13 +77,13 @@ let base_entry t ~source ~target =
   | None ->
       Metrics.incr t.metrics "index.paths.miss";
       let entry =
-        match
-          Paths.all_paths ~max_paths:t.max_paths (Workflow.graph t.base)
-            ~src:source ~dst:target
-        with
-        | paths ->
-            Cached (List.map (List.map Digraph.edge_id) paths)
-        | exception Paths.Too_many_paths _ -> Overflow
+        Trace.span "index.enumerate" (fun () ->
+            match
+              Paths.all_paths ~max_paths:t.max_paths (Workflow.graph t.base)
+                ~src:source ~dst:target
+            with
+            | paths -> Cached (List.map (List.map Digraph.edge_id) paths)
+            | exception Paths.Too_many_paths _ -> Overflow)
       in
       with_lock t (fun () ->
           if

@@ -1,0 +1,117 @@
+module Json = Cdw_util.Json
+
+(* Log-linear geometry: values in [2^(e-1), 2^e) split into [sub_buckets]
+   equal linear slices. [frexp v = (m, e)] with m ∈ [0.5, 1) lands v in
+   exponent bucket e; the mantissa picks the slice. Exponents outside
+   [e_min, e_max] clamp into the underflow/overflow buckets. *)
+
+let sub_buckets = 16
+let e_min = -13 (* 2^-14 ms ≈ 61 ns: finer than anything we time *)
+let e_max = 35 (* 2^35 ms ≈ 397 days *)
+let n_buckets = ((e_max - e_min + 1) * sub_buckets) + 2
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  counts : int array;
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0.0;
+    minv = infinity;
+    maxv = neg_infinity;
+    counts = Array.make n_buckets 0;
+  }
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.minv
+let max_value t = t.maxv
+
+let bucket_index v =
+  if Float.is_nan v || v <= 0.0 then 0
+  else if v = infinity then n_buckets - 1
+  else
+    let m, e = Float.frexp v in
+    if e < e_min then 0
+    else if e > e_max then n_buckets - 1
+    else
+      (* m ∈ [0.5, 1) → slice ∈ [0, sub_buckets) *)
+      let slice =
+        min (sub_buckets - 1)
+          (int_of_float ((m -. 0.5) *. 2.0 *. float_of_int sub_buckets))
+      in
+      1 + ((e - e_min) * sub_buckets) + slice
+
+let bucket_bounds i =
+  if i < 0 || i >= n_buckets then invalid_arg "Histogram.bucket_bounds"
+  else
+    (* Lower bound of the k-th regular bucket (k from 0):
+       2^(e-1) · (1 + s/sub) for e = e_min + k/sub, s = k mod sub. *)
+    let lower k =
+      let e = e_min + (k / sub_buckets) in
+      let s = k mod sub_buckets in
+      Float.ldexp (1.0 +. (float_of_int s /. float_of_int sub_buckets)) (e - 1)
+    in
+    if i = 0 then (neg_infinity, lower 0)
+    else if i = n_buckets - 1 then (lower (i - 1), infinity)
+    else (lower (i - 1), lower i)
+
+let record t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.minv then t.minv <- v;
+  if v > t.maxv then t.maxv <- v;
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let nonempty_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let percentile t q =
+  if t.count = 0 then nan
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let rec find i cum =
+      let cum = cum + t.counts.(i) in
+      if cum >= target then i else find (i + 1) cum
+    in
+    let i = find 0 0 in
+    let lo, hi = bucket_bounds i in
+    let estimate =
+      if lo = neg_infinity then t.minv
+      else if hi = infinity then t.maxv
+      else (lo +. hi) /. 2.0
+    in
+    Float.max t.minv (Float.min t.maxv estimate)
+
+let merge_into ~into t =
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum;
+  if t.minv < into.minv then into.minv <- t.minv;
+  if t.maxv > into.maxv then into.maxv <- t.maxv;
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts
+
+let to_json t =
+  (* Empty histograms print zeros: NaN/infinity are not JSON. *)
+  let p q = if t.count = 0 then 0.0 else percentile t q in
+  Json.Object
+    [
+      ("count", Json.Number (float_of_int t.count));
+      ("sum", Json.Number t.sum);
+      ("min", Json.Number (if t.count = 0 then 0.0 else t.minv));
+      ("max", Json.Number (if t.count = 0 then 0.0 else t.maxv));
+      ("p50", Json.Number (p 0.5));
+      ("p90", Json.Number (p 0.9));
+      ("p99", Json.Number (p 0.99));
+      ("p999", Json.Number (p 0.999));
+    ]

@@ -1,0 +1,143 @@
+let sanitize name =
+  let ok = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+(* Prometheus values are floats; print them the way its own ecosystem
+   does (shortest round-trippable decimal is overkill here — counts are
+   integers and bounds are short). *)
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render ?(namespace = "cdw") ~counters ~histograms () =
+  let buf = Buffer.create 4096 in
+  let full name = namespace ^ "_" ^ sanitize name in
+  List.iter
+    (fun (name, v) ->
+      let n = full name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    counters;
+  List.iter
+    (fun (name, h) ->
+      let n = full name ^ "_ms" in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          let _, hi = Histogram.bucket_bounds i in
+          let le = if hi = infinity then "+Inf" else number hi in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
+        (Histogram.nonempty_buckets h);
+      if
+        (* The spec requires a closing +Inf bucket even when the last
+           non-empty bucket is finite. *)
+        match List.rev (Histogram.nonempty_buckets h) with
+        | (i, _) :: _ -> snd (Histogram.bucket_bounds i) <> infinity
+        | [] -> true
+      then
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" n (number (Histogram.sum h)));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
+    histograms;
+  Buffer.contents buf
+
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+let parse_labels lineno s =
+  (* k="v" pairs between the braces; values are quoted, no escapes
+     beyond what we emit (le bounds never contain quotes). *)
+  let rec loop acc rest =
+    let rest = String.trim rest in
+    if rest = "" then Ok (List.rev acc)
+    else
+      match String.index_opt rest '=' with
+      | None -> Error (Printf.sprintf "line %d: label without '='" lineno)
+      | Some eq -> (
+          let k = String.trim (String.sub rest 0 eq) in
+          let v = String.sub rest (eq + 1) (String.length rest - eq - 1) in
+          let v = String.trim v in
+          if String.length v < 2 || v.[0] <> '"' then
+            Error (Printf.sprintf "line %d: unquoted label value" lineno)
+          else
+            match String.index_from_opt v 1 '"' with
+            | None -> Error (Printf.sprintf "line %d: unterminated label" lineno)
+            | Some close ->
+                let value = String.sub v 1 (close - 1) in
+                let rest = String.sub v (close + 1) (String.length v - close - 1) in
+                let rest =
+                  match String.index_opt rest ',' with
+                  | Some i -> String.sub rest (i + 1) (String.length rest - i - 1)
+                  | None -> rest
+                in
+                loop ((k, value) :: acc) rest)
+  in
+  loop [] s
+
+let parse_value lineno s =
+  match String.trim s with
+  | "+Inf" -> Ok infinity
+  | "-Inf" -> Ok neg_infinity
+  | v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "line %d: bad value %S" lineno v))
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let next = lineno + 1 in
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then loop acc next rest
+        else
+          let* sample =
+            match String.index_opt trimmed '{' with
+            | Some open_brace -> (
+                let metric = String.sub trimmed 0 open_brace in
+                match String.index_opt trimmed '}' with
+                | None ->
+                    Error (Printf.sprintf "line %d: unterminated label set" lineno)
+                | Some close ->
+                    let inner =
+                      String.sub trimmed (open_brace + 1) (close - open_brace - 1)
+                    in
+                    let* labels = parse_labels lineno inner in
+                    let* value =
+                      parse_value lineno
+                        (String.sub trimmed (close + 1)
+                           (String.length trimmed - close - 1))
+                    in
+                    Ok { metric; labels; value })
+            | None -> (
+                match String.index_opt trimmed ' ' with
+                | None ->
+                    Error (Printf.sprintf "line %d: sample without value" lineno)
+                | Some sp ->
+                    let metric = String.sub trimmed 0 sp in
+                    let* value =
+                      parse_value lineno
+                        (String.sub trimmed (sp + 1)
+                           (String.length trimmed - sp - 1))
+                    in
+                    Ok { metric; labels = []; value })
+          in
+          loop (sample :: acc) next rest
+  in
+  loop [] 1 lines

@@ -1,0 +1,36 @@
+(** Prometheus text exposition (format 0.0.4): rendering for the
+    telemetry emitter and a minimal parser for round-trip validation.
+
+    Rendering maps a counter set and a histogram set into one exposition
+    body. Metric names are sanitized ([[a-zA-Z0-9_:]], everything else
+    becomes ['_']) and prefixed with a namespace (default ["cdw"]).
+    Histograms render the standard cumulative [_bucket{le="..."}] series
+    over their non-empty buckets plus [_sum] and [_count].
+
+    The parser understands exactly what {!render} emits — [# HELP] /
+    [# TYPE] comments, samples with an optional single-depth label set —
+    which is all the observability smoke test needs to prove the output
+    round-trips. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[a-zA-Z0-9_:]] with ['_']; prefix
+    ['_'] if the first character is a digit. *)
+
+val render :
+  ?namespace:string ->
+  counters:(string * int) list ->
+  histograms:(string * Histogram.t) list ->
+  unit ->
+  string
+(** Histogram metric names get a [_ms] unit suffix (latencies are
+    recorded in milliseconds). *)
+
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+val parse : string -> (sample list, string) result
+(** Samples in exposition order. [Error] carries the 1-based line
+    number and reason of the first malformed line. *)

@@ -1,0 +1,65 @@
+(** Structured tracing: nestable, domain-safe spans exported as Chrome
+    trace-event JSON (loadable in Perfetto / [chrome://tracing]).
+
+    Tracing is a process-wide switch ({!set_enabled}), off by default.
+    While off, {!span} costs one atomic load and a branch — hot paths
+    keep their hooks permanently. While on, every span records a begin
+    and an end event into a buffer private to the recording domain
+    (created on a domain's first span, registered once under a mutex,
+    then written lock-free), so parallel drains on many domains never
+    contend.
+
+    Spans nest lexically within a domain — the innermost open span is
+    the implicit parent — and can link across domains by passing an
+    explicit [?parent] id (e.g. the engine hands its drain span id to
+    the per-user batch tasks it fans out). Timestamps are microseconds
+    since the trace epoch and are clamped monotone per domain.
+
+    Buffers are bounded: past {!set_capacity} events per domain, new
+    spans stop recording (their count is reported by {!dropped}) while
+    already-open spans still record their end — the exported trace
+    always has balanced begin/end pairs. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Per-domain event budget (default 262144). Applies to buffers not
+    yet full. *)
+
+val reset : unit -> unit
+(** Drop all recorded events and restart the trace epoch. Call while no
+    spans are being recorded. *)
+
+val span :
+  ?args:(string * string) list -> ?parent:int -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span. The result or exception of
+    [f] passes through; the end event is recorded either way. [args]
+    become the begin event's Chrome [args]. [parent] overrides the
+    implicit (same-domain) parent — pass another domain's
+    {!current_span} to stitch a cross-domain fan-out together. *)
+
+val current_span : unit -> int
+(** Id of the innermost open span on this domain, 0 if none. Non-zero
+    only while tracing is enabled. *)
+
+(** {1 Introspection} *)
+
+val recorded_events : unit -> int
+(** Events currently buffered, across all domains. *)
+
+val dropped : unit -> int
+(** Spans not recorded because their domain's buffer was full. *)
+
+(** {1 Export} *)
+
+val export : unit -> Cdw_util.Json.t
+(** The whole trace as a Chrome trace-event JSON object:
+    [{ "traceEvents": [...], "displayTimeUnit": "ms" }]. Each span
+    contributes a ["B"]/["E"] pair carrying [pid]/[tid] (the domain),
+    and begin events carry ["id"]/["parent"] span-id args. Thread-name
+    metadata events label each domain. Call after the traced work has
+    quiesced. *)
+
+val write : string -> unit
+(** {!export} serialized (compact) into a file. *)

@@ -1,0 +1,173 @@
+module Json = Cdw_util.Json
+
+type row = {
+  name : string;
+  count : int;
+  total_ms : float;
+  self_ms : float;
+  min_ms : float;
+  max_ms : float;
+}
+
+type report = {
+  rows : row list;
+  events : int;
+  unbalanced : int;
+  wall_ms : float;
+  drain_wall_ms : float;
+  drain_covered_ms : float;
+}
+
+let coverage r =
+  if r.drain_wall_ms > 0.0 then r.drain_covered_ms /. r.drain_wall_ms else 0.0
+
+type parsed_event = { e_name : string; e_ph : char; e_ts : float; e_tid : int }
+
+let event_of_json json =
+  match
+    ( Option.bind (Json.member "ph" json) Json.to_text,
+      Option.bind (Json.member "name" json) Json.to_text,
+      Option.bind (Json.member "ts" json) Json.to_float,
+      Option.bind (Json.member "tid" json) Json.to_float )
+  with
+  | Some ph, Some name, Some ts, Some tid when String.length ph = 1 ->
+      Some { e_name = name; e_ph = ph.[0]; e_ts = ts; e_tid = int_of_float tid }
+  | _ -> None
+
+(* Mutable per-name aggregate. *)
+type agg = {
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_self : float;
+  mutable a_min : float;
+  mutable a_max : float;
+}
+
+(* An open span on a tid's stack. *)
+type open_span = {
+  o_name : string;
+  o_start : float;
+  mutable o_children : float;  (* µs spent in direct children *)
+}
+
+let of_events events =
+  let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let agg name =
+    match Hashtbl.find_opt aggs name with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_count = 0; a_total = 0.0; a_self = 0.0; a_min = infinity;
+            a_max = neg_infinity }
+        in
+        Hashtbl.add aggs name a;
+        a
+  in
+  let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8 in
+  let consumed = ref 0 in
+  let unbalanced = ref 0 in
+  let first_ts = ref infinity in
+  let last_ts = ref neg_infinity in
+  let drain_wall = ref 0.0 in
+  let drain_covered = ref 0.0 in
+  List.iter
+    (fun ev ->
+      match ev.e_ph with
+      | 'B' ->
+          incr consumed;
+          if ev.e_ts < !first_ts then first_ts := ev.e_ts;
+          let stack = Option.value ~default:[] (Hashtbl.find_opt stacks ev.e_tid) in
+          Hashtbl.replace stacks ev.e_tid
+            ({ o_name = ev.e_name; o_start = ev.e_ts; o_children = 0.0 } :: stack)
+      | 'E' -> (
+          incr consumed;
+          if ev.e_ts > !last_ts then last_ts := ev.e_ts;
+          match Hashtbl.find_opt stacks ev.e_tid with
+          | Some (top :: rest) ->
+              Hashtbl.replace stacks ev.e_tid rest;
+              let dur = Float.max 0.0 (ev.e_ts -. top.o_start) in
+              let self = Float.max 0.0 (dur -. top.o_children) in
+              (match rest with
+              | parent :: _ -> parent.o_children <- parent.o_children +. dur
+              | [] -> ());
+              let a = agg top.o_name in
+              a.a_count <- a.a_count + 1;
+              a.a_total <- a.a_total +. dur;
+              a.a_self <- a.a_self +. self;
+              if dur < a.a_min then a.a_min <- dur;
+              if dur > a.a_max then a.a_max <- dur;
+              if top.o_name = "engine.drain" then begin
+                drain_wall := !drain_wall +. dur;
+                drain_covered := !drain_covered +. top.o_children
+              end
+          | Some [] | None -> incr unbalanced)
+      | _ -> ())
+    events;
+  (* Begin events never closed (e.g. the buffer filled mid-span). *)
+  Hashtbl.iter (fun _ stack -> unbalanced := !unbalanced + List.length stack) stacks;
+  let us_to_ms v = v /. 1000.0 in
+  let rows =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          name;
+          count = a.a_count;
+          total_ms = us_to_ms a.a_total;
+          self_ms = us_to_ms a.a_self;
+          min_ms = us_to_ms a.a_min;
+          max_ms = us_to_ms a.a_max;
+        }
+        :: acc)
+      aggs []
+    |> List.sort (fun a b -> compare (b.total_ms, a.name) (a.total_ms, b.name))
+  in
+  {
+    rows;
+    events = !consumed;
+    unbalanced = !unbalanced;
+    wall_ms =
+      (if !last_ts > !first_ts then us_to_ms (!last_ts -. !first_ts) else 0.0);
+    drain_wall_ms = us_to_ms !drain_wall;
+    drain_covered_ms = us_to_ms !drain_covered;
+  }
+
+let of_json json =
+  let events_json =
+    match json with
+    | Json.Array evs -> Ok evs
+    | Json.Object _ -> (
+        match Option.bind (Json.member "traceEvents" json) Json.to_list with
+        | Some evs -> Ok evs
+        | None -> Error "no \"traceEvents\" array")
+    | _ -> Error "not a trace-event JSON document"
+  in
+  Result.map
+    (fun evs -> of_events (List.filter_map event_of_json evs))
+    events_json
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> Result.bind (Json.parse text) of_json
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%-28s %9s %12s %12s %12s@,"
+    "phase" "count" "total ms" "self ms" "max ms";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-28s %9d %12.2f %12.2f %12.2f@,"
+        row.name row.count row.total_ms row.self_ms row.max_ms)
+    r.rows;
+  Format.fprintf ppf "@,events %d" r.events;
+  if r.unbalanced > 0 then Format.fprintf ppf " (%d unbalanced)" r.unbalanced;
+  Format.fprintf ppf ", wall %.2f ms@," r.wall_ms;
+  if r.drain_wall_ms > 0.0 then
+    Format.fprintf ppf
+      "drain wall %.2f ms, instrumented phases cover %.2f ms (%.1f%%)@]"
+      r.drain_wall_ms r.drain_covered_ms (100.0 *. coverage r)
+  else Format.fprintf ppf "no engine.drain span in this trace@]"

@@ -1,0 +1,42 @@
+(** Per-phase time breakdown of a Chrome trace-event JSON trace — the
+    engine behind [cdw trace summarize].
+
+    The summary pairs begin/end events per domain (tid) into spans,
+    aggregates them by name (count, total, self = total minus nested
+    children on the same domain, min/max) and reports how much of the
+    engine's drain wall time the instrumentation accounts for: the
+    coverage of an ["engine.drain"] span is the fraction of its duration
+    spent inside its direct same-domain children (dequeue, plan,
+    execute, settle), so low coverage means un-instrumented time on the
+    drain path. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_ms : float;
+  self_ms : float;
+  min_ms : float;
+  max_ms : float;
+}
+
+type report = {
+  rows : row list;  (** sorted by total time, descending *)
+  events : int;  (** B/E events consumed *)
+  unbalanced : int;  (** begin events with no matching end (dropped tails) *)
+  wall_ms : float;  (** last end timestamp minus first begin *)
+  drain_wall_ms : float;  (** total duration of ["engine.drain"] spans *)
+  drain_covered_ms : float;
+      (** time inside the drains' direct same-domain children *)
+}
+
+val coverage : report -> float
+(** [drain_covered_ms / drain_wall_ms], 0 when no drain span exists. *)
+
+val of_json : Cdw_util.Json.t -> (report, string) result
+(** Accepts both the [{ "traceEvents": [...] }] object form and a bare
+    event array. Unknown phase types (metadata, counters) are
+    skipped. *)
+
+val of_file : string -> (report, string) result
+
+val pp : Format.formatter -> report -> unit

@@ -3,9 +3,11 @@ module Constraint_set = Cdw_core.Constraint_set
 module Serialize = Cdw_core.Serialize
 module Workflow = Cdw_core.Workflow
 module Engine = Cdw_engine.Engine
+module Metrics = Cdw_engine.Metrics
 module Session = Cdw_engine.Session
 module Shared_index = Cdw_engine.Shared_index
 module Json = Cdw_util.Json
+module Trace = Cdw_obs.Trace
 
 let ( let* ) = Result.bind
 
@@ -223,6 +225,9 @@ type t = {
          last snapshot) — the only offsets a snapshot may be keyed to:
          every record before a boundary is applied session state, every
          record after it is still queued and will replay. *)
+  mutable metrics : Metrics.t option;
+      (* the attached engine's metrics; WAL/snapshot dark counters land
+         here so one registry serves the whole process *)
   lock : Mutex.t;  (* guards generation rollover vs appends *)
 }
 
@@ -241,6 +246,24 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let log t record = with_lock t (fun () -> Wal.append t.wal (Record.encode record))
+
+(* Mirror WAL activity into the attached engine's metrics. The observer
+   fires under the WAL lock, and Metrics' own mutex is a leaf lock, so
+   this respects the engine → store → wal lock order. *)
+let wal_observer m =
+  {
+    Wal.on_append =
+      (fun ~bytes ->
+        Metrics.incr m "store.wal.appends";
+        Metrics.incr ~by:bytes m "store.wal.appended_bytes");
+    on_fsync = (fun () -> Metrics.incr m "store.wal.fsyncs");
+  }
+
+let wire_metrics t m =
+  t.metrics <- Some m;
+  Wal.set_observer t.wal (wal_observer m)
+
+let count t key = Option.iter (fun m -> Metrics.incr m key) t.metrics
 
 let close t = with_lock t (fun () -> Wal.close t.wal)
 
@@ -269,6 +292,7 @@ let create ?fsync ?(snapshot_every_bytes = default_snapshot_every) ~dir
     wal;
     last_snapshot_len = 0;
     boundary = 0;
+    metrics = None;
     lock = Mutex.create ();
   }
 
@@ -291,6 +315,7 @@ let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
       wal;
       last_snapshot_len = covered;
       boundary = covered;
+      metrics = None;
       lock = Mutex.create ();
     }
 
@@ -301,8 +326,10 @@ let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
    (store lock held). [offset] must be a boundary: all state-bearing
    records at or before it applied, none after. *)
 let publish_snapshot_locked t ~offset state =
-  write_atomic (snapshot_path t.t_dir)
-    (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n");
+  Trace.span "store.snapshot" (fun () ->
+      write_atomic (snapshot_path t.t_dir)
+        (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n"));
+  count t "store.snapshots";
   t.last_snapshot_len <- offset;
   t.boundary <- max t.boundary offset
 
@@ -320,6 +347,7 @@ let compact t engine =
   if Engine.pending engine > 0 then
     invalid_arg "Store.compact: requests pending (drain first)";
   let state = snapshot_state_json engine in
+  Trace.span "store.compact" (fun () ->
   with_lock t (fun () ->
       let old_gen = t.gen in
       let new_gen = old_gen + 1 in
@@ -336,8 +364,11 @@ let compact t engine =
       t.gen <- new_gen;
       t.last_snapshot_len <- 0;
       t.boundary <- 0;
-      try Sys.remove (wal_path t.t_dir ~generation:old_gen)
-      with Sys_error _ -> ())
+      (* The rollover replaced the WAL; keep its appends visible. *)
+      Option.iter (fun m -> Wal.set_observer t.wal (wal_observer m)) t.metrics;
+      (try Sys.remove (wal_path t.t_dir ~generation:old_gen)
+       with Sys_error _ -> ())));
+  count t "store.compactions"
 
 (* ---------------------------------------------------------------- *)
 (* Journaling hooks                                                   *)
@@ -367,6 +398,7 @@ let maybe_auto_snapshot t engine =
             publish_snapshot_locked t ~offset:boundary state)
 
 let attach t engine =
+  wire_metrics t (Engine.metrics engine);
   let wf = Shared_index.base (Engine.index engine) in
   let hook = function
     | Engine.Submitted { user; request } -> (
@@ -446,6 +478,9 @@ let restore_snapshot engine wf snapshot =
    everything before it is already applied, which is exactly
    prefix-consistency. *)
 let replay engine wf entries ~valid_end ~tail =
+  Trace.span "store.replay"
+    ~args:[ ("frames", string_of_int (List.length entries)) ]
+  @@ fun () ->
   let rec loop replayed = function
     | [] ->
         if Engine.pending engine > 0 then drain_now engine;
@@ -487,13 +522,16 @@ let replay engine wf entries ~valid_end ~tail =
   loop 0 entries
 
 let recover dir =
+  Trace.span "store.recover" @@ fun () ->
   let* manifest = read_manifest dir in
   let* snapshot = read_snapshot dir in
   let generation =
     match snapshot with Some s -> s.s_generation | None -> 0
   in
   let from = match snapshot with Some s -> s.s_offset | None -> 0 in
-  let* scan = scan_wal dir ~generation ~from in
+  let* scan =
+    Trace.span "store.scan" (fun () -> scan_wal dir ~generation ~from)
+  in
   let wf = manifest.m_workflow in
   let engine =
     Engine.create ~algorithm:manifest.m_algorithm ~seed:manifest.m_seed wf
@@ -503,6 +541,16 @@ let recover dir =
     replay engine wf scan.Wal.entries ~valid_end:scan.Wal.valid_end
       ~tail:scan.Wal.tail
   in
+  (* Dark counters for what recovery saw: surfaced through the recovered
+     engine's metrics so a post-crash serve run exports them. *)
+  let m = Engine.metrics engine in
+  Metrics.incr ~by:(List.length scan.Wal.entries) m "store.recover.frames";
+  Metrics.incr ~by:replayed m "store.recover.replayed";
+  Metrics.incr m
+    (match tail with
+    | Wal.Clean -> "store.recover.tail.clean"
+    | Wal.Torn _ -> "store.recover.tail.torn"
+    | Wal.Corrupt _ -> "store.recover.tail.corrupt");
   Ok
     {
       engine;

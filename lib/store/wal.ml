@@ -1,3 +1,5 @@
+module Trace = Cdw_obs.Trace
+
 type fsync_policy = Always | Every of int | Never
 
 let fsync_policy_of_string s =
@@ -21,12 +23,17 @@ let fsync_policy_to_string = function
   | Never -> "never"
   | Every n -> Printf.sprintf "every:%d" n
 
+type observer = { on_append : bytes:int -> unit; on_fsync : unit -> unit }
+
+let no_observer = { on_append = (fun ~bytes:_ -> ()); on_fsync = ignore }
+
 type t = {
   oc : out_channel;
   fsync : fsync_policy;
   mutable len : int;
   mutable unsynced : int;  (* appends since the last fsync *)
   mutable closed : bool;
+  mutable observer : observer;
   lock : Mutex.t;
 }
 
@@ -46,28 +53,34 @@ let make ?(fsync = Every 32) ~truncate path =
     len = out_channel_length oc;
     unsynced = 0;
     closed = false;
+    observer = no_observer;
     lock = Mutex.create ();
   }
 
 let create ?fsync path = make ?fsync ~truncate:true path
 let open_append ?fsync path = make ?fsync ~truncate:false path
+let set_observer t observer = with_lock t (fun () -> t.observer <- observer)
 
 let fsync_now t =
-  Unix.fsync (Unix.descr_of_out_channel t.oc);
-  t.unsynced <- 0
+  Trace.span "wal.fsync" (fun () ->
+      Unix.fsync (Unix.descr_of_out_channel t.oc));
+  t.unsynced <- 0;
+  t.observer.on_fsync ()
 
 let append t payload =
   let frame = Frame.encode payload in
-  with_lock t (fun () ->
-      if t.closed then invalid_arg "Wal.append: log is closed";
-      output_string t.oc frame;
-      flush t.oc;
-      t.len <- t.len + String.length frame;
-      t.unsynced <- t.unsynced + 1;
-      match t.fsync with
-      | Always -> fsync_now t
-      | Every n when t.unsynced >= n -> fsync_now t
-      | Every _ | Never -> ())
+  Trace.span "wal.append" (fun () ->
+      with_lock t (fun () ->
+          if t.closed then invalid_arg "Wal.append: log is closed";
+          output_string t.oc frame;
+          flush t.oc;
+          t.len <- t.len + String.length frame;
+          t.unsynced <- t.unsynced + 1;
+          t.observer.on_append ~bytes:(String.length frame);
+          match t.fsync with
+          | Always -> fsync_now t
+          | Every n when t.unsynced >= n -> fsync_now t
+          | Every _ | Never -> ()))
 
 let length t = with_lock t (fun () -> t.len)
 

@@ -36,6 +36,16 @@ val append : t -> string -> unit
 (** Frame the payload and append it, flushing to the OS and fsyncing
     per policy before returning. *)
 
+type observer = { on_append : bytes:int -> unit; on_fsync : unit -> unit }
+(** Callbacks fired after each framed append (with the on-disk frame
+    size, header included) and after each completed fsync. Called with
+    the WAL lock held, so they must not call back into this [t]; bumping
+    an external counter (e.g. {!Cdw_engine.Metrics}) is the intended
+    use. *)
+
+val set_observer : t -> observer -> unit
+(** Install [observer], replacing any previous one. *)
+
 val length : t -> int
 (** Current byte length (file size at open plus appends since). *)
 

@@ -28,6 +28,7 @@ let () =
       ("workload/generator", Test_generator.suite);
       ("workload/catalog", Test_catalog.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("store", Test_store.suite);
       ("expers", Test_expers.suite);
       ("cli", Test_cli.suite);
