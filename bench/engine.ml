@@ -22,12 +22,53 @@ let usage () =
     "usage: engine [--quick] [--vertices N] [--density D] [--stages N]\n\
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
-    \              [--algorithm NAME] [--out FILE] [--trace-out FILE]";
+    \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
+    \              [--baseline FILE]";
   exit 2
+
+(* Regression guard: compare this run's engine_rps against a previously
+   committed result file. Only meaningful when the configs match — a
+   --quick baseline says nothing about the acceptance workload — so a
+   config mismatch skips the comparison with a note instead of lying. *)
+let check_baseline file (result : Workbench.result) =
+  let die fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline s;
+        exit 1)
+      fmt
+  in
+  let text =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error e -> die "baseline: %s" e
+  in
+  match Json.parse text with
+  | Error e -> die "baseline %s: unreadable JSON: %s" file e
+  | Ok baseline -> (
+      let current = Workbench.result_json result in
+      match (Json.member "config" baseline, Json.member "config" current) with
+      | Some bc, Some cc when bc <> cc ->
+          Printf.printf
+            "baseline %s: config differs from this run; skipping the rps guard\n"
+            file
+      | Some _, Some _ -> (
+          match Json.member "engine_rps" baseline with
+          | Some (Json.Number baseline_rps) when baseline_rps > 0.0 ->
+              let ratio = result.Workbench.engine_rps /. baseline_rps in
+              Printf.printf "baseline %s: engine_rps %.0f -> %.0f (%.2fx)\n"
+                file baseline_rps result.Workbench.engine_rps ratio;
+              if ratio < 0.9 then
+                die
+                  "bench guard: engine_rps regressed more than 10%% vs %s \
+                   (%.0f -> %.0f)"
+                  file baseline_rps result.Workbench.engine_rps
+          | _ -> die "baseline %s: no engine_rps field" file)
+      | _ -> die "baseline %s: no config object" file)
 
 let () =
   let config = ref Workbench.default in
   let out = ref "BENCH_engine.json" in
+  let baseline = ref None in
   let trace_out = ref None in
   let rec parse = function
     | [] -> ()
@@ -73,6 +114,9 @@ let () =
     | "--out" :: file :: rest ->
         out := file;
         parse rest
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        parse rest
     | "--trace-out" :: file :: rest ->
         trace_out := Some file;
         parse rest
@@ -96,6 +140,11 @@ let () =
       Trace.write file;
       Printf.printf "wrote %s\n" file);
   Format.printf "%a@." Workbench.pp result;
+  (* Guard against the committed numbers before overwriting them. *)
+  (match !baseline with
+  | Some file when Sys.file_exists file -> check_baseline file result
+  | Some file -> Printf.printf "baseline %s: missing, nothing to guard\n" file
+  | None -> ());
   let oc = open_out !out in
   output_string oc (Json.to_string (Workbench.result_json result));
   output_string oc "\n";

@@ -6,9 +6,16 @@ set -e
 dune build
 dune runtest
 
-# Seconds-scale serving smoke run; refreshes BENCH_engine.json so the
-# perf trajectory stays current PR over PR.
-dune exec bench/engine.exe -- --quick --out BENCH_engine.json
+# Representation-differential gate: the five solving algorithms must be
+# bit-identical on the mutable builder vs the frozen copy-free view
+# (also part of `dune runtest`; named here so a failure is unmissable).
+dune exec test/main.exe -- test 'graph/frozen-view' > /dev/null
+
+# Bench guard on the acceptance workload (100 vertices, 50 sessions):
+# fails if sessions-per-second regresses >10% against the committed
+# BENCH_engine.json, then refreshes it so the perf trajectory stays
+# current PR over PR.
+dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json
 
 # Crash-recovery smoke: journal a serving run, tear the last append,
 # prove the ledger recovers and compacts back to a clean state.

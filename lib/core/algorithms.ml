@@ -113,7 +113,7 @@ let per_path_removal ?paths_for ?utility_before pick wf cs =
               List.iter
                 (fun path ->
                   let e = pick path in
-                  if not (Digraph.edge_removed e) then
+                  if not (Digraph.edge_removed (Workflow.graph copy) e) then
                     ignore (Valuation.remove_with_cascade copy [ e ]))
                 paths))
         cs;
@@ -360,7 +360,7 @@ let brute_force_bnb_impl (o : Options.t) wf cs =
           end
           else begin
             let path = paths.(i) in
-            if Array.exists Digraph.edge_removed path then dfs (i + 1)
+            if Array.exists (Digraph.edge_removed g) path then dfs (i + 1)
             else
               Array.iter
                 (fun e ->

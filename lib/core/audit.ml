@@ -23,15 +23,13 @@ let find_witness g s t =
   Queue.add s queue;
   while (not (Queue.is_empty queue)) && not seen.(t) do
     let v = Queue.pop queue in
-    List.iter
-      (fun e ->
+    Digraph.iter_out g v (fun e ->
         let u = Digraph.edge_dst e in
         if not seen.(u) then begin
           seen.(u) <- true;
           parent.(u) <- Some e;
           Queue.add u queue
         end)
-      (Digraph.out_edges g v)
   done;
   if not seen.(t) then []
   else

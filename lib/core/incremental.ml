@@ -1,3 +1,5 @@
+module Digraph = Cdw_graph.Digraph
+
 type stats = { solver_runs : int; free_hits : int; full_resolves : int }
 
 type base_oracle = { connected : source:int -> target:int -> bool }
@@ -129,3 +131,44 @@ let update t ~add:add_pairs ~withdraw:withdraw_pairs =
 let add t pairs = update t ~add:pairs ~withdraw:[]
 let withdraw t pairs = update t ~add:[] ~withdraw:pairs
 let resolve_batch t = resolve_all t
+
+(* Edge ids cut by this session: removed in [current] but not in the
+   base. The base's own removed set is almost always empty, but a base
+   frozen mid-lifecycle may carry removals of its own. *)
+let delta_removed_ids t =
+  if t.pristine then []
+  else
+    let base_removed = Digraph.removed_edge_ids (Workflow.graph t.base) in
+    List.filter
+      (fun id -> not (List.mem id base_removed))
+      (Digraph.removed_edge_ids (Workflow.graph t.current))
+
+let restore t ~constraints ~removed_ids =
+  match Constraint_set.make t.base (List.sort_uniq compare constraints) with
+  | Error _ as e -> Result.map ignore e
+  | Ok validated ->
+      let g_base = Workflow.graph t.base in
+      let bad =
+        List.filter
+          (fun id -> id < 0 || id >= Digraph.n_edges_total g_base)
+          removed_ids
+      in
+      (match bad with
+      | id :: _ ->
+          Error (Printf.sprintf "cannot restore unknown edge id %d" id)
+      | [] ->
+          t.accepted <- validated;
+          if removed_ids = [] then begin
+            t.current <- (if t.shares_base then t.base else Workflow.copy t.base);
+            t.pristine <- true
+          end
+          else begin
+            let wf = Workflow.copy t.base in
+            let g = Workflow.graph wf in
+            List.iter
+              (fun id -> Digraph.remove_edge g (Digraph.edge g id))
+              removed_ids;
+            t.current <- wf;
+            t.pristine <- false
+          end;
+          Ok ())

@@ -83,3 +83,18 @@ val resolve_batch : t -> unit
 (** Re-solve all accepted constraints in one batch from the base,
     replacing the incrementally built solution (counted as a full
     resolve). *)
+
+val delta_removed_ids : t -> int list
+(** Edge ids this session has cut: removed in the current consented
+    workflow but not in the pristine base. Ascending. Together with
+    {!constraints} this is the session's full recoverable state. *)
+
+val restore :
+  t -> constraints:(int * int) list -> removed_ids:int list ->
+  (unit, string) result
+(** Install a previously captured session state — accepted constraint
+    pairs plus {!delta_removed_ids} — without running the solver.
+    Replaces the session's current solution wholesale. Invalid pairs or
+    unknown edge ids reject the call and leave the session untouched.
+    Used by ledger snapshot recovery, where the cuts were already
+    computed before the crash. *)

@@ -8,9 +8,9 @@ let per_purpose ?model wf =
   List.map
     (fun p ->
       let u =
-        List.fold_left
+        Digraph.fold_in g p
           (fun acc e -> acc +. pi.(Digraph.edge_id e))
-          0.0 (Digraph.in_edges g p)
+          0.0
       in
       (p, u))
     (Workflow.purposes wf)
@@ -48,9 +48,7 @@ let path_mass wf =
      which counts every v→purpose path once with its purpose weight. *)
   for pos = Array.length order - 1 downto 0 do
     let v = order.(pos) in
-    List.iter
-      (fun e -> pm.(v) <- pm.(v) +. pm.(Digraph.edge_dst e))
-      (Digraph.out_edges g v)
+    Digraph.iter_out g v (fun e -> pm.(v) <- pm.(v) +. pm.(Digraph.edge_dst e))
   done;
   pm
 

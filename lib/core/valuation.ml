@@ -19,19 +19,17 @@ let compute ?(model = Linear_additive) wf =
         | Workflow.User -> None (* per-edge initial values *)
         | Workflow.Algorithm | Workflow.Purpose ->
             let sum =
-              List.fold_left
+              Digraph.fold_in g v
                 (fun acc e -> acc +. pi.(Digraph.edge_id e))
-                0.0 (Digraph.in_edges g v)
+                0.0
             in
             Some (combine model sum)
       in
-      List.iter
-        (fun e ->
+      Digraph.iter_out g v (fun e ->
           pi.(Digraph.edge_id e) <-
             (match value_out with
             | Some x -> x
-            | None -> Workflow.initial_value wf e))
-        (Digraph.out_edges g v))
+            | None -> Workflow.initial_value wf e)))
     order;
   pi
 
@@ -46,19 +44,19 @@ let cascade wf seeds =
       Workflow.kind wf v = Workflow.Algorithm
       && Digraph.in_degree g v = 0
     then
-      List.iter
-        (fun e ->
+      (* [iter_out] checks liveness as each edge is visited, so removing
+         the edge in hand does not disturb the traversal. *)
+      Digraph.iter_out g v (fun e ->
           Digraph.remove_edge g e;
           removed := e :: !removed;
           Queue.add (Digraph.edge_dst e) queue)
-        (Digraph.out_edges g v)
   done;
   List.rev !removed
 
 let remove_with_cascade wf edges =
   let g = Workflow.graph wf in
   let direct =
-    List.filter (fun e -> not (Digraph.edge_removed e)) edges
+    List.filter (fun e -> not (Digraph.edge_removed g e)) edges
   in
   List.iter (fun e -> Digraph.remove_edge g e) direct;
   let cascaded = cascade wf (List.map Digraph.edge_dst direct) in

@@ -50,15 +50,14 @@ let propagate t seeds ~journal =
       | Workflow.User -> None (* initial values never change *)
       | Workflow.Algorithm | Workflow.Purpose ->
           Some
-            (List.fold_left
+            (Digraph.fold_in t.g v
                (fun acc e -> acc +. t.pi.(Digraph.edge_id e))
-               0.0 (Digraph.in_edges t.g v))
+               0.0)
     in
     match new_out with
     | None -> ()
     | Some value ->
-        List.iter
-          (fun e ->
+        Digraph.iter_out t.g v (fun e ->
             let id = Digraph.edge_id e in
             if t.pi.(id) <> value then begin
               journal := (id, t.pi.(id)) :: !journal;
@@ -72,7 +71,6 @@ let propagate t seeds ~journal =
               t.pi.(id) <- value;
               push dst
             end)
-          (Digraph.out_edges t.g v)
   done
 
 let zero_edge t journal e =

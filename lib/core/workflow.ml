@@ -105,8 +105,41 @@ let n_vertices t = Digraph.n_vertices t.graph
 let n_edges t = Digraph.n_edges t.graph
 
 let copy t =
+  if Digraph.is_view t.graph then
+    (* View-backed workflows are structurally immutable: [add_named] and
+       [connect] both hit the underlying graph first, which raises on
+       views before any metadata is touched. Sharing the metadata
+       vectors is therefore safe, and the copy reduces to an O(E/8)
+       removal-mask copy. *)
+    { t with graph = Digraph.copy t.graph }
+  else
+    {
+      graph = Digraph.copy t.graph;
+      kinds = Vec.copy t.kinds;
+      names = Vec.copy t.names;
+      name_index = Hashtbl.copy t.name_index;
+      weights = Vec.copy t.weights;
+      init_values = Vec.copy t.init_values;
+    }
+
+let is_frozen t = Digraph.is_view t.graph
+
+(* Freezing deep-copies the metadata: the result is the private base of
+   a shared index, and must not alias vectors the caller might keep
+   growing through the original builder workflow. *)
+let freeze t =
   {
-    graph = Digraph.copy t.graph;
+    graph = Digraph.view (Digraph.freeze t.graph);
+    kinds = Vec.copy t.kinds;
+    names = Vec.copy t.names;
+    name_index = Hashtbl.copy t.name_index;
+    weights = Vec.copy t.weights;
+    init_values = Vec.copy t.init_values;
+  }
+
+let thaw t =
+  {
+    graph = Digraph.thaw t.graph;
     kinds = Vec.copy t.kinds;
     names = Vec.copy t.names;
     name_index = Hashtbl.copy t.name_index;

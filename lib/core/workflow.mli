@@ -61,6 +61,26 @@ val n_vertices : t -> int
 val n_edges : t -> int
 
 val copy : t -> t
+(** Copy with preserved vertex and edge ids. On a builder-backed
+    workflow this deep-copies everything; on a frozen (view-backed)
+    workflow it shares the immutable base and metadata and copies only
+    the O(E/8) removal mask. *)
+
+val freeze : t -> t
+(** Compile the workflow into a frozen representation: the graph becomes
+    a fresh view over an immutable CSR snapshot
+    ({!Cdw_graph.Digraph.freeze}), and the metadata is deep-copied so
+    the result is independent of the original builder. Subsequent
+    {!copy} calls on the result (and its copies) share the snapshot.
+    Structure-changing builders ([add_user], [connect], ...) raise
+    [Invalid_argument] on frozen workflows; [remove]/[restore] of edges
+    still work. *)
+
+val thaw : t -> t
+(** Materialise an independent mutable (builder-backed) workflow with
+    the same ids and removal state; inverse boundary of {!freeze}. *)
+
+val is_frozen : t -> bool
 
 val validate : t -> (unit, string list) result
 (** Checks the model invariants: the live graph is a DAG; every

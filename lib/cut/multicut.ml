@@ -38,15 +38,13 @@ let find_path g s t =
   Queue.add s queue;
   while (not (Queue.is_empty queue)) && not seen.(t) do
     let v = Queue.pop queue in
-    List.iter
-      (fun e ->
+    Digraph.iter_out g v (fun e ->
         let u = Digraph.edge_dst e in
         if not seen.(u) then begin
           seen.(u) <- true;
           parent.(u) <- Some e;
           Queue.add u queue
         end)
-      (Digraph.out_edges g v)
   done;
   if not seen.(t) then None
   else begin

@@ -83,6 +83,10 @@ let session t user =
           emit t (Session_opened { user });
           s)
 
+let restore_session t user ~constraints ~removed_ids =
+  let s = session t user in
+  Session.restore s ~constraints ~removed_ids
+
 let forget t user =
   with_lock t (fun () ->
       if Hashtbl.mem t.sessions user then begin

@@ -103,6 +103,14 @@ val set_journal : t -> (event -> unit) option -> unit
 val session : t -> string -> Session.t
 (** Get-or-create the session of the given user id. *)
 
+val restore_session :
+  t -> string -> constraints:(int * int) list -> removed_ids:int list ->
+  (unit, string) result
+(** Get-or-create the user's session and install a previously captured
+    (constraints, cut edge ids) state directly, without running the
+    solver ({!Session.restore}). Ledger recovery uses this to rebuild
+    the pool from snapshot state. *)
+
 val forget : t -> string -> unit
 (** Drop the user's session (GDPR erasure / session close): its
     accepted constraints and consented workflow are discarded. A no-op

@@ -60,3 +60,7 @@ let add t pairs = Incremental.add t.inner pairs
 let withdraw t pairs = Incremental.withdraw t.inner pairs
 let update t ~add ~withdraw = Incremental.update t.inner ~add ~withdraw
 let resolve t = Incremental.resolve_batch t.inner
+let cut_ids t = Incremental.delta_removed_ids t.inner
+
+let restore t ~constraints ~removed_ids =
+  Incremental.restore t.inner ~constraints ~removed_ids

@@ -57,3 +57,15 @@ val update :
 
 val resolve : t -> unit
 (** Batch re-solve of all accepted constraints from the base. *)
+
+val cut_ids : t -> int list
+(** Edge ids the session's solves have removed relative to the shared
+    base, ascending ({!Cdw_core.Incremental.delta_removed_ids}). With
+    {!constraints} this is the session's full recoverable state, as
+    serialized into ledger snapshots. *)
+
+val restore :
+  t -> constraints:(int * int) list -> removed_ids:int list ->
+  (unit, string) result
+(** Install a previously captured (constraints, cut_ids) state without
+    running the solver ({!Cdw_core.Incremental.restore}). *)

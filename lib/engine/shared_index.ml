@@ -23,13 +23,18 @@ type t = {
 
 let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  let base = Workflow.copy wf in
+  (* Freezing compiles the workflow into an immutable CSR base; the
+     frozen arrays are shared (not copied) by every session view and are
+     safe to read from parallel drain domains. *)
+  let base = Workflow.freeze wf in
   let g = Workflow.graph base in
   {
     base;
     topo = Topo.sort g;
     snapshot =
-      Trace.span "index.snapshot" (fun () -> Reach.Snapshot.create g);
+      Trace.span "index.snapshot"
+        ~args:[ ("repr", Digraph.repr_name g) ]
+        (fun () -> Reach.Snapshot.create g);
     base_utility = None;
     paths = Hashtbl.create 256;
     lock = Mutex.create ();
@@ -77,7 +82,9 @@ let base_entry t ~source ~target =
   | None ->
       Metrics.incr t.metrics "index.paths.miss";
       let entry =
-        Trace.span "index.enumerate" (fun () ->
+        Trace.span "index.enumerate"
+          ~args:[ ("repr", Digraph.repr_name (Workflow.graph t.base)) ]
+          (fun () ->
             match
               Paths.all_paths ~max_paths:t.max_paths (Workflow.graph t.base)
                 ~src:source ~dst:target
@@ -102,7 +109,7 @@ let live_paths t wf ~source ~target =
       List.filter_map
         (fun path ->
           let edges = List.map (Digraph.edge g) path in
-          if List.exists Digraph.edge_removed edges then None
+          if List.exists (Digraph.edge_removed g) edges then None
           else Some edges)
         ids
 

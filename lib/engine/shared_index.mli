@@ -12,12 +12,15 @@
     - a memoized per-(user, purpose) path cache with a bounded number of
       cached pairs and a per-pair enumeration cap.
 
-    Sessions work on *cut copies* of the base. Cached base paths still
-    serve them: a base path is a live path of the copy iff every one of
-    its edges is still live (copies preserve edge ids), so
-    {!live_paths} filters rather than re-enumerates — and the filtered
-    list provably equals what a fresh DFS on the copy would produce, in
-    the same order (property-tested in [test_engine.ml]).
+    The base is *frozen* ({!Cdw_core.Workflow.freeze}): its graph is an
+    immutable CSR snapshot, and sessions work on copy-free *views* of it
+    — a private O(E/8) removed-edge bitset over the shared arrays,
+    instead of a deep per-session copy. Cached base paths still serve
+    them: a base path is a live path of the view iff every one of its
+    edges is still live (views preserve edge ids), so {!live_paths}
+    filters rather than re-enumerates — and the filtered list provably
+    equals what a fresh DFS on the view would produce, in the same order
+    (property-tested in [test_engine.ml]).
 
     All queries are thread-safe; the underlying snapshot and the base
     itself are immutable, the path cache takes a mutex. Cache traffic is
@@ -31,8 +34,9 @@ val create :
   ?metrics:Metrics.t ->
   Cdw_core.Workflow.t ->
   t
-(** Snapshots the given workflow (private copy, taken as the immutable
-    base) and precomputes topo order and the reachability snapshot.
+(** Freezes the given workflow (a private immutable CSR base; the input
+    is never modified) and precomputes topo order and the reachability
+    snapshot.
     [max_cached_pairs] (default 4096) bounds the number of
     (source, target) pairs whose path sets are memoized; beyond it, path
     queries fall through to plain enumeration. [max_paths] (default

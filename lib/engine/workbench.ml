@@ -52,6 +52,9 @@ type result = {
   naive_rps : float;
   engine_rps : float;
   path_cache_hits : int;
+  view_session_bytes : int;
+  copy_session_bytes : int;
+  memory_ratio : float;
   metrics : Json.t;
 }
 
@@ -135,6 +138,26 @@ let run_engine ?attach config wf requests =
   let replies = Engine.drain ~mode:(`Parallel config.domains) engine in
   (engine, replies)
 
+(* Marginal per-session resident bytes over a shared frozen base:
+   reachable words of (base, k copies) minus base alone, divided by k.
+   Shared blocks are counted once, so view copies are charged only for
+   their private removal mask while deep (thawed) copies are charged
+   the whole duplicated workflow — the number a pool of sessions
+   actually pays per member. *)
+let session_bytes wf =
+  let word = Sys.word_size / 8 in
+  let k = 16 in
+  let base = Workflow.freeze wf in
+  let marginal make =
+    let copies = Array.init k (fun _ -> make ()) in
+    let with_copies = Obj.reachable_words (Obj.repr (base, copies)) in
+    let base_only = Obj.reachable_words (Obj.repr base) in
+    (with_copies - base_only) * word / k
+  in
+  let view_bytes = marginal (fun () -> Workflow.copy base) in
+  let copy_bytes = marginal (fun () -> Workflow.thaw base) in
+  (view_bytes, copy_bytes)
+
 (* Best-of-[trials] wall time. Both servers are stateless across trials
    (fresh tables / fresh engine per call), so the minimum is the run
    least disturbed by the rest of the machine. *)
@@ -172,6 +195,7 @@ let run ?(trials = 3) ?attach config =
           invalid_arg (Printf.sprintf "Workbench.run: request failed: %s" msg))
     replies;
   let rps ms = if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0) else infinity in
+  let view_session_bytes, copy_session_bytes = session_bytes wf in
   {
     config;
     n_requests;
@@ -182,6 +206,12 @@ let run ?(trials = 3) ?attach config =
     engine_rps = rps engine_ms;
     path_cache_hits =
       Metrics.counter (Engine.metrics engine) "index.paths.hit";
+    view_session_bytes;
+    copy_session_bytes;
+    memory_ratio =
+      (if view_session_bytes > 0 then
+         float_of_int copy_session_bytes /. float_of_int view_session_bytes
+       else infinity);
     metrics = Engine.metrics_json engine;
   }
 
@@ -211,6 +241,13 @@ let result_json r =
       ("naive_rps", Json.Number r.naive_rps);
       ("engine_rps", Json.Number r.engine_rps);
       ("path_cache_hits", Json.Number (float_of_int r.path_cache_hits));
+      ( "session_bytes",
+        Json.Object
+          [
+            ("view", Json.Number (float_of_int r.view_session_bytes));
+            ("copy", Json.Number (float_of_int r.copy_session_bytes));
+            ("ratio", Json.Number r.memory_ratio);
+          ] );
       ("metrics", r.metrics);
     ]
 
@@ -223,10 +260,12 @@ let pp ppf r =
      naive  (scratch)  %10.1f ms  %8.0f req/s@,\
      engine (%d domains) %8.1f ms  %8.0f req/s@,\
      speedup         %.2fx@,\
-     path cache hits %d@]"
+     path cache hits %d@,\
+     session memory  %d B/view vs %d B/copy (%.1fx less)@]"
     c.n_sessions c.batches_per_session c.pairs_per_batch
     (if c.withdrawals then "1 withdrawal" else "no withdrawals")
     c.n_vertices c.stages c.density
     (Algorithms.to_string c.algorithm)
     r.n_requests r.naive_ms r.naive_rps c.domains r.engine_ms r.engine_rps
-    r.speedup r.path_cache_hits
+    r.speedup r.path_cache_hits r.view_session_bytes r.copy_session_bytes
+    r.memory_ratio

@@ -54,6 +54,14 @@ type result = {
   naive_rps : float;  (** requests per second *)
   engine_rps : float;
   path_cache_hits : int;  (** shared-index path-cache hits during the run *)
+  view_session_bytes : int;
+      (** marginal resident bytes per session as a copy-free view of the
+          frozen base ([Obj.reachable_words], shared blocks counted
+          once) *)
+  copy_session_bytes : int;
+      (** marginal resident bytes per session as a deep workflow copy —
+          what every session cost before the frozen/view split *)
+  memory_ratio : float;  (** [copy_session_bytes /. view_session_bytes] *)
   metrics : Cdw_util.Json.t;  (** {!Engine.metrics_json} after the drain *)
 }
 

@@ -31,7 +31,7 @@ let to_dot ?(name = "workflow") ?(vertex_label = string_of_int)
   in
   for id = 0 to Digraph.n_edges_total g - 1 do
     let e = Digraph.edge g id in
-    if not (Digraph.edge_removed e) then emit_edge e ""
+    if not (Digraph.edge_removed g e) then emit_edge e ""
     else if show_removed then emit_edge e "style=dashed, color=red,"
   done;
   Buffer.add_string buf "}\n";

@@ -16,11 +16,9 @@ let all_paths ?(max_paths = 1_000_000) ?(deadline = infinity) g ~src ~dst =
       acc := List.rev trail :: !acc
     end
     else
-      List.iter
-        (fun e ->
+      Digraph.iter_out g v (fun e ->
           let u = Digraph.edge_dst e in
           if reaches_dst.(u) then dfs u (e :: trail))
-        (Digraph.out_edges g v)
   in
   if reaches_dst.(src) then dfs src [];
   List.rev !acc
@@ -34,11 +32,9 @@ let count_paths g ~src ~dst =
   Array.iter
     (fun v ->
       if counts.(v) > 0.0 && v <> dst then
-        List.iter
-          (fun e ->
+        Digraph.iter_out g v (fun e ->
             let u = Digraph.edge_dst e in
-            counts.(u) <- counts.(u) +. counts.(v))
-          (Digraph.out_edges g v))
+            counts.(u) <- counts.(u) +. counts.(v)))
     order;
   counts.(dst)
 

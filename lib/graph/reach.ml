@@ -1,27 +1,29 @@
 module Bitset = Cdw_util.Bitset
 
-let bfs g start ~next =
+(* BFS over live edges without allocating per-vertex successor lists:
+   [step] pushes each neighbour of [v] through the callback. *)
+let bfs g start ~step =
   let seen = Array.make (Digraph.n_vertices g) false in
   let queue = Queue.create () in
   seen.(start) <- true;
   Queue.add start queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    List.iter
-      (fun u ->
+    step v (fun u ->
         if not seen.(u) then begin
           seen.(u) <- true;
           Queue.add u queue
         end)
-      (next v)
   done;
   seen
 
 let from_source g s =
-  bfs g s ~next:(fun v -> List.map Digraph.edge_dst (Digraph.out_edges g v))
+  bfs g s ~step:(fun v visit ->
+      Digraph.iter_out g v (fun e -> visit (Digraph.edge_dst e)))
 
 let to_target g t =
-  bfs g t ~next:(fun v -> List.map Digraph.edge_src (Digraph.in_edges g v))
+  bfs g t ~step:(fun v visit ->
+      Digraph.iter_in g v (fun e -> visit (Digraph.edge_src e)))
 
 let exists_path g s t =
   if s = t then invalid_arg "Reach.exists_path: s = t";
@@ -37,9 +39,8 @@ let target_bitsets g ~targets =
      predecessors, so one union sweep suffices. *)
   for pos = Array.length order - 1 downto 0 do
     let v = order.(pos) in
-    List.iter
-      (fun e -> Bitset.union_into sets.(v) sets.(Digraph.edge_dst e))
-      (Digraph.out_edges g v)
+    Digraph.iter_out g v (fun e ->
+        Bitset.union_into sets.(v) sets.(Digraph.edge_dst e))
   done;
   sets
 
@@ -59,9 +60,8 @@ module Snapshot = struct
        before the vertex itself, exactly as in [target_bitsets]. *)
     for pos = Array.length order - 1 downto 0 do
       let v = order.(pos) in
-      List.iter
-        (fun e -> Bitset.union_into desc.(v) desc.(Digraph.edge_dst e))
-        (Digraph.out_edges g v)
+      Digraph.iter_out g v (fun e ->
+          Bitset.union_into desc.(v) desc.(Digraph.edge_dst e))
     done;
     { n; desc }
 

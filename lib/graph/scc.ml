@@ -1,9 +1,26 @@
-(* Iterative Tarjan: explicit stack to survive deep graphs. *)
+(* Iterative Tarjan: explicit stack to survive deep graphs.
 
-type frame = { v : int; mutable next : Digraph.edge list }
+   The traversal builds one flat CSR of the live successor set up front
+   (two int arrays) instead of allocating an edge list per visited
+   vertex; frames then carry a cursor into it. *)
+
+type frame = { v : int; mutable cursor : int; stop : int }
 
 let tarjan g =
   let n = Digraph.n_vertices g in
+  (* Local live-successor CSR, rows in insertion order like [iter_out]. *)
+  let off = Array.make (n + 1) 0 in
+  Digraph.iter_edges
+    (fun e -> let s = Digraph.edge_src e in off.(s + 1) <- off.(s + 1) + 1)
+    g;
+  for v = 0 to n - 1 do off.(v + 1) <- off.(v + 1) + off.(v) done;
+  let succ = Array.make off.(n) 0 in
+  let cursor = Array.copy off in
+  for v = 0 to n - 1 do
+    Digraph.iter_out g v (fun e ->
+        succ.(cursor.(v)) <- Digraph.edge_dst e;
+        cursor.(v) <- cursor.(v) + 1)
+  done;
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -11,7 +28,7 @@ let tarjan g =
   let counter = ref 0 in
   let components = ref [] in
   let visit root =
-    let call_stack = ref [ { v = root; next = Digraph.out_edges g root } ] in
+    let call_stack = ref [ { v = root; cursor = off.(root); stop = off.(root + 1) } ] in
     index.(root) <- !counter;
     lowlink.(root) <- !counter;
     incr counter;
@@ -20,39 +37,40 @@ let tarjan g =
     while !call_stack <> [] do
       match !call_stack with
       | [] -> ()
-      | frame :: rest -> (
-          match frame.next with
-          | e :: more ->
-              frame.next <- more;
-              let u = Digraph.edge_dst e in
-              if index.(u) < 0 then begin
-                index.(u) <- !counter;
-                lowlink.(u) <- !counter;
-                incr counter;
-                stack := u :: !stack;
-                on_stack.(u) <- true;
-                call_stack := { v = u; next = Digraph.out_edges g u } :: !call_stack
-              end
-              else if on_stack.(u) then
-                lowlink.(frame.v) <- min lowlink.(frame.v) index.(u)
-          | [] ->
-              call_stack := rest;
-              (match rest with
-              | parent :: _ ->
-                  lowlink.(parent.v) <- min lowlink.(parent.v) lowlink.(frame.v)
-              | [] -> ());
-              if lowlink.(frame.v) = index.(frame.v) then begin
-                (* Pop the component off the vertex stack. *)
-                let rec pop acc =
-                  match !stack with
-                  | [] -> acc
-                  | x :: tail ->
-                      stack := tail;
-                      on_stack.(x) <- false;
-                      if x = frame.v then x :: acc else pop (x :: acc)
-                in
-                components := List.sort compare (pop []) :: !components
-              end)
+      | frame :: rest ->
+          if frame.cursor < frame.stop then begin
+            let u = succ.(frame.cursor) in
+            frame.cursor <- frame.cursor + 1;
+            if index.(u) < 0 then begin
+              index.(u) <- !counter;
+              lowlink.(u) <- !counter;
+              incr counter;
+              stack := u :: !stack;
+              on_stack.(u) <- true;
+              call_stack := { v = u; cursor = off.(u); stop = off.(u + 1) } :: !call_stack
+            end
+            else if on_stack.(u) then
+              lowlink.(frame.v) <- min lowlink.(frame.v) index.(u)
+          end
+          else begin
+            call_stack := rest;
+            (match rest with
+            | parent :: _ ->
+                lowlink.(parent.v) <- min lowlink.(parent.v) lowlink.(frame.v)
+            | [] -> ());
+            if lowlink.(frame.v) = index.(frame.v) then begin
+              (* Pop the component off the vertex stack. *)
+              let rec pop acc =
+                match !stack with
+                | [] -> acc
+                | x :: tail ->
+                    stack := tail;
+                    on_stack.(x) <- false;
+                    if x = frame.v then x :: acc else pop (x :: acc)
+              in
+              components := List.sort compare (pop []) :: !components
+            end
+          end
     done
   in
   for v = 0 to n - 1 do

@@ -1,6 +1,6 @@
 exception Cycle of int list
 
-let sort g =
+let kahn g =
   let n = Digraph.n_vertices g in
   let indeg = Array.make n 0 in
   Digraph.iter_edges (fun e -> let d = Digraph.edge_dst e in indeg.(d) <- indeg.(d) + 1) g;
@@ -12,12 +12,10 @@ let sort g =
     let v = Queue.pop queue in
     order.(!filled) <- v;
     incr filled;
-    List.iter
-      (fun e ->
+    Digraph.iter_out g v (fun e ->
         let d = Digraph.edge_dst e in
         indeg.(d) <- indeg.(d) - 1;
         if indeg.(d) = 0 then Queue.add d queue)
-      (Digraph.out_edges g v)
   done;
   if !filled < n then begin
     let stuck = ref [] in
@@ -25,6 +23,14 @@ let sort g =
     raise (Cycle !stuck)
   end;
   order
+
+let sort g =
+  (* Views whose live edges are a subset of their frozen base reuse the
+     order computed at freeze time: removing edges never invalidates a
+     topological order. *)
+  match Digraph.topo_hint g with
+  | Some order -> Array.copy order
+  | None -> kahn g
 
 let is_dag g = match sort g with _ -> true | exception Cycle _ -> false
 

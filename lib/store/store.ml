@@ -131,14 +131,28 @@ let read_manifest dir =
 (* ---------------------------------------------------------------- *)
 (* Snapshot                                                           *)
 
+type snapshot_user = {
+  u_name : string;
+  u_pairs : (string * string) list;
+  u_cuts : (string * string) list option;
+      (* the session's cut edges (removed relative to the shared base)
+         as (src, dst) name pairs; [None] for legacy snapshots, which
+         recover by re-solving instead of installing the cuts *)
+}
+
 type snapshot = {
   s_generation : int;
   s_offset : int;
-  s_users : (string * (string * string) list) list;
+  s_users : snapshot_user list;
 }
+
+let pairs_json pairs =
+  Json.Array
+    (List.map (fun (s, t) -> Json.Array [ Json.String s; Json.String t ]) pairs)
 
 let snapshot_state_json engine =
   let wf = Shared_index.base (Engine.index engine) in
+  let g = Workflow.graph wf in
   let users =
     List.map
       (fun (user, session) ->
@@ -146,23 +160,34 @@ let snapshot_state_json engine =
           Constraint_set.pairs (Session.constraints session)
           |> encode_pairs wf |> List.sort compare
         in
+        (* Cut edges are removals relative to the base, so each id names
+           an edge that is live in the base: (src, dst) names identify it
+           across reloads, like vertex names do for constraint pairs. *)
+        let cuts =
+          List.map
+            (fun id ->
+              let e = Cdw_graph.Digraph.edge g id in
+              ( encode_vertex wf (Cdw_graph.Digraph.edge_src e),
+                encode_vertex wf (Cdw_graph.Digraph.edge_dst e) ))
+            (Session.cut_ids session)
+          |> List.sort compare
+        in
         Json.Object
           [
             ("user", Json.String user);
-            ( "pairs",
-              Json.Array
-                (List.map
-                   (fun (s, t) -> Json.Array [ Json.String s; Json.String t ])
-                   pairs) );
+            ("pairs", pairs_json pairs);
+            ("cuts", pairs_json cuts);
           ])
       (Engine.sessions engine)  (* already sorted by user *)
   in
   Json.Object [ ("users", Json.Array users) ]
 
+(* Version 2 added per-user "cuts"; version-1 snapshots (no cuts field)
+   still read fine and recover through the re-solve path. *)
 let snapshot_json ~generation ~offset state =
   Json.Object
     [
-      ("version", Json.Number 1.0);
+      ("version", Json.Number 2.0);
       ("generation", Json.Number (float_of_int generation));
       ("wal_offset", Json.Number (float_of_int offset));
       ("state", state);
@@ -183,23 +208,34 @@ let read_snapshot dir =
       | None -> Error "snapshot: missing field \"state\""
     in
     let* user_objs = json_field state "users" Json.to_list in
+    let parse_pairs objs =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match p with
+          | Json.Array [ Json.String s; Json.String t ] -> Ok ((s, t) :: acc)
+          | _ -> Error "snapshot: malformed pair")
+        (Ok []) objs
+      |> Result.map List.rev
+    in
     let* users =
       List.fold_left
         (fun acc obj ->
           let* acc = acc in
           let* user = json_field obj "user" Json.to_text in
           let* pair_objs = json_field obj "pairs" Json.to_list in
-          let* pairs =
-            List.fold_left
-              (fun acc p ->
-                let* acc = acc in
-                match p with
-                | Json.Array [ Json.String s; Json.String t ] ->
-                    Ok ((s, t) :: acc)
-                | _ -> Error "snapshot: malformed pair")
-              (Ok []) pair_objs
+          let* pairs = parse_pairs pair_objs in
+          (* Pre-cuts snapshots have no "cuts" field; recovery re-solves
+             them instead of installing state directly. *)
+          let* cuts =
+            match Json.member "cuts" obj with
+            | None -> Ok None
+            | Some c -> (
+                match Json.to_list c with
+                | None -> Error "snapshot: malformed cuts"
+                | Some objs -> Result.map Option.some (parse_pairs objs))
           in
-          Ok ((user, List.rev pairs) :: acc))
+          Ok ({ u_name = user; u_pairs = pairs; u_cuts = cuts } :: acc))
         (Ok []) user_objs
     in
     Ok
@@ -452,21 +488,55 @@ let scan_wal dir ~generation ~from =
 
 let drain_now engine = ignore (Engine.drain ~mode:`Sequential engine)
 
+(* Resolve a cut's (src, dst) names back to the base edge id. Cut edges
+   are removed only in session views, never in the base, so a live-edge
+   lookup on the engine's base workflow finds them. *)
+let decode_cut engine wf (s, t) =
+  let* s_id = decode_vertex wf s in
+  let* t_id = decode_vertex wf t in
+  let g = Workflow.graph (Shared_index.base (Engine.index engine)) in
+  match Cdw_graph.Digraph.find_edge g s_id t_id with
+  | Some e -> Ok (Cdw_graph.Digraph.edge_id e)
+  | None -> Error (Printf.sprintf "unknown cut edge %s -> %s" s t)
+
 let restore_snapshot engine wf snapshot =
   match snapshot with
   | None -> Ok 0
   | Some s ->
       let* () =
         List.fold_left
-          (fun acc (user, pairs) ->
+          (fun acc u ->
             let* () = acc in
-            ignore (Engine.session engine user);
             let* ids =
               Result.map_error (fun e -> "snapshot: " ^ e)
-                (decode_pairs wf pairs)
+                (decode_pairs wf u.u_pairs)
             in
-            if ids <> [] then Engine.submit engine ~user (Engine.Add ids);
-            Ok ())
+            match u.u_cuts with
+            | Some cuts ->
+                (* The snapshot carries the session's solved state (cut
+                   edge set); install it directly — no solver run. *)
+                let* removed_ids =
+                  List.fold_left
+                    (fun acc cut ->
+                      let* acc = acc in
+                      let* id =
+                        Result.map_error (fun e -> "snapshot: " ^ e)
+                          (decode_cut engine wf cut)
+                      in
+                      Ok (id :: acc))
+                    (Ok []) cuts
+                  |> Result.map List.rev
+                in
+                Result.map_error (fun e -> "snapshot: " ^ e)
+                  (Engine.restore_session engine u.u_name ~constraints:ids
+                     ~removed_ids)
+            | None ->
+                (* Legacy snapshot (constraints only): re-derive the cuts
+                   by re-solving through the normal request path. *)
+                ignore (Engine.session engine u.u_name);
+                if ids <> [] then
+                  Engine.submit engine ~user:u.u_name (Engine.Add ids);
+                Ok ())
           (Ok ()) s.s_users
       in
       if Engine.pending engine > 0 then drain_now engine;

@@ -81,7 +81,7 @@ let test_live_paths_equal_fresh =
       List.iter
         (fun (s, t) ->
           match Paths.all_paths (Workflow.graph copy) ~src:s ~dst:t with
-          | (e :: _) :: _ when not (Digraph.edge_removed e) ->
+          | (e :: _) :: _ when not (Digraph.edge_removed (Workflow.graph copy) e) ->
               ignore (Valuation.remove_with_cascade copy [ e ])
           | _ -> ())
         pairs;

@@ -104,7 +104,7 @@ let prop_cascade_invariant =
         List.filter_map
           (fun id ->
             let e = Digraph.edge g id in
-            if Digraph.edge_removed e then None else Some e)
+            if Digraph.edge_removed g e then None else Some e)
           (List.init (Digraph.n_edges_total g) Fun.id)
       in
       let rng = Cdw_util.Splitmix.create seed in
