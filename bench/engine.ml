@@ -14,6 +14,7 @@
 
 module Algorithms = Cdw_core.Algorithms
 module Json = Cdw_util.Json
+module Shard_bench = Cdw_shard.Shard_bench
 module Trace = Cdw_obs.Trace
 module Workbench = Cdw_engine.Workbench
 
@@ -23,7 +24,7 @@ let usage () =
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
     \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
-    \              [--baseline FILE]";
+    \              [--baseline FILE] [--shards]";
   exit 2
 
 (* Regression guard: compare this run's engine_rps against a previously
@@ -70,6 +71,7 @@ let () =
   let out = ref "BENCH_engine.json" in
   let baseline = ref None in
   let trace_out = ref None in
+  let shards = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -120,6 +122,9 @@ let () =
     | "--trace-out" :: file :: rest ->
         trace_out := Some file;
         parse rest
+    | "--shards" :: rest ->
+        shards := true;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
         usage ()
@@ -145,8 +150,31 @@ let () =
   | Some file when Sys.file_exists file -> check_baseline file result
   | Some file -> Printf.printf "baseline %s: missing, nothing to guard\n" file
   | None -> ());
+  (* Shard-scaling rows: the same script at 200 sessions served through
+     a shard group at 1/2/4 shards. Rides along as an extra result
+     field; the main result (and the baseline guard's config) is
+     untouched. Scaling is core-count bound — rows from a single-core
+     host record ≈1x. *)
+  let scaling =
+    if not !shards then None
+    else begin
+      let rows =
+        Shard_bench.scaling
+          ~shard_counts:[ 1; 2; 4 ]
+          { !config with Workbench.n_sessions = 200 }
+      in
+      Format.printf "%a@." Shard_bench.pp_scaling rows;
+      Some (Shard_bench.scaling_json rows)
+    end
+  in
+  let result_json =
+    match (Workbench.result_json result, scaling) with
+    | Json.Object fields, Some rows ->
+        Json.Object (fields @ [ ("shard_scaling", rows) ])
+    | json, _ -> json
+  in
   let oc = open_out !out in
-  output_string oc (Json.to_string (Workbench.result_json result));
+  output_string oc (Json.to_string result_json);
   output_string oc "\n";
   close_out oc;
   Printf.printf "wrote %s\n" !out

@@ -210,6 +210,9 @@ let serve_bench_cmd =
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Domains of the parallel drain.")
   in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Serve through a sharded group of $(docv) engines over one shared base instead of a single engine (the naive baseline is skipped; replies are identical either way). With --journal, each shard gets its own ledger in DIR/shard-<i>.")
+  in
   let algo =
     Arg.(value & opt (some algo_conv) None & info [ "algorithm"; "a" ] ~doc:"Solving algorithm.")
   in
@@ -252,10 +255,12 @@ let serve_bench_cmd =
     Arg.(value & opt float 1.0 & info [ "stats-interval" ] ~docv:"SECS" ~doc:"Telemetry emit interval in seconds (min 0.05).")
   in
   let run quick vertices stages density sessions batches pairs no_withdrawals
-      seed domains algo trials out metrics_out journal fsync trace_out prom_out
-      stats_out stats_interval =
+      seed domains shards algo trials out metrics_out journal fsync trace_out
+      prom_out stats_out stats_interval =
     let module Engine = Cdw_engine.Engine in
     let module Metrics = Cdw_engine.Metrics in
+    let module Shard_bench = Cdw_shard.Shard_bench in
+    let module Shard_group = Cdw_shard.Shard_group in
     let module Trace = Cdw_obs.Trace in
     let module Telemetry = Cdw_obs.Telemetry in
     let base = if quick then Workbench.quick else Workbench.default in
@@ -286,20 +291,34 @@ let serve_bench_cmd =
           store := None
       | None -> ()
     in
-    (* The engine of the trial currently running; telemetry and the
-       SIGINT flush read whatever is live right now. *)
-    let live_metrics = ref None in
+    (* Telemetry thunks of whatever engine or shard group is live in
+       the trial currently running: (prometheus exposition, metrics
+       JSON). The SIGINT flush reads the same pair. *)
+    let live = ref None in
     let attach engine =
       (* Each trial gets a fresh engine; restarting the trace here keeps
          only the last engine trial (and drops the naive baseline's
          solver spans), which is the trial the timings report. *)
       if trace_out <> None then Trace.reset ();
-      live_metrics := Some (Engine.metrics engine);
+      let m = Engine.metrics engine in
+      live :=
+        Some ((fun () -> Metrics.prometheus m), fun () -> Metrics.to_json m);
       Option.iter
         (fun dir ->
           close_store ();
           store := Some (Cdw_store.Store.create_for ?fsync ~dir engine))
         journal
+    in
+    (* The sharded twin of [attach]: per-shard ledgers under one root,
+       shard-labelled exposition, merged metrics JSON. Losing trials'
+       groups (ledgers included) are closed by Shard_bench.serve. *)
+    let attach_group group =
+      if trace_out <> None then Trace.reset ();
+      live :=
+        Some
+          ( (fun () -> Shard_group.prometheus group),
+            fun () -> Shard_group.metrics_json group );
+      Option.iter (fun dir -> Shard_group.journal ?fsync ~dir group) journal
     in
     let write_json file json =
       let oc = open_out file in
@@ -309,13 +328,13 @@ let serve_bench_cmd =
       Printf.printf "wrote %s\n" file
     in
     let emit_telemetry () =
-      match !live_metrics with
+      match !live with
       | None -> ()
-      | Some m ->
+      | Some (prom, stats) ->
           Option.iter
             (fun file ->
               let oc = open_out file in
-              output_string oc (Metrics.prometheus m);
+              output_string oc (prom ());
               close_out oc)
             prom_out;
           Option.iter
@@ -329,7 +348,7 @@ let serve_bench_cmd =
                    (Cdw_util.Json.Object
                       [
                         ("t", Cdw_util.Json.Number (Unix.gettimeofday ()));
-                        ("metrics", Metrics.to_json m);
+                        ("metrics", stats ());
                       ]));
               output_string oc "\n";
               close_out oc)
@@ -361,40 +380,83 @@ let serve_bench_cmd =
              prerr_endline "interrupted: flushing telemetry";
              emit_telemetry ();
              write_trace ();
-             (match (metrics_out, !live_metrics) with
-             | Some file, Some m -> write_json file (Metrics.to_json m)
+             (match (metrics_out, !live) with
+             | Some file, Some (_, stats) -> write_json file (stats ())
              | _ -> ());
              close_store ();
              exit 130))
     in
     let restore_sigint () = Sys.set_signal Sys.sigint previous_sigint in
-    match Workbench.run ~trials ~attach config with
-    | result ->
-        restore_sigint ();
-        finish ();
-        write_trace ();
-        Format.printf "%a@." Workbench.pp result;
-        print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
-        Option.iter
-          (fun dir ->
-            Printf.printf "journaled to %s (fsync %s)\n" dir
-              (Cdw_store.Wal.fsync_policy_to_string
-                 (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
-          journal;
-        Option.iter
-          (fun file -> Printf.printf "wrote %s\n" file)
-          trace_out;
-        (match out with
-        | None -> ()
-        | Some file -> write_json file (Workbench.result_json result));
-        (match metrics_out with
-        | None -> ()
-        | Some file -> write_json file result.Workbench.metrics);
-        `Ok ()
-    | exception Invalid_argument msg ->
-        restore_sigint ();
-        finish ();
-        `Error (false, msg)
+    let journal_note () =
+      Option.iter
+        (fun dir ->
+          Printf.printf "journaled to %s (fsync %s)\n" dir
+            (Cdw_store.Wal.fsync_policy_to_string
+               (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
+        journal;
+      Option.iter (fun file -> Printf.printf "wrote %s\n" file) trace_out
+    in
+    match shards with
+    | Some n -> (
+        match Shard_bench.serve ~trials ~attach:attach_group ~shards:n config
+        with
+        | run, group ->
+            restore_sigint ();
+            finish ();
+            write_trace ();
+            Printf.printf
+              "sharded serve-bench: %d shards, %d requests, %.1f ms, %.0f \
+               req/s\n"
+              run.Shard_bench.shards run.Shard_bench.n_requests
+              run.Shard_bench.ms run.Shard_bench.rps;
+            let metrics_json = Shard_group.metrics_json group in
+            print_endline (Cdw_util.Json.to_string metrics_json);
+            journal_note ();
+            (match out with
+            | None -> ()
+            | Some file ->
+                write_json file
+                  (Cdw_util.Json.Object
+                     [
+                       ( "shards",
+                         Cdw_util.Json.Number
+                           (float_of_int run.Shard_bench.shards) );
+                       ( "n_requests",
+                         Cdw_util.Json.Number
+                           (float_of_int run.Shard_bench.n_requests) );
+                       ("engine_ms", Cdw_util.Json.Number run.Shard_bench.ms);
+                       ("engine_rps", Cdw_util.Json.Number run.Shard_bench.rps);
+                       ("metrics", metrics_json);
+                     ]));
+            (match metrics_out with
+            | None -> ()
+            | Some file -> write_json file metrics_json);
+            Shard_group.close group;
+            `Ok ()
+        | exception Invalid_argument msg ->
+            restore_sigint ();
+            finish ();
+            `Error (false, msg))
+    | None -> (
+        match Workbench.run ~trials ~attach config with
+        | result ->
+            restore_sigint ();
+            finish ();
+            write_trace ();
+            Format.printf "%a@." Workbench.pp result;
+            print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
+            journal_note ();
+            (match out with
+            | None -> ()
+            | Some file -> write_json file (Workbench.result_json result));
+            (match metrics_out with
+            | None -> ()
+            | Some file -> write_json file result.Workbench.metrics);
+            `Ok ()
+        | exception Invalid_argument msg ->
+            restore_sigint ();
+            finish ();
+            `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -404,7 +466,7 @@ let serve_bench_cmd =
     Term.(
       ret
         (const run $ quick $ vertices $ stages $ density $ sessions $ batches
-       $ pairs $ no_withdrawals $ seed $ domains $ algo $ trials $ out
+       $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials $ out
        $ metrics_out $ journal $ fsync $ trace_out $ prom_out $ stats_out
        $ stats_interval))
 
@@ -521,6 +583,104 @@ let store_cmd =
     (Cmd.info "store"
        ~doc:"Inspect, replay, compact and fault-test the durable consent ledger.")
     [ verify_cmd; replay_cmd; compact_cmd; fault_cmd ]
+
+(* ---------------------------------------------------------------- *)
+(* shard                                                              *)
+
+let shard_cmd =
+  let module Store = Cdw_store.Store in
+  let module Wal = Cdw_store.Wal in
+  let module Shard_group = Cdw_shard.Shard_group in
+  let root_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Sharded ledger root (holds group.json and shard-<i>/ directories).")
+  in
+  let verify_cmd =
+    let strict =
+      Arg.(value & flag & info [ "strict" ] ~doc:"Fail unless every shard's ledger is clean (no torn or corrupt tail).")
+    in
+    let run root strict =
+      match Shard_group.verify root with
+      | Error msg -> `Error (false, msg)
+      | Ok reports ->
+          Array.iteri
+            (fun i report ->
+              Format.printf "@[<v>shard %d:@,%a@]@." i Store.pp_report report)
+            reports;
+          let dirty =
+            Array.exists (fun r -> not (Store.report_clean r)) reports
+          in
+          if strict && dirty then
+            `Error (false, "a shard ledger has a damaged tail (see above)")
+          else `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Scan every shard's WAL, checking every frame CRC and record.")
+      Term.(ret (const run $ root_arg $ strict))
+  in
+  let replay_cmd =
+    let state =
+      Arg.(value & flag & info [ "state" ] ~doc:"Also print each shard's recovered per-user constraint state as JSON.")
+    in
+    let run root state =
+      match Shard_group.recover root with
+      | Error msg -> `Error (false, msg)
+      | Ok r ->
+          Array.iteri
+            (fun i (sr : Store.recovery) ->
+              Format.printf
+                "shard %d: generation %d, %d snapshot user(s), %d replayed, \
+                 %d valid byte(s), tail %a@."
+                i sr.Store.generation sr.Store.snapshot_users sr.Store.replayed
+                sr.Store.valid_end Wal.pp_tail sr.Store.tail)
+            r.Shard_group.shard_recoveries;
+          Printf.printf "recovered %d shard(s): %d record(s) replayed, %s\n"
+            (Array.length r.Shard_group.shard_recoveries)
+            r.Shard_group.replayed
+            (match r.Shard_group.damaged with
+            | [] -> "all tails clean"
+            | ds ->
+                Printf.sprintf "damaged tail on shard(s) %s"
+                  (String.concat ", " (List.map string_of_int ds)));
+          if state then
+            Array.iter
+              (fun (sr : Store.recovery) ->
+                print_endline
+                  (Cdw_util.Json.to_string
+                     (Store.snapshot_state_json sr.Store.engine)))
+              r.Shard_group.shard_recoveries;
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Rebuild every shard's engine state from its ledger and report it.")
+      Term.(ret (const run $ root_arg $ state))
+  in
+  let compact_cmd =
+    let run root =
+      match Shard_group.resume root with
+      | Error msg -> `Error (false, msg)
+      | Ok (group, r) ->
+          Shard_group.compact group;
+          Array.iteri
+            (fun i (sr : Store.recovery) ->
+              Printf.printf "shard %d: generation %d -> %d\n" i
+                sr.Store.generation (sr.Store.generation + 1))
+            r.Shard_group.shard_recoveries;
+          Printf.printf "compacted %d shard ledger(s) under %s\n"
+            (Shard_group.shards group) root;
+          Shard_group.close group;
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Fold every shard's WAL into a fresh snapshot and start empty next-generation logs.")
+      Term.(ret (const run $ root_arg))
+  in
+  Cmd.group
+    (Cmd.info "shard"
+       ~doc:"Inspect, replay and compact a sharded consent ledger (one ledger per shard under a common root).")
+    [ verify_cmd; replay_cmd; compact_cmd ]
 
 (* ---------------------------------------------------------------- *)
 (* trace                                                              *)
@@ -665,6 +825,6 @@ let experiment_cmd =
 let main =
   let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
   Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
-    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; trace_cmd; experiment_cmd ]
+    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; shard_cmd; trace_cmd; experiment_cmd ]
 
 let eval ?argv () = Cmd.eval ?argv main

@@ -93,10 +93,18 @@ let update t ~add:add_pairs ~withdraw:withdraw_pairs =
         List.filter (fun pair -> not (mem pair merged)) withdraw_pairs
       in
       match unknown with
-      | (s, _) :: _ ->
+      | (s, tg) :: _ ->
+          (* The pair may carry ids that never named a vertex — garbage
+             straight from a request. That is an error reply, never an
+             exception, so name the endpoints defensively. *)
+          let safe_name v =
+            if v >= 0 && v < Workflow.n_vertices t.base then
+              Workflow.name t.base v
+            else "#" ^ string_of_int v
+          in
           Error
-            (Printf.sprintf "cannot withdraw unknown constraint from %s"
-               (Workflow.name t.base s))
+            (Printf.sprintf "cannot withdraw unknown constraint (%s, %s)"
+               (safe_name s) (safe_name tg))
       | [] ->
           if withdraw_pairs = [] then begin
             (* Pure addition: solve incrementally on the current

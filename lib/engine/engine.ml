@@ -132,7 +132,6 @@ let group_by_user requests =
   List.rev_map
     (fun user -> (user, List.rev !(Hashtbl.find groups user)))
     !order
-  |> List.rev
 
 (* Batch coalescing. Inside one drain a user's intermediate states are
    unobservable, so a run of consecutive valid [Add]/[Withdraw]s

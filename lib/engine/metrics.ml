@@ -220,6 +220,61 @@ let to_json t =
       ("latency_ms", Json.Object latencies);
     ]
 
+(* ---------------------------------------------------------------- *)
+(* Cross-registry folding — the sharded group view.                   *)
+
+(* A consistent copy of one registry's contents, taken under its lock.
+   Histograms are copied (merge into a fresh one) because the source
+   keeps mutating them after the lock drops. *)
+let snapshot t =
+  with_lock t (fun () ->
+      let counters =
+        Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
+        |> List.sort compare
+      in
+      let series =
+        Hashtbl.fold
+          (fun key s acc ->
+            let hist = Histogram.create () in
+            Histogram.merge_into ~into:hist s.hist;
+            ( key,
+              (s.count, s.sum, s.minv, s.maxv, Array.sub s.buf 0 s.filled, hist)
+            )
+            :: acc)
+          t.samples []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      (counters, series))
+
+(* Fold [src] into [into]: counters add; per-key count/sum/min/max stay
+   exact and the histograms merge bucket-exactly, so merged percentiles
+   keep the single-registry error bound. The reservoir of [into] only
+   absorbs the source's retained samples up to its spare capacity —
+   std/se estimates of a merged registry lean toward [into]'s stream,
+   which is fine for the group view (they are estimates either way).
+   Locks are taken one at a time (snapshot src, then update into), so
+   any merge order between live registries is deadlock-free. *)
+let merge_into ~into src =
+  let counters, series = snapshot src in
+  List.iter (fun (name, n) -> incr ~by:n into name) counters;
+  List.iter
+    (fun (key, (count, sum, minv, maxv, samples, hist)) ->
+      with_lock into (fun () ->
+          let s = cell into.samples key (fresh_series into key) in
+          s.count <- s.count + count;
+          s.sum <- s.sum +. sum;
+          if minv < s.minv then s.minv <- minv;
+          if maxv > s.maxv then s.maxv <- maxv;
+          Histogram.merge_into ~into:s.hist hist;
+          Array.iter
+            (fun ms ->
+              if s.filled < Array.length s.buf then begin
+                s.buf.(s.filled) <- ms;
+                s.filled <- s.filled + 1
+              end)
+            samples))
+    series
+
 (* Prometheus text exposition of the whole registry. The histograms are
    rendered under the metrics lock: recording mutates them in place and
    the emitter runs on its own domain. *)
@@ -234,3 +289,18 @@ let prometheus t =
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       Prom.render ~counters ~histograms ())
+
+(* Shard-labelled exposition: one set per (labels, registry) pair, all
+   series of a metric name grouped under one TYPE block. Each registry
+   is snapshotted under its own lock, one at a time. *)
+let prometheus_sets sets =
+  Prom.render_sets
+    (List.map
+       (fun (labels, t) ->
+         let counters, series = snapshot t in
+         {
+           Prom.s_labels = labels;
+           s_counters = counters;
+           s_histograms = List.map (fun (k, (_, _, _, _, _, h)) -> (k, h)) series;
+         })
+       sets)

@@ -73,6 +73,19 @@ val summary : t -> string -> Cdw_util.Stats.summary option
 val summaries : t -> (string * Cdw_util.Stats.summary) list
 (** All latency summaries, sorted by key. *)
 
+(** {1 Merging} *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s contents into [into] — the
+    sharded serving group's merged view. Counters add; per-key [n],
+    [mean], [min], [max] stay exact and histograms merge bucket-exactly
+    (so merged percentiles keep the single-registry error bound);
+    [into]'s reservoir absorbs [src]'s retained samples only up to its
+    spare capacity, so [std]/[se] of a merged registry are biased toward
+    whichever stream filled it first. [src] is read under its own lock
+    and left untouched; locks are never nested, so concurrent merges in
+    any order cannot deadlock. *)
+
 (** {1 Export} *)
 
 val to_json : t -> Cdw_util.Json.t
@@ -84,3 +97,10 @@ val prometheus : t -> string
 (** The whole registry in Prometheus text exposition format (namespace
     [cdw]): counters as counters, latency keys as [_ms] histograms with
     cumulative [le] buckets, [_sum] and [_count]. *)
+
+val prometheus_sets : ((string * string) list * t) list -> string
+(** Several registries in one exposition, each sample carrying its
+    registry's label set (e.g. [[("shard", "0")]]) — all series of a
+    metric name grouped under a single [# TYPE] block as the format
+    requires. Each registry is snapshotted under its own lock, one at a
+    time. *)

@@ -175,13 +175,19 @@ let best_of trials f =
   | Some x -> x
   | None -> invalid_arg "Workbench: trials must be >= 1"
 
-let run ?(trials = 3) ?attach config =
+(* The benchmark inputs alone — base workflow plus request script —
+   for harnesses that serve the identical workload through a different
+   front end (the sharded group's scaling bench). *)
+let workload config =
   let instance = generate config in
   let wf = instance.Generator.workflow in
   let pairs = connected_pairs wf in
   if Array.length pairs = 0 then
-    invalid_arg "Workbench.run: generated workflow has no connected pairs";
-  let requests = script config pairs in
+    invalid_arg "Workbench: generated workflow has no connected pairs";
+  (wf, script config pairs)
+
+let run ?(trials = 3) ?attach config =
+  let wf, requests = workload config in
   let n_requests = List.length requests in
   let (), naive_ms = best_of trials (fun () -> run_naive config wf requests) in
   let (engine, replies), engine_ms =

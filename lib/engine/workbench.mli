@@ -65,6 +65,14 @@ type result = {
   metrics : Cdw_util.Json.t;  (** {!Engine.metrics_json} after the drain *)
 }
 
+val workload : config -> Cdw_core.Workflow.t * (string * Engine.request) list
+(** The benchmark inputs alone: the generated base workflow and the
+    deterministic request script (both functions of [config] only) —
+    what [Cdw_shard.Shard_bench] serves through a shard group to
+    measure scaling on the {e identical} workload. Raises
+    [Invalid_argument] if the generated workflow has no connected
+    (user, purpose) pair. *)
+
 val run : ?trials:int -> ?attach:(Engine.t -> unit) -> config -> result
 (** Runs both servers on the identical script and reports the best of
     [trials] (default 3) wall times for each — both are stateless across

@@ -14,43 +14,95 @@ let number f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
-let render ?(namespace = "cdw") ~counters ~histograms () =
+type series_set = {
+  s_labels : (string * string) list;
+  s_counters : (string * int) list;
+  s_histograms : (string * Histogram.t) list;
+}
+
+(* A label set rendered inside braces: [extra] appends one more pair
+   (the histogram [le] bound). Values we emit never contain quotes or
+   backslashes (shard indices, bucket bounds), so no escaping. *)
+let label_body labels extra =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) v)
+       (labels @ extra))
+
+let label_str labels extra =
+  match (labels, extra) with
+  | [], [] -> ""
+  | _ -> "{" ^ label_body labels extra ^ "}"
+
+(* One exposition of several label sets over the same registry shape.
+   Prometheus requires all series of one metric name under a single
+   TYPE block, so samples are grouped by metric name first, label set
+   second. *)
+let render_sets ?(namespace = "cdw") sets =
   let buf = Buffer.create 4096 in
   let full name = namespace ^ "_" ^ sanitize name in
+  let names project =
+    List.sort_uniq compare
+      (List.concat_map (fun set -> List.map fst (project set)) sets)
+  in
   List.iter
-    (fun (name, v) ->
+    (fun name ->
       let n = full name in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
-    counters;
+      List.iter
+        (fun set ->
+          match List.assoc_opt name set.s_counters with
+          | None -> ()
+          | Some v ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %d\n" n (label_str set.s_labels []) v))
+        sets)
+    (names (fun s -> s.s_counters));
   List.iter
-    (fun (name, h) ->
+    (fun name ->
       let n = full name ^ "_ms" in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
-      let cum = ref 0 in
       List.iter
-        (fun (i, c) ->
-          cum := !cum + c;
-          let _, hi = Histogram.bucket_bounds i in
-          let le = if hi = infinity then "+Inf" else number hi in
-          Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
-        (Histogram.nonempty_buckets h);
-      if
-        (* The spec requires a closing +Inf bucket even when the last
-           non-empty bucket is finite. *)
-        match List.rev (Histogram.nonempty_buckets h) with
-        | (i, _) :: _ -> snd (Histogram.bucket_bounds i) <> infinity
-        | [] -> true
-      then
-        Buffer.add_string buf
-          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
-      Buffer.add_string buf
-        (Printf.sprintf "%s_sum %s\n" n (number (Histogram.sum h)));
-      Buffer.add_string buf
-        (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
-    histograms;
+        (fun set ->
+          match List.assoc_opt name set.s_histograms with
+          | None -> ()
+          | Some h ->
+              let labels = set.s_labels in
+              let cum = ref 0 in
+              List.iter
+                (fun (i, c) ->
+                  cum := !cum + c;
+                  let _, hi = Histogram.bucket_bounds i in
+                  let le = if hi = infinity then "+Inf" else number hi in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" n
+                       (label_str labels [ ("le", le) ])
+                       !cum))
+                (Histogram.nonempty_buckets h);
+              if
+                (* The spec requires a closing +Inf bucket even when the
+                   last non-empty bucket is finite. *)
+                match List.rev (Histogram.nonempty_buckets h) with
+                | (i, _) :: _ -> snd (Histogram.bucket_bounds i) <> infinity
+                | [] -> true
+              then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" n
+                     (label_str labels [ ("le", "+Inf") ])
+                     !cum);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" n (label_str labels [])
+                   (number (Histogram.sum h)));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" n (label_str labels [])
+                   (Histogram.count h)))
+        sets)
+    (names (fun s -> s.s_histograms));
   Buffer.contents buf
+
+let render ?namespace ~counters ~histograms () =
+  render_sets ?namespace
+    [ { s_labels = []; s_counters = counters; s_histograms = histograms } ]
 
 type sample = {
   metric : string;

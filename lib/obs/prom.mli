@@ -16,14 +16,33 @@ val sanitize : string -> string
 (** Replace every character outside [[a-zA-Z0-9_:]] with ['_']; prefix
     ['_'] if the first character is a digit. *)
 
+type series_set = {
+  s_labels : (string * string) list;
+      (** labels attached to every sample of the set (e.g.
+          [("shard", "3")]); may be empty *)
+  s_counters : (string * int) list;
+  s_histograms : (string * Histogram.t) list;
+}
+
+val render_sets : ?namespace:string -> series_set list -> string
+(** Render several label sets of the same registry shape into one
+    exposition — the sharded serving group's view, where each shard
+    contributes the same metric names under its own [shard] label.
+    All series of one metric name are grouped under a single [# TYPE]
+    block (metric names first, label sets second), as the exposition
+    format requires. Metric and label names are sanitized; label
+    values are emitted verbatim and must not contain quotes or
+    backslashes. *)
+
 val render :
   ?namespace:string ->
   counters:(string * int) list ->
   histograms:(string * Histogram.t) list ->
   unit ->
   string
-(** Histogram metric names get a [_ms] unit suffix (latencies are
-    recorded in milliseconds). *)
+(** {!render_sets} with a single unlabelled set. Histogram metric names
+    get a [_ms] unit suffix (latencies are recorded in
+    milliseconds). *)
 
 type sample = {
   metric : string;

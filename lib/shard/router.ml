@@ -1,0 +1,21 @@
+module Splitmix = Cdw_util.Splitmix
+
+(* Chain every byte through a full SplitMix64 step: seed the next step
+   with (previous digest xor byte). One finalizing mix would already
+   avalanche, but user ids are short and routing runs once per submit,
+   so the per-byte chain costs nothing measurable and makes the digest
+   depend on byte *positions*, not just the multiset of bytes. *)
+let salt = 0x5A4D_C0DE
+
+let digest user =
+  let acc = ref salt in
+  String.iter
+    (fun c ->
+      let g = Splitmix.create (!acc lxor Char.code c) in
+      acc := Int64.to_int (Splitmix.next_int64 g))
+    user;
+  !acc land max_int
+
+let shard_of ~shards user =
+  if shards <= 0 then invalid_arg "Router.shard_of: shards must be positive";
+  digest user mod shards

@@ -1,0 +1,103 @@
+module Engine = Cdw_engine.Engine
+module Json = Cdw_util.Json
+module Timing = Cdw_util.Timing
+module Workbench = Cdw_engine.Workbench
+
+type run = { shards : int; n_requests : int; ms : float; rps : float }
+
+let serve ?(trials = 3) ?attach ~shards config =
+  if trials < 1 then invalid_arg "Shard_bench.serve: trials must be >= 1";
+  let wf, requests = Workbench.workload config in
+  let n_requests = List.length requests in
+  let run_once () =
+    let group =
+      Shard_group.create ~algorithm:config.Workbench.algorithm
+        ~seed:config.Workbench.seed ~shards wf
+    in
+    (match attach with Some f -> f group | None -> ());
+    List.iter
+      (fun (user, request) -> Shard_group.submit group ~user request)
+      requests;
+    let replies =
+      Shard_group.drain ~mode:(`Parallel config.Workbench.domains) group
+    in
+    (group, replies)
+  in
+  (* Best-of-trials like Workbench.run: every trial builds a fresh
+     group, so the minimum is the least-disturbed measurement. Groups
+     of non-best trials are closed as they lose. *)
+  let rec go best i =
+    if i >= trials then best
+    else
+      let (group, replies), ms = Timing.time_f run_once in
+      match best with
+      | Some (_, _, best_ms) when best_ms <= ms ->
+          Shard_group.close group;
+          go best (i + 1)
+      | Some (prev, _, _) ->
+          Shard_group.close prev;
+          go (Some (group, replies, ms)) (i + 1)
+      | None -> go (Some (group, replies, ms)) (i + 1)
+  in
+  match go None 0 with
+  | None -> assert false
+  | Some (group, replies, ms) ->
+      List.iter
+        (fun (r : Engine.reply) ->
+          match r.Engine.result with
+          | Ok () -> ()
+          | Error msg ->
+              invalid_arg
+                (Printf.sprintf "Shard_bench.serve: request failed: %s" msg))
+        replies;
+      let rps =
+        if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
+        else infinity
+      in
+      ({ shards; n_requests; ms; rps }, group)
+
+type row = { r_shards : int; r_ms : float; r_rps : float; r_speedup : float }
+
+let scaling ?trials ?(shard_counts = [ 1; 2; 4 ]) config =
+  let runs =
+    List.map
+      (fun shards ->
+        let run, group = serve ?trials ~shards config in
+        Shard_group.close group;
+        run)
+      shard_counts
+  in
+  match runs with
+  | [] -> []
+  | first :: _ ->
+      List.map
+        (fun r ->
+          {
+            r_shards = r.shards;
+            r_ms = r.ms;
+            r_rps = r.rps;
+            r_speedup = (if r.ms > 0.0 then first.ms /. r.ms else infinity);
+          })
+        runs
+
+let scaling_json rows =
+  Json.Array
+    (List.map
+       (fun r ->
+         Json.Object
+           [
+             ("shards", Json.Number (float_of_int r.r_shards));
+             ("engine_ms", Json.Number r.r_ms);
+             ("engine_rps", Json.Number r.r_rps);
+             ("speedup_vs_one", Json.Number r.r_speedup);
+           ])
+       rows)
+
+let pp_scaling ppf rows =
+  Format.fprintf ppf "@[<v>shard scaling (identical workload per row):@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %2d shards  %10.1f ms  %8.0f req/s  %5.2fx@,"
+        r.r_shards r.r_ms r.r_rps r.r_speedup)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** Shard-scaling benchmark: the {!Cdw_engine.Workbench} request
+    script served through a {!Shard_group} at several shard counts.
+
+    The workload (workflow + script) is byte-identical to the
+    single-engine benchmark's — {!Cdw_engine.Workbench.workload} of
+    the same config — so an [N]-shard row is directly comparable to
+    the unsharded [engine_ms] of [BENCH_engine.json], and rows are
+    comparable to each other. Scaling comes from draining shards in
+    parallel on the domain pool; on a single-core host the rows
+    collapse to ≈1× and that honest number is what gets recorded. *)
+
+type run = {
+  shards : int;
+  n_requests : int;
+  ms : float;  (** best-of-trials wall time: create + submit + drain *)
+  rps : float;  (** requests per second at [ms] *)
+}
+
+val serve :
+  ?trials:int ->
+  ?attach:(Shard_group.t -> unit) ->
+  shards:int ->
+  Cdw_engine.Workbench.config ->
+  run * Shard_group.t
+(** Serve the config's workload through a fresh [shards]-group per
+    trial (default 3 trials) and report the best wall time; the
+    returned group is the best trial's, post-drain (for metrics /
+    exposition / snapshotting). [attach] runs on each fresh group
+    before any submit — the hook [cdw serve-bench --shards --journal]
+    uses to wire per-shard ledgers (journaled runs should use
+    [~trials:1]: each trial re-creates the ledger directory). Raises
+    [Invalid_argument] if any reply is an error or [trials < 1]. *)
+
+type row = {
+  r_shards : int;
+  r_ms : float;
+  r_rps : float;
+  r_speedup : float;  (** vs the first row (shard count 1) *)
+}
+
+val scaling :
+  ?trials:int -> ?shard_counts:int list -> Cdw_engine.Workbench.config ->
+  row list
+(** One {!serve} per shard count (default [[1; 2; 4]]), groups closed
+    after timing; [r_speedup] is each row's wall time relative to the
+    first row's. *)
+
+val scaling_json : row list -> Cdw_util.Json.t
+(** The [BENCH_engine.json] ["shard_scaling"] payload: an array of
+    [{ "shards", "engine_ms", "engine_rps", "speedup_vs_one" }]. *)
+
+val pp_scaling : Format.formatter -> row list -> unit

@@ -1,0 +1,313 @@
+module Algorithms = Cdw_core.Algorithms
+module Domain_pool = Cdw_engine.Domain_pool
+module Engine = Cdw_engine.Engine
+module Incremental = Cdw_core.Incremental
+module Json = Cdw_util.Json
+module Metrics = Cdw_engine.Metrics
+module Session = Cdw_engine.Session
+module Store = Cdw_store.Store
+module Trace = Cdw_obs.Trace
+module Wal = Cdw_store.Wal
+module Workflow = Cdw_core.Workflow
+
+type t = {
+  shards : int;
+  engines : Engine.t array;
+  mutable stores : Store.t array;  (* [||] until [journal] / [resume] *)
+  order_lock : Mutex.t;
+  mutable order : string list;  (* reversed global first-submission order *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let group_of_engines engines =
+  {
+    shards = Array.length engines;
+    engines;
+    stores = [||];
+    order_lock = Mutex.create ();
+    order = [];
+    seen = Hashtbl.create 64;
+  }
+
+let create ?algorithm ?options ?seed ?max_cached_pairs ?max_paths ~shards wf =
+  if shards < 1 then invalid_arg "Shard_group.create: shards must be >= 1";
+  (* Freeze once; each engine's internal copy of a frozen workflow is a
+     view sharing the CSR arrays, so N shards pay for one base. *)
+  let frozen = Workflow.freeze wf in
+  group_of_engines
+    (Array.init shards (fun _ ->
+         Engine.create ?algorithm ?options ?seed ?max_cached_pairs ?max_paths
+           frozen))
+
+let shards t = t.shards
+let engines t = t.engines
+let route t user = Router.shard_of ~shards:t.shards user
+
+let submit t ~user request =
+  with_lock t.order_lock (fun () ->
+      if not (Hashtbl.mem t.seen user) then begin
+        Hashtbl.add t.seen user ();
+        t.order <- user :: t.order
+      end);
+  Engine.submit t.engines.(route t user) ~user request
+
+let pending t =
+  Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+
+(* Gather: per-shard reply lists come back grouped by user (each in the
+   shard's own first-submission order); re-sequence the users by the
+   global first-submission order the router recorded at submit time.
+   Users are disjoint across shards, so per-user reply order is already
+   the submission order — only the user interleaving needs restoring. *)
+let merge_replies order per_shard =
+  let tbl : (string, Engine.reply list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun replies ->
+      List.iter
+        (fun (r : Engine.reply) ->
+          match Hashtbl.find_opt tbl r.Engine.user with
+          | Some rs -> rs := r :: !rs
+          | None -> Hashtbl.add tbl r.Engine.user (ref [ r ]))
+        replies)
+    per_shard;
+  List.concat_map
+    (fun user ->
+      match Hashtbl.find_opt tbl user with
+      | Some rs -> List.rev !rs
+      | None -> []  (* journaled reject: submission recorded, no reply *))
+    order
+
+let drain ?mode t =
+  let domains =
+    match mode with
+    | Some `Sequential -> 1
+    | Some (`Parallel n) -> max 1 n
+    | None -> Domain_pool.recommended_domains ()
+  in
+  let order =
+    with_lock t.order_lock (fun () ->
+        let order = List.rev t.order in
+        t.order <- [];
+        Hashtbl.reset t.seen;
+        order)
+  in
+  Trace.span "group.drain"
+    ~args:[ ("shards", string_of_int t.shards) ]
+    (fun () ->
+      let parent = Trace.current_span () in
+      let per_shard =
+        Domain_pool.run ~domains
+          (Array.mapi
+             (fun i engine () ->
+               Trace.span "shard.drain" ~parent
+                 ~args:[ ("shard", string_of_int i) ]
+                 (fun () ->
+                   (* Each shard drains sequentially: the group's
+                      parallelism is the shard fan-out itself, and
+                      engine drains are mode-deterministic anyway. *)
+                   Engine.drain ~mode:`Sequential engine))
+             t.engines)
+      in
+      merge_replies order per_shard)
+
+let session t user = Engine.session t.engines.(route t user) user
+
+let sessions t =
+  Array.to_list t.engines
+  |> List.concat_map Engine.sessions
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---------------------------------------------------------------- *)
+(* Merged observability                                              *)
+
+let metrics t =
+  let merged = Metrics.create () in
+  Array.iter
+    (fun e -> Metrics.merge_into ~into:merged (Engine.metrics e))
+    t.engines;
+  merged
+
+let metrics_json t =
+  let all = sessions t in
+  let sum f =
+    List.fold_left (fun acc (_, s) -> acc + f (Session.stats s)) 0 all
+  in
+  let sessions_json =
+    Json.Object
+      [
+        ("count", Json.Number (float_of_int (List.length all)));
+        ( "solver_runs",
+          Json.Number (float_of_int (sum (fun s -> s.Incremental.solver_runs)))
+        );
+        ( "free_hits",
+          Json.Number (float_of_int (sum (fun s -> s.Incremental.free_hits))) );
+        ( "full_resolves",
+          Json.Number
+            (float_of_int (sum (fun s -> s.Incremental.full_resolves))) );
+      ]
+  in
+  let extra =
+    [
+      ("sessions", sessions_json);
+      ("shards", Json.Number (float_of_int t.shards));
+    ]
+  in
+  match Metrics.to_json (metrics t) with
+  | Json.Object fields -> Json.Object (fields @ extra)
+  | other -> other
+
+let prometheus t =
+  Metrics.prometheus_sets
+    (List.mapi
+       (fun i e -> ([ ("shard", string_of_int i) ], Engine.metrics e))
+       (Array.to_list t.engines))
+
+(* ---------------------------------------------------------------- *)
+(* Durability                                                        *)
+
+let shard_dir root i = Filename.concat root (Printf.sprintf "shard-%d" i)
+let group_manifest_path root = Filename.concat root "group.json"
+
+let write_group_manifest root ~shards =
+  let json =
+    Json.Object
+      [
+        ("version", Json.Number 1.0);
+        ("shards", Json.Number (float_of_int shards));
+      ]
+  in
+  (* Atomic like the store's own manifests: tmp + rename. *)
+  let tmp = group_manifest_path root ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Json.to_string json ^ "\n");
+  close_out oc;
+  Sys.rename tmp (group_manifest_path root)
+
+let read_group_manifest root =
+  let ( let* ) = Result.bind in
+  let path = group_manifest_path root in
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  let* json = Result.map_error (fun e -> "group.json: " ^ e) (Json.parse text) in
+  match Option.bind (Json.member "shards" json) Json.to_float with
+  | Some n when Float.is_integer n && n >= 1.0 -> Ok (int_of_float n)
+  | Some _ | None -> Error "group.json: missing or malformed \"shards\""
+
+let journal ?fsync ?snapshot_every_bytes ~dir t =
+  if Array.length t.stores > 0 then
+    invalid_arg "Shard_group.journal: group already journaled";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  write_group_manifest dir ~shards:t.shards;
+  t.stores <-
+    Array.mapi
+      (fun i engine ->
+        Store.create_for ?fsync ?snapshot_every_bytes ~dir:(shard_dir dir i)
+          engine)
+      t.engines
+
+let snapshot t =
+  Array.iteri (fun i store -> Store.write_snapshot store t.engines.(i)) t.stores
+
+let compact t =
+  Array.iteri (fun i store -> Store.compact store t.engines.(i)) t.stores
+
+let close t = Array.iter Store.close t.stores
+
+type recovery = {
+  shard_recoveries : Store.recovery array;
+  replayed : int;
+  damaged : int list;
+}
+
+let summarize shard_recoveries =
+  let replayed =
+    Array.fold_left (fun acc r -> acc + r.Store.replayed) 0 shard_recoveries
+  in
+  let damaged =
+    List.filter
+      (fun i ->
+        match shard_recoveries.(i).Store.tail with
+        | Wal.Clean -> false
+        | Wal.Torn _ | Wal.Corrupt _ -> true)
+      (List.init (Array.length shard_recoveries) Fun.id)
+  in
+  { shard_recoveries; replayed; damaged }
+
+(* Run one recovery task per shard on the pool and fail on the first
+   failed shard (lowest index), tagging the error with the shard. *)
+let per_shard_results ~domains ~shards task =
+  let results = Domain_pool.run ~domains (Array.init shards task) in
+  let rec collect i =
+    if i >= shards then Ok results
+    else
+      match results.(i) with
+      | Error e -> Error (Printf.sprintf "shard-%d: %s" i e)
+      | Ok _ -> collect (i + 1)
+  in
+  collect 0
+
+let recover ?(domains = Domain_pool.recommended_domains ()) root =
+  let ( let* ) = Result.bind in
+  let* shards = read_group_manifest root in
+  let* results =
+    per_shard_results ~domains ~shards (fun i () ->
+        Store.recover (shard_dir root i))
+  in
+  Ok
+    (summarize
+       (Array.map (function Ok r -> r | Error _ -> assert false) results))
+
+let resume ?fsync ?snapshot_every_bytes
+    ?(domains = Domain_pool.recommended_domains ()) root =
+  let ( let* ) = Result.bind in
+  let* shards = read_group_manifest root in
+  let results =
+    Domain_pool.run ~domains
+      (Array.init shards (fun i () ->
+           Store.resume ?fsync ?snapshot_every_bytes (shard_dir root i)))
+  in
+  let failure =
+    Array.to_list results
+    |> List.mapi (fun i r -> (i, r))
+    |> List.find_map (function
+         | i, Error e -> Some (Printf.sprintf "shard-%d: %s" i e)
+         | _, Ok _ -> None)
+  in
+  match failure with
+  | Some e ->
+      (* Release whatever did open before reporting. *)
+      Array.iter
+        (function Ok (store, _) -> Store.close store | Error _ -> ())
+        results;
+      Error e
+  | None ->
+      let pairs =
+        Array.map (function Ok p -> p | Error _ -> assert false) results
+      in
+      let group = group_of_engines (Array.map (fun (_, r) -> r.Store.engine) pairs) in
+      group.stores <- Array.map fst pairs;
+      Ok (group, summarize (Array.map snd pairs))
+
+let verify root =
+  let ( let* ) = Result.bind in
+  let* shards = read_group_manifest root in
+  let reports = Array.init shards (fun i -> Store.verify (shard_dir root i)) in
+  let rec collect i =
+    if i >= shards then
+      Ok (Array.map (function Ok r -> r | Error _ -> assert false) reports)
+    else
+      match reports.(i) with
+      | Error e -> Error (Printf.sprintf "shard-%d: %s" i e)
+      | Ok _ -> collect (i + 1)
+  in
+  collect 0

@@ -1,0 +1,184 @@
+(** Sharded consent serving: N independent {!Cdw_engine.Engine}s over
+    one shared frozen base, observably identical to a single engine.
+
+    The serving scenario (paper §8, "many users, one workflow") is
+    embarrassingly parallel {e across users}: sessions never share
+    mutable state, so any partition of the user population into
+    independently drained engines preserves every reply bit-for-bit —
+    provided routing is stable, replies are merged back in submission
+    order, and every shard solves with the same seed. A group delivers
+    exactly that:
+
+    - {b one base}: the workflow is frozen once ({!Cdw_core.Workflow}
+      CSR form) and every shard engine's copy of it is a view sharing
+      the frozen arrays — N shards cost one base, not N;
+    - {b stable routing}: {!Router.shard_of} (SplitMix modulo — see
+      {!Router} for why not rendezvous) fixes each user's shard as a
+      pure function of the id and the shard count;
+    - {b determinism}: every shard engine is created with the {e same}
+      seed, and an engine derives per-session randomness from
+      (seed, user id) alone — so a user's session solves identically
+      whether it lives in a 1-shard, 7-shard, or unsharded deployment
+      (the differential property [test_shard.ml] enforces this);
+    - {b scatter/gather drain}: {!drain} drains every shard on the
+      {!Cdw_engine.Domain_pool} (each shard's own drain sequential —
+      the parallelism {e is} the shard fan-out), then merges the
+      per-shard replies back into global per-user first-submission
+      order. A ["group.drain"] trace span wraps the gather and each
+      shard contributes a ["shard.drain"] span parented to it.
+
+    {b Durability} is per shard: {!journal} gives every shard its own
+    {!Cdw_store.Store} ledger in [shard-<i>/] under one root (its own
+    WAL, snapshots and generation numbers), plus a [group.json]
+    manifest pinning the shard count. Users are disjoint across
+    shards, so {e any} combination of per-shard durable prefixes is a
+    consistent group state — a torn WAL tail on one shard shortens
+    that shard's history and that shard's only. {!snapshot} cuts a
+    coordinated drain-boundary snapshot (each shard at its own
+    [Drain_settled] offset) and {!recover}/{!resume} restore all
+    shards in parallel on the domain pool.
+
+    Like the engine, [submit]/[drain] are meant to be driven from one
+    serving thread; only the drain fan-out (and recovery) is
+    parallel. *)
+
+type t
+
+val create :
+  ?algorithm:Cdw_core.Algorithms.name ->
+  ?options:Cdw_core.Algorithms.Options.t ->
+  ?seed:int ->
+  ?max_cached_pairs:int ->
+  ?max_paths:int ->
+  shards:int ->
+  Cdw_core.Workflow.t ->
+  t
+(** [create ~shards wf] builds [shards] engines over one frozen copy
+    of [wf], every engine configured identically (options as in
+    {!Cdw_engine.Engine.create}, same [seed] for all — that sameness
+    is what makes the group bit-identical to a single engine). Raises
+    [Invalid_argument] if [shards < 1]. *)
+
+val shards : t -> int
+
+val engines : t -> Cdw_engine.Engine.t array
+(** The shard engines, index = shard id. Callers must not submit to or
+    drain an engine directly while the group is serving. *)
+
+val route : t -> string -> int
+(** The shard serving this user id ({!Router.shard_of}). *)
+
+val submit : t -> user:string -> Cdw_engine.Engine.request -> unit
+(** Route and enqueue one request; with journaling attached this
+    write-ahead-logs on the user's shard before returning, exactly as
+    {!Cdw_engine.Engine.submit} does. *)
+
+val pending : t -> int
+(** Pending requests across all shards. *)
+
+val drain :
+  ?mode:[ `Sequential | `Parallel of int ] -> t -> Cdw_engine.Engine.reply list
+(** Serve every pending request on every shard and merge the replies:
+    users in global first-submission order, each user's replies in
+    submission order — the exact order a single engine's
+    {!Cdw_engine.Engine.drain} returns. [`Parallel n] (default
+    [`Parallel (Domain_pool.recommended_domains ())]) fans the shard
+    drains out on [n] domains; [`Sequential] drains shard 0, 1, … on
+    the calling domain. The replies are identical either way: shards
+    share no session state, so drain interleaving is unobservable. *)
+
+val session : t -> string -> Cdw_engine.Session.t
+(** Get-or-create the user's session on its shard. *)
+
+val sessions : t -> (string * Cdw_engine.Session.t) list
+(** All sessions of all shards, sorted by user id. *)
+
+(** {1 Merged observability} *)
+
+val metrics : t -> Cdw_engine.Metrics.t
+(** A {e fresh} registry holding the fold of every shard's metrics
+    ({!Cdw_engine.Metrics.merge_into}): counters summed, latency
+    aggregates exact, histograms (and thus percentiles) bucket-exact.
+    A snapshot — it does not track the shards afterwards. *)
+
+val metrics_json : t -> Cdw_util.Json.t
+(** {!Cdw_engine.Engine.metrics_json} shape over the merged registry:
+    merged counters and latencies plus the pool-wide ["sessions"]
+    totals, extended with a ["shards"] count. *)
+
+val prometheus : t -> string
+(** All shards in one Prometheus exposition, each shard's series
+    labelled [shard="<i>"] ({!Cdw_engine.Metrics.prometheus_sets}). *)
+
+(** {1 Durability} *)
+
+val shard_dir : string -> int -> string
+(** [shard_dir root i] is [root/shard-<i>] — where shard [i]'s ledger
+    lives. *)
+
+val journal :
+  ?fsync:Cdw_store.Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  dir:string ->
+  t ->
+  unit
+(** Attach a fresh per-shard ledger under [dir]: writes [group.json]
+    (pinning the shard count), then {!Cdw_store.Store.create_for} on
+    every shard engine in its {!shard_dir}. Any previous ledger files
+    in those directories are dropped. Raises [Invalid_argument] if the
+    group is already journaled. *)
+
+val snapshot : t -> unit
+(** Coordinated drain-boundary snapshot: {!Cdw_store.Store.write_snapshot}
+    on every shard, each keyed to its own WAL offset. Users are
+    disjoint across shards, so the per-shard boundaries jointly
+    describe one consistent group state. Same precondition as the
+    store call: no pending requests (drain first). A no-op when not
+    journaled. *)
+
+val compact : t -> unit
+(** {!Cdw_store.Store.compact} every shard (snapshot into the next WAL
+    generation, drop the old log). Same precondition as {!snapshot}.
+    A no-op when not journaled. *)
+
+val close : t -> unit
+(** Close every shard's ledger. The group itself needs no teardown. *)
+
+type recovery = {
+  shard_recoveries : Cdw_store.Store.recovery array;
+      (** per-shard recovery detail, index = shard id *)
+  replayed : int;  (** total WAL records replayed across shards *)
+  damaged : int list;
+      (** shards whose WAL tail was torn or corrupt (prefix recovered,
+          tail discarded) *)
+}
+
+val recover : ?domains:int -> string -> (recovery, string) result
+(** Read-only group recovery: load [group.json], then
+    {!Cdw_store.Store.recover} every shard in parallel on [domains]
+    (default {!Cdw_engine.Domain_pool.recommended_domains}) domains.
+    Each recovered shard engine owns its base parsed from its own
+    manifest (recovery does not share the frozen base — every shard
+    manifest embeds the identical workflow). [Error] if the group
+    manifest or any shard's manifest/snapshot is unreadable; damaged
+    WAL {e tails} never fail recovery, they only shorten that shard's
+    prefix. *)
+
+val resume :
+  ?fsync:Cdw_store.Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  ?domains:int ->
+  string ->
+  (t * recovery, string) result
+(** Crash-restart entry point: {!Cdw_store.Store.resume} every shard
+    in parallel (recover, truncate each WAL to its valid prefix,
+    re-attach), and assemble the recovered engines into a serving
+    group. On a per-shard failure every already-opened store is
+    closed before the error returns. *)
+
+val verify : string -> (Cdw_store.Store.report array, string) result
+(** {!Cdw_store.Store.verify} every shard, index = shard id. [Error]
+    on the first unverifiable shard. *)
+
+val group_manifest_path : string -> string
+(** [root/group.json] (for tooling). *)

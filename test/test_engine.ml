@@ -311,6 +311,40 @@ let test_metrics_reservoir () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "cap of 1 accepted"
 
+(* Regression: withdrawing a pair that was never accepted — whether its
+   ids are valid vertices or garbage outside the vertex range — must
+   come back as a clean [Error] reply, and the engine must keep serving
+   afterwards. (The out-of-range case used to raise out of [drain]
+   while formatting the error message.) *)
+let test_withdraw_unknown_pair () =
+  let inst = instance 77 in
+  let wf = inst.Generator.workflow in
+  let engine = Engine.create ~algorithm:Algorithms.Remove_first_edge wf in
+  let n = Workflow.n_vertices wf in
+  let pairs = connected_pairs wf 2 in
+  let never_accepted = List.nth pairs 1 in
+  Engine.submit engine ~user:"alice" (Engine.Withdraw [ (n + 5, n + 9) ]);
+  Engine.submit engine ~user:"bob" (Engine.Withdraw [ never_accepted ]);
+  (match Engine.drain ~mode:`Sequential engine with
+  | [ garbage; valid_ids ] ->
+      List.iter
+        (fun (r : Engine.reply) ->
+          match r.Engine.result with
+          | Error msg ->
+              Alcotest.(check bool)
+                (r.Engine.user ^ ": error names the unknown constraint")
+                true (String.length msg > 0)
+          | Ok () ->
+              Alcotest.failf "%s: withdraw of never-accepted pair succeeded"
+                r.Engine.user)
+        [ garbage; valid_ids ]
+  | replies -> Alcotest.failf "expected 2 replies, got %d" (List.length replies));
+  (* The engine is still serviceable: a normal accept round succeeds. *)
+  Engine.submit engine ~user:"alice" (Engine.Add [ List.hd pairs ]);
+  match Engine.drain ~mode:`Sequential engine with
+  | [ r ] -> ok_or_fail r.Engine.result
+  | replies -> Alcotest.failf "expected 1 reply, got %d" (List.length replies)
+
 let test_metrics_json () =
   let result = Workbench.run ~trials:1 Workbench.quick in
   Alcotest.(check bool) "speedup positive" true (result.Workbench.speedup > 0.0);
@@ -331,6 +365,7 @@ let suite =
     ("withdrawal invalidation", `Quick, test_withdrawal_invalidation);
     ("coalesced net change", `Quick, test_coalescing_net_change);
     ("parallel == sequential drain", `Quick, test_parallel_equals_sequential);
+    ("withdraw of never-accepted pair is a clean error", `Quick, test_withdraw_unknown_pair);
     ("metrics reservoir sampling", `Quick, test_metrics_reservoir);
     ("metrics json", `Quick, test_metrics_json);
   ]

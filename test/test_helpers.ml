@@ -38,6 +38,80 @@ let random_instance ~seed =
   in
   Cdw_workload.Generator.generate ~seed params
 
+(* ---------------------------------------------------------------- *)
+(* Seed-reporting shrink harness for randomized differential suites.
+
+   QCheck shrinks over its own generated values; the sharded
+   differential and crash-recovery sweeps instead run a fixed property
+   over an explicit seed list and a Gen_params instance shape. When a
+   (seed, params) case fails, this harness greedily shrinks the params
+   — halve the vertices, drop constraints and stages, zero the density
+   — while the property still fails under the *same* seed, then fails
+   the test with a message carrying the seed and the minimized
+   parameters: the CI log alone is enough to reproduce. *)
+
+module Gen_params = Cdw_workload.Gen_params
+
+(* An exception out of the property counts as a failure (that is
+   exactly the crash the harness must pin down), with its message kept
+   for the report. *)
+let run_case prop ~seed params =
+  match prop ~seed params with
+  | true -> None
+  | false -> Some "property returned false"
+  | exception exn -> Some (Printexc.to_string exn)
+
+let pp_params (p : Gen_params.t) =
+  Printf.sprintf "vertices=%d constraints=%d stages=%d density=%.3f %s"
+    p.Gen_params.n_vertices p.Gen_params.n_constraints p.Gen_params.stages
+    p.Gen_params.density
+    (match p.Gen_params.distribution with
+    | Gen_params.Uniform -> "uniform"
+    | Gen_params.Non_uniform -> "non-uniform"
+    | Gen_params.Explicit _ -> "explicit")
+
+(* Candidate one-step shrinks, biggest reduction first. Floors keep the
+   instance generable: at least one vertex per stage, k >= 2, one
+   constraint (zero would trivially pass most properties). *)
+let shrink_moves (p : Gen_params.t) =
+  let open Gen_params in
+  List.filter
+    (fun q -> q <> p && Result.is_ok (validate q))
+    [
+      { p with n_vertices = max (2 * p.stages) (p.n_vertices / 2) };
+      { p with n_vertices = max (2 * p.stages) (p.n_vertices - 1) };
+      { p with n_constraints = max 1 (p.n_constraints - 1) };
+      { p with stages = max 2 (p.stages - 1) };
+      { p with density = 0.0 };
+      { p with distribution = Uniform };
+    ]
+
+let check_seeded ?(max_shrink_evals = 200) ~params ~seeds name prop =
+  List.iter
+    (fun seed ->
+      match run_case prop ~seed params with
+      | None -> ()
+      | Some first_reason ->
+          let budget = ref max_shrink_evals in
+          let still_fails q =
+            !budget > 0
+            &&
+            (decr budget;
+             Option.is_some (run_case prop ~seed q))
+          in
+          let rec shrink p =
+            match List.find_opt still_fails (shrink_moves p) with
+            | Some q -> shrink q
+            | None -> p
+          in
+          let minimized = shrink params in
+          Alcotest.failf
+            "%s: seed %d failed (%s)@.  started from: %s@.  minimized to: \
+             %s@.  reproduce: re-run the property with this seed and the \
+             minimized parameters"
+            name seed first_reason (pp_params params) (pp_params minimized))
+    seeds
+
 let edge_ids edges = List.sort compare (List.map Digraph.edge_id edges)
 
 let live_edge_ids g =
