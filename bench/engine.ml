@@ -24,8 +24,55 @@ let usage () =
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
     \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
-    \              [--baseline FILE] [--shards]";
+    \              [--baseline FILE] [--shards] [--net]";
   exit 2
+
+(* The same workload served over a Unix-domain socket: server thread
+   and client in this one process, so the row isolates what the wire
+   adds — framing, CRC, codec, syscalls, one thread hop — with no
+   actual network in the way. Fresh serving value and socket per
+   trial; best-of like every other timing here. *)
+let networked ?(trials = 3) config =
+  let module Serving = Cdw_shard.Serving in
+  let module Server = Cdw_net.Server in
+  let module Client = Cdw_net.Client in
+  let module Timing = Cdw_util.Timing in
+  let wf, script = Workbench.workload config in
+  let n_requests = List.length script in
+  let path = Filename.temp_file "cdw_bench" ".sock" in
+  let best = ref infinity in
+  for _ = 1 to trials do
+    if Sys.file_exists path then Sys.remove path;
+    let serving =
+      Serving.create ~algorithm:config.Workbench.algorithm
+        ~seed:config.Workbench.seed wf
+    in
+    let server = Server.start serving (Unix.ADDR_UNIX path) in
+    let client = Client.connect (Server.sockaddr server) in
+    let replies, ms =
+      Timing.time_f (fun () ->
+          List.iter
+            (fun (user, request) -> Client.submit client ~user request)
+            script;
+          Client.drain client)
+    in
+    List.iter
+      (fun (r : Cdw_engine.Engine.reply) ->
+        match r.Cdw_engine.Engine.result with
+        | Ok () -> ()
+        | Error msg -> failwith ("networked bench: request failed: " ^ msg))
+      replies;
+    Client.close client;
+    Server.stop server;
+    Serving.close serving;
+    if ms < !best then best := ms
+  done;
+  if Sys.file_exists path then Sys.remove path;
+  let ms = !best in
+  let rps =
+    if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0) else infinity
+  in
+  (n_requests, ms, rps)
 
 (* Regression guard: compare this run's engine_rps against a previously
    committed result file. Only meaningful when the configs match — a
@@ -72,6 +119,7 @@ let () =
   let baseline = ref None in
   let trace_out = ref None in
   let shards = ref false in
+  let net = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -125,6 +173,9 @@ let () =
     | "--shards" :: rest ->
         shards := true;
         parse rest
+    | "--net" :: rest ->
+        net := true;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
         usage ()
@@ -167,11 +218,62 @@ let () =
       Some (Shard_bench.scaling_json rows)
     end
   in
+  (* Networked row: the identical workload through the wire protocol
+     over a Unix socket, against the in-process engine_rps above. The
+     gap is protocol + syscall overhead, honestly recorded. *)
+  let networked_row =
+    if not !net then None
+    else begin
+      let n_requests, ms, rps = networked !config in
+      Printf.printf
+        "networked (unix socket): %d requests, %.1f ms, %.0f req/s \
+         (in-process %.0f req/s, %.2fx of it)\n"
+        n_requests ms rps result.Workbench.engine_rps
+        (if result.Workbench.engine_rps > 0.0 then
+           rps /. result.Workbench.engine_rps
+         else infinity);
+      Some
+        (Json.Object
+           [
+             ("transport", Json.String "unix-socket");
+             ("n_requests", Json.Number (float_of_int n_requests));
+             ("engine_ms", Json.Number ms);
+             ("engine_rps", Json.Number rps);
+             ("inprocess_rps", Json.Number result.Workbench.engine_rps);
+             ( "rps_vs_inprocess",
+               Json.Number
+                 (if result.Workbench.engine_rps > 0.0 then
+                    rps /. result.Workbench.engine_rps
+                  else infinity) );
+           ])
+    end
+  in
   let result_json =
-    match (Workbench.result_json result, scaling) with
-    | Json.Object fields, Some rows ->
-        Json.Object (fields @ [ ("shard_scaling", rows) ])
-    | json, _ -> json
+    match Workbench.result_json result with
+    | Json.Object fields ->
+        (* The host's core count contextualises every parallel number
+           in the file — a one-core host honestly records ≈1x shard
+           scaling, and this says why. *)
+        let fields =
+          fields
+          @ [
+              ( "host_cores",
+                Json.Number (float_of_int (Domain.recommended_domain_count ()))
+              );
+            ]
+        in
+        let fields =
+          match scaling with
+          | Some rows -> fields @ [ ("shard_scaling", rows) ]
+          | None -> fields
+        in
+        let fields =
+          match networked_row with
+          | Some row -> fields @ [ ("networked", row) ]
+          | None -> fields
+        in
+        Json.Object fields
+    | json -> json
   in
   let oc = open_out !out in
   output_string oc (Json.to_string result_json);

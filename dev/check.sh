@@ -22,8 +22,10 @@ dune exec test/main.exe -- test 'graph/frozen-view' > /dev/null
 # BENCH_engine.json, then refreshes it so the perf trajectory stays
 # current PR over PR. --shards appends the shard-scaling rows (1/2/4
 # shards, 200 sessions); speedups are core-count bound, so a one-core
-# CI host records ~1x — the rows document, they do not gate.
-dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards
+# CI host records ~1x — the rows document, they do not gate. --net
+# appends the same workload served over a Unix socket, isolating the
+# wire-protocol overhead against the in-process number.
+dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards --net
 
 # Crash-recovery smoke: journal a serving run, tear the last append,
 # prove the ledger recovers and compacts back to a clean state.
@@ -65,5 +67,35 @@ dune exec bin/cdw.exe -- trace summarize "$OBS_DIR/trace.json" \
   --min-drain-coverage 0.8
 dune exec bin/cdw.exe -- trace prom-lint "$OBS_DIR/metrics.prom"
 test -s "$OBS_DIR/stats.jsonl"                                  # time series written
+
+# Network smoke: a journaled 2-shard server on a Unix socket serves two
+# concurrent clients in disjoint session namespaces (--user-prefix),
+# then gets kill -9'd mid-stream under a third client. The client must
+# fail fast (not hang), and the ledger the server left behind — torn
+# tail and all — must replay, compact, and verify strict-clean.
+NET_DIR=$(mktemp -d)
+CLEANUP_DIRS="$CLEANUP_DIRS $NET_DIR"
+SOCK="$NET_DIR/cdw.sock"
+CDW=./_build/default/bin/cdw.exe   # direct binary: kill -9 must hit the
+                                   # server itself, not a dune wrapper
+"$CDW" serve --listen "$SOCK" --shards 2 \
+  --journal "$NET_DIR/ledger" --fsync never > /dev/null &
+SERVER_PID=$!
+"$CDW" serve-bench --quick --trials 1 --connect "$SOCK" \
+  --user-prefix a > /dev/null &
+CLIENT_A=$!
+"$CDW" serve-bench --quick --trials 1 --connect "$SOCK" \
+  --user-prefix b > /dev/null                                   # client B
+wait $CLIENT_A                                                  # client A
+"$CDW" serve-bench --quick --trials 500 --connect "$SOCK" \
+  --user-prefix c > /dev/null 2>&1 &
+CLIENT_C=$!
+sleep 0.2
+kill -9 "$SERVER_PID"
+wait $CLIENT_C || true                       # fails fast on EPIPE; must not hang
+wait "$SERVER_PID" 2> /dev/null || true
+"$CDW" store replay "$NET_DIR/ledger"        # torn tail confined + replayed
+"$CDW" store compact "$NET_DIR/ledger"
+"$CDW" store verify "$NET_DIR/ledger" --strict
 
 echo "check.sh: ok"

@@ -2,13 +2,15 @@
 
    Subcommands: generate synthetic workflows, inspect/audit workflow
    files, solve them under privacy constraints with any of the paper's
-   algorithms, and reproduce the paper's experiments. Lives in a
-   library so the test suite can drive it via [eval ~argv]. *)
+   algorithms, serve consent over a socket, and reproduce the paper's
+   experiments. Lives in a library so the test suite can drive it via
+   [eval ~argv]. *)
 
 open Cmdliner
 module Algorithms = Cdw_core.Algorithms
 module Audit = Cdw_core.Audit
 module Constraint_set = Cdw_core.Constraint_set
+module Json = Cdw_util.Json
 module Serialize = Cdw_core.Serialize
 module Workflow = Cdw_core.Workflow
 module Generator = Cdw_workload.Generator
@@ -19,6 +21,13 @@ let load_file path =
   | Ok (wf, cs) -> `Ok (wf, cs)
   | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
   | exception Sys_error msg -> `Error (false, msg)
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 (* ---------------------------------------------------------------- *)
 (* generate                                                           *)
@@ -178,7 +187,148 @@ let solve_cmd =
     Term.(ret (const run $ file_arg $ algo $ timeout $ max_paths $ seed $ output))
 
 (* ---------------------------------------------------------------- *)
+(* socket addresses and fsync policies (serve, serve-bench)           *)
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (a, p) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+(* HOST:PORT (numeric address or resolvable name) is TCP; anything
+   else — in particular anything with a slash — is a Unix-domain
+   socket path. *)
+let parse_sockaddr s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | None -> Error (Printf.sprintf "%S: the port is not a number" s)
+      | Some port -> (
+          match Unix.inet_addr_of_string host with
+          | addr -> Ok (Unix.ADDR_INET (addr, port))
+          | exception Failure _ -> (
+              match Unix.gethostbyname host with
+              | h when Array.length h.Unix.h_addr_list > 0 ->
+                  Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+              | _ -> Error (Printf.sprintf "cannot resolve host %S" host)
+              | exception Not_found ->
+                  Error (Printf.sprintf "cannot resolve host %S" host))))
+  | _ -> Ok (Unix.ADDR_UNIX s)
+
+let sockaddr_conv =
+  Arg.conv
+    ( (fun s ->
+        match parse_sockaddr s with Ok a -> Ok a | Error m -> Error (`Msg m)),
+      fun ppf a -> Format.pp_print_string ppf (string_of_sockaddr a) )
+
+let fsync_conv =
+  let parse s =
+    match Cdw_store.Wal.fsync_policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p ->
+        Format.pp_print_string ppf (Cdw_store.Wal.fsync_policy_to_string p) )
+
+(* ---------------------------------------------------------------- *)
 (* serve-bench                                                        *)
+
+(* Drive a remote `cdw serve` over the wire protocol: fetch the
+   server's base workflow via Hello, build the config's request script
+   against it, then per trial forget our sessions, pipeline every
+   submit and drain. Replies for foreign users (another client sharing
+   the server) are passed over; ours must all succeed. *)
+let serve_bench_connect config ~addr ~prefix ~trials ~out =
+  let module Client = Cdw_net.Client in
+  let module Wire = Cdw_net.Wire in
+  let module Engine = Cdw_engine.Engine in
+  let module Workbench = Cdw_engine.Workbench in
+  let module Timing = Cdw_util.Timing in
+  if trials < 1 then `Error (false, "trials must be >= 1")
+  else
+    match Client.connect addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "connect %s: %s" (string_of_sockaddr addr)
+              (Unix.error_message e) )
+    | client -> (
+        match
+          Fun.protect
+            ~finally:(fun () -> Client.close client)
+            (fun () ->
+              let h = Client.hello client in
+              let wf =
+                match Serialize.parse h.Wire.h_workflow with
+                | Ok (wf, _) -> wf
+                | Error msg -> failwith ("server base workflow: " ^ msg)
+              in
+              let rename u = if prefix = "user" then u else prefix ^ "." ^ u in
+              let script =
+                List.map
+                  (fun (u, r) -> (rename u, r))
+                  (Workbench.script_for config wf)
+              in
+              let users = List.sort_uniq compare (List.map fst script) in
+              let mine = Hashtbl.create 64 in
+              List.iter (fun u -> Hashtbl.replace mine u ()) users;
+              let n_requests = List.length script in
+              let best = ref infinity in
+              for _ = 1 to trials do
+                (* Reset our sessions server-side; not timed. *)
+                List.iter (Client.forget client) users;
+                let replies, ms =
+                  Timing.time_f (fun () ->
+                      List.iter
+                        (fun (user, request) ->
+                          Client.submit client ~user request)
+                        script;
+                      Client.drain client)
+                in
+                List.iter
+                  (fun (r : Engine.reply) ->
+                    if Hashtbl.mem mine r.Engine.user then
+                      match r.Engine.result with
+                      | Ok () -> ()
+                      | Error msg ->
+                          failwith
+                            (Printf.sprintf "request for %s failed: %s"
+                               r.Engine.user msg))
+                  replies;
+                if ms < !best then best := ms
+              done;
+              (h.Wire.h_shards, n_requests, !best))
+        with
+        | shards, n_requests, ms ->
+            let rps =
+              if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
+              else infinity
+            in
+            Printf.printf
+              "networked serve-bench: %s (%d shard(s) server-side), %d \
+               requests, %.1f ms, %.0f req/s\n"
+              (string_of_sockaddr addr) shards n_requests ms rps;
+            (match out with
+            | None -> ()
+            | Some file ->
+                write_json file
+                  (Json.Object
+                     [
+                       ("transport", Json.String "socket");
+                       ("addr", Json.String (string_of_sockaddr addr));
+                       ("shards", Json.Number (float_of_int shards));
+                       ("n_requests", Json.Number (float_of_int n_requests));
+                       ("engine_ms", Json.Number ms);
+                       ("engine_rps", Json.Number rps);
+                     ]));
+            `Ok ()
+        | exception Failure msg -> `Error (false, msg)
+        | exception Unix.Unix_error (e, fn, _) ->
+            `Error
+              (false, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
 
 let serve_bench_cmd =
   let module Workbench = Cdw_engine.Workbench in
@@ -211,13 +361,19 @@ let serve_bench_cmd =
     Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Domains of the parallel drain.")
   in
   let shards =
-    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Serve through a sharded group of $(docv) engines over one shared base instead of a single engine (the naive baseline is skipped; replies are identical either way). With --journal, each shard gets its own ledger in DIR/shard-<i>.")
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Serve through a sharded group of $(docv) engines over one shared base instead of a single engine (replies are identical either way). With --journal, each shard gets its own ledger in DIR/shard-<i>.")
   in
   let algo =
     Arg.(value & opt (some algo_conv) None & info [ "algorithm"; "a" ] ~doc:"Solving algorithm.")
   in
   let trials =
     Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Timing trials per server (best-of).")
+  in
+  let connect =
+    Arg.(value & opt (some sockaddr_conv) None & info [ "connect" ] ~docv:"ADDR" ~doc:"Drive a remote `cdw serve' at $(docv) (Unix socket path or HOST:PORT) over the wire protocol instead of serving in-process. The script is built against the server's own base workflow (fetched via Hello); journaling and telemetry flags do not apply — they live server-side.")
+  in
+  let user_prefix =
+    Arg.(value & opt string "user" & info [ "user-prefix" ] ~docv:"NAME" ~doc:"Session-name prefix for --connect clients. Concurrent clients with distinct prefixes share one server without touching each other's sessions.")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the full result (config, timings, engine metrics) as JSON.")
@@ -226,41 +382,28 @@ let serve_bench_cmd =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write just the engine's metrics registry (counters and latency summaries) as JSON.")
   in
   let journal =
-    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc:"Journal the engine run into a durable consent ledger at $(docv), measuring the durability overhead.")
-  in
-  let fsync_conv =
-    let parse s =
-      match Cdw_store.Wal.fsync_policy_of_string s with
-      | Ok p -> Ok p
-      | Error msg -> Error (`Msg msg)
-    in
-    Arg.conv
-      ( parse,
-        fun ppf p ->
-          Format.pp_print_string ppf (Cdw_store.Wal.fsync_policy_to_string p) )
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc:"Journal the serving run into a durable consent ledger at $(docv), measuring the durability overhead. Use --trials 1: each trial re-creates the ledger.")
   in
   let fsync =
     Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
   in
   let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the last engine trial and write it to $(docv) (open in Perfetto, or feed to `cdw trace summarize').")
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the last serving trial and write it to $(docv) (open in Perfetto, or feed to `cdw trace summarize').")
   in
   let prom_out =
-    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc:"Rewrite $(docv) with the engine metrics in Prometheus text exposition format every --stats-interval while the benchmark runs, and once at the end.")
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc:"Rewrite $(docv) with the serving metrics in Prometheus text exposition format every --stats-interval while the benchmark runs, and once at the end.")
   in
   let stats_out =
-    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc:"Append one JSON line of engine metrics to $(docv) every --stats-interval: a live time series of the run.")
+    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc:"Append one JSON line of serving metrics to $(docv) every --stats-interval: a live time series of the run.")
   in
   let stats_interval =
     Arg.(value & opt float 1.0 & info [ "stats-interval" ] ~docv:"SECS" ~doc:"Telemetry emit interval in seconds (min 0.05).")
   in
   let run quick vertices stages density sessions batches pairs no_withdrawals
-      seed domains shards algo trials out metrics_out journal fsync trace_out
-      prom_out stats_out stats_interval =
-    let module Engine = Cdw_engine.Engine in
-    let module Metrics = Cdw_engine.Metrics in
+      seed domains shards algo trials connect user_prefix out metrics_out
+      journal fsync trace_out prom_out stats_out stats_interval =
+    let module Serving = Cdw_shard.Serving in
     let module Shard_bench = Cdw_shard.Shard_bench in
-    let module Shard_group = Cdw_shard.Shard_group in
     let module Trace = Cdw_obs.Trace in
     let module Telemetry = Cdw_obs.Telemetry in
     let base = if quick then Workbench.quick else Workbench.default in
@@ -280,178 +423,139 @@ let serve_bench_cmd =
         domains = pick (fun c -> c.Workbench.domains) domains;
       }
     in
-    (* Each timing trial gets a fresh engine, so the attach hook
-       re-creates the ledger per trial (closing the previous one);
-       what survives the run is the last trial's ledger. *)
-    let store = ref None in
-    let close_store () =
-      match !store with
-      | Some s ->
-          Cdw_store.Store.close s;
-          store := None
-      | None -> ()
-    in
-    (* Telemetry thunks of whatever engine or shard group is live in
-       the trial currently running: (prometheus exposition, metrics
-       JSON). The SIGINT flush reads the same pair. *)
-    let live = ref None in
-    let attach engine =
-      (* Each trial gets a fresh engine; restarting the trace here keeps
-         only the last engine trial (and drops the naive baseline's
-         solver spans), which is the trial the timings report. *)
-      if trace_out <> None then Trace.reset ();
-      let m = Engine.metrics engine in
-      live :=
-        Some ((fun () -> Metrics.prometheus m), fun () -> Metrics.to_json m);
-      Option.iter
-        (fun dir ->
-          close_store ();
-          store := Some (Cdw_store.Store.create_for ?fsync ~dir engine))
-        journal
-    in
-    (* The sharded twin of [attach]: per-shard ledgers under one root,
-       shard-labelled exposition, merged metrics JSON. Losing trials'
-       groups (ledgers included) are closed by Shard_bench.serve. *)
-    let attach_group group =
-      if trace_out <> None then Trace.reset ();
-      live :=
-        Some
-          ( (fun () -> Shard_group.prometheus group),
-            fun () -> Shard_group.metrics_json group );
-      Option.iter (fun dir -> Shard_group.journal ?fsync ~dir group) journal
-    in
-    let write_json file json =
-      let oc = open_out file in
-      output_string oc (Cdw_util.Json.to_string json);
-      output_string oc "\n";
-      close_out oc;
-      Printf.printf "wrote %s\n" file
-    in
-    let emit_telemetry () =
-      match !live with
-      | None -> ()
-      | Some (prom, stats) ->
+    match connect with
+    | Some addr ->
+        serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out
+    | None ->
+        (* One code path for every local serving shape: [Serving.create]
+           picks single-engine or sharded from --shards, and everything
+           below this point is written against the packed value. *)
+        (* Telemetry thunks of whatever serving value is live in the
+           trial currently running: (prometheus exposition, metrics
+           JSON). The SIGINT flush reads the same pair. *)
+        let live = ref None in
+        (* The live trial's serving value, for the SIGINT close (which
+           flushes its ledger). Losing trials' values are closed by
+           Shard_bench.serve; the winner is closed at the end. *)
+        let latest = ref None in
+        let attach serving =
+          (* Each trial gets a fresh serving value; restarting the trace
+             here keeps only the last trial, which is the trial the
+             timings report. *)
+          if trace_out <> None then Trace.reset ();
+          latest := Some serving;
+          live :=
+            Some
+              ( (fun () -> Serving.prometheus serving),
+                fun () -> Serving.metrics_json serving );
+          Option.iter (fun dir -> Serving.journal ?fsync ~dir serving) journal
+        in
+        let emit_telemetry () =
+          match !live with
+          | None -> ()
+          | Some (prom, stats) ->
+              Option.iter
+                (fun file ->
+                  let oc = open_out file in
+                  output_string oc (prom ());
+                  close_out oc)
+                prom_out;
+              Option.iter
+                (fun file ->
+                  let oc =
+                    open_out_gen [ Open_append; Open_creat ] 0o644 file
+                  in
+                  (* JSON-lines: one compact object per interval. *)
+                  output_string oc
+                    (Json.to_string ~pretty:false
+                       (Json.Object
+                          [
+                            ("t", Json.Number (Unix.gettimeofday ()));
+                            ("metrics", stats ());
+                          ]));
+                  output_string oc "\n";
+                  close_out oc)
+                stats_out
+        in
+        let write_trace () =
+          Option.iter (fun file -> Trace.write file) trace_out
+        in
+        if trace_out <> None then begin
+          Trace.reset ();
+          Trace.set_enabled true
+        end;
+        let telemetry =
+          if prom_out <> None || stats_out <> None then
+            Some (Telemetry.start ~interval_s:stats_interval emit_telemetry)
+          else None
+        in
+        let finish () =
+          Option.iter Telemetry.stop telemetry;
+          if trace_out <> None then Trace.set_enabled false
+        in
+        (* Ctrl-C: flush everything observable before dying, so an
+           aborted soak run still leaves its trace, exposition and time
+           series on disk; closing the live serving value flushes its
+           ledger. The handler runs on the main thread at a safe point;
+           the emitter domain is left to die with the process. *)
+        let previous_sigint =
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle
+               (fun _ ->
+                 prerr_endline "interrupted: flushing telemetry";
+                 emit_telemetry ();
+                 write_trace ();
+                 (match (metrics_out, !live) with
+                 | Some file, Some (_, stats) -> write_json file (stats ())
+                 | _ -> ());
+                 Option.iter Serving.close !latest;
+                 exit 130))
+        in
+        let restore_sigint () = Sys.set_signal Sys.sigint previous_sigint in
+        let journal_note () =
           Option.iter
-            (fun file ->
-              let oc = open_out file in
-              output_string oc (prom ());
-              close_out oc)
-            prom_out;
-          Option.iter
-            (fun file ->
-              let oc =
-                open_out_gen [ Open_append; Open_creat ] 0o644 file
-              in
-              (* JSON-lines: one compact object per interval. *)
-              output_string oc
-                (Cdw_util.Json.to_string ~pretty:false
-                   (Cdw_util.Json.Object
-                      [
-                        ("t", Cdw_util.Json.Number (Unix.gettimeofday ()));
-                        ("metrics", stats ());
-                      ]));
-              output_string oc "\n";
-              close_out oc)
-            stats_out
-    in
-    let write_trace () = Option.iter (fun file -> Trace.write file) trace_out in
-    if trace_out <> None then begin
-      Trace.reset ();
-      Trace.set_enabled true
-    end;
-    let telemetry =
-      if prom_out <> None || stats_out <> None then
-        Some (Telemetry.start ~interval_s:stats_interval emit_telemetry)
-      else None
-    in
-    let finish () =
-      Option.iter Telemetry.stop telemetry;
-      if trace_out <> None then Trace.set_enabled false;
-      close_store ()
-    in
-    (* Ctrl-C: flush everything observable before dying, so an aborted
-       soak run still leaves its trace, exposition and time series on
-       disk. The handler runs on the main thread at a safe point; the
-       emitter domain is left to die with the process. *)
-    let previous_sigint =
-      Sys.signal Sys.sigint
-        (Sys.Signal_handle
-           (fun _ ->
-             prerr_endline "interrupted: flushing telemetry";
-             emit_telemetry ();
-             write_trace ();
-             (match (metrics_out, !live) with
-             | Some file, Some (_, stats) -> write_json file (stats ())
-             | _ -> ());
-             close_store ();
-             exit 130))
-    in
-    let restore_sigint () = Sys.set_signal Sys.sigint previous_sigint in
-    let journal_note () =
-      Option.iter
-        (fun dir ->
-          Printf.printf "journaled to %s (fsync %s)\n" dir
-            (Cdw_store.Wal.fsync_policy_to_string
-               (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
-        journal;
-      Option.iter (fun file -> Printf.printf "wrote %s\n" file) trace_out
-    in
-    match shards with
-    | Some n -> (
-        match Shard_bench.serve ~trials ~attach:attach_group ~shards:n config
-        with
-        | run, group ->
+            (fun dir ->
+              Printf.printf "journaled to %s (fsync %s)\n" dir
+                (Cdw_store.Wal.fsync_policy_to_string
+                   (Option.value ~default:(Cdw_store.Wal.Every 32) fsync)))
+            journal;
+          Option.iter (fun file -> Printf.printf "wrote %s\n" file) trace_out
+        in
+        let make wf =
+          Serving.create ~algorithm:config.Workbench.algorithm
+            ~seed:config.Workbench.seed ?shards wf
+        in
+        (match Shard_bench.serve ~trials ~attach ~make config with
+        | run, serving ->
             restore_sigint ();
             finish ();
             write_trace ();
             Printf.printf
-              "sharded serve-bench: %d shards, %d requests, %.1f ms, %.0f \
-               req/s\n"
+              "serve-bench: %d shard(s), %d requests, %.1f ms, %.0f req/s\n"
               run.Shard_bench.shards run.Shard_bench.n_requests
               run.Shard_bench.ms run.Shard_bench.rps;
-            let metrics_json = Shard_group.metrics_json group in
-            print_endline (Cdw_util.Json.to_string metrics_json);
+            let metrics_json = Serving.metrics_json serving in
+            print_endline (Json.to_string metrics_json);
             journal_note ();
             (match out with
             | None -> ()
             | Some file ->
                 write_json file
-                  (Cdw_util.Json.Object
+                  (Json.Object
                      [
                        ( "shards",
-                         Cdw_util.Json.Number
-                           (float_of_int run.Shard_bench.shards) );
+                         Json.Number (float_of_int run.Shard_bench.shards) );
                        ( "n_requests",
-                         Cdw_util.Json.Number
-                           (float_of_int run.Shard_bench.n_requests) );
-                       ("engine_ms", Cdw_util.Json.Number run.Shard_bench.ms);
-                       ("engine_rps", Cdw_util.Json.Number run.Shard_bench.rps);
+                         Json.Number (float_of_int run.Shard_bench.n_requests)
+                       );
+                       ("engine_ms", Json.Number run.Shard_bench.ms);
+                       ("engine_rps", Json.Number run.Shard_bench.rps);
                        ("metrics", metrics_json);
                      ]));
             (match metrics_out with
             | None -> ()
             | Some file -> write_json file metrics_json);
-            Shard_group.close group;
-            `Ok ()
-        | exception Invalid_argument msg ->
-            restore_sigint ();
-            finish ();
-            `Error (false, msg))
-    | None -> (
-        match Workbench.run ~trials ~attach config with
-        | result ->
-            restore_sigint ();
-            finish ();
-            write_trace ();
-            Format.printf "%a@." Workbench.pp result;
-            print_endline (Cdw_util.Json.to_string result.Workbench.metrics);
-            journal_note ();
-            (match out with
-            | None -> ()
-            | Some file -> write_json file (Workbench.result_json result));
-            (match metrics_out with
-            | None -> ()
-            | Some file -> write_json file result.Workbench.metrics);
+            Serving.close serving;
             `Ok ()
         | exception Invalid_argument msg ->
             restore_sigint ();
@@ -461,90 +565,265 @@ let serve_bench_cmd =
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:
-         "Benchmark the multi-user serving engine against naive \
-          per-request solving; prints the engine's metrics as JSON.")
+         "Benchmark the consent-serving engine — in-process (single or \
+          sharded, one code path over the Serving API) or against a remote \
+          `cdw serve' with --connect; prints the serving metrics as JSON. \
+          The naive per-request baseline comparison lives in \
+          bench/engine.exe.")
     Term.(
       ret
         (const run $ quick $ vertices $ stages $ density $ sessions $ batches
-       $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials $ out
-       $ metrics_out $ journal $ fsync $ trace_out $ prom_out $ stats_out
-       $ stats_interval))
+       $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials
+       $ connect $ user_prefix $ out $ metrics_out $ journal $ fsync
+       $ trace_out $ prom_out $ stats_out $ stats_interval))
 
 (* ---------------------------------------------------------------- *)
-(* store                                                              *)
+(* serve                                                              *)
+
+let serve_cmd =
+  let module Serving = Cdw_shard.Serving in
+  let module Server = Cdw_net.Server in
+  let listen =
+    Arg.(required & opt (some sockaddr_conv) None & info [ "listen" ] ~docv:"ADDR" ~doc:"Listen address: a Unix socket path (anything with a slash) or HOST:PORT. Required.")
+  in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Workflow file to serve (default: generate one from the flags below).")
+  in
+  let vertices =
+    Arg.(value & opt int 100 & info [ "vertices"; "v" ] ~doc:"Vertices of the generated workflow (ignored with FILE).")
+  in
+  let stages =
+    Arg.(value & opt int 5 & info [ "stages"; "k" ] ~doc:"Stages of the generated workflow (ignored with FILE).")
+  in
+  let density =
+    Arg.(value & opt float 0.0 & info [ "density"; "d" ] ~doc:"Minimum inter-stage edge density of the generated workflow (ignored with FILE).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (generator and serving sessions).") in
+  let algo =
+    Arg.(value & opt (some algo_conv) None & info [ "algorithm"; "a" ] ~doc:"Solving algorithm.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc:"Serve through an $(docv)-shard group (pinned drain domains, per-shard ledgers).")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc:"Journal consent into a durable ledger at $(docv). A non-empty $(docv) is resumed (workflow, algorithm, seed and shard count come from the ledger; the flags above are ignored).")
+  in
+  let fsync =
+    Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
+  in
+  let run listen file vertices stages density seed algo shards journal fsync =
+    let fresh () =
+      let workflow =
+        match file with
+        | Some path -> (
+            match Serialize.load path with
+            | Ok (wf, _) -> Ok wf
+            | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+            | exception Sys_error msg -> Error msg)
+        | None -> (
+            match
+              Generator.generate ~seed
+                {
+                  Gen_params.default with
+                  Gen_params.n_vertices = vertices;
+                  n_constraints = 0;
+                  stages;
+                  density;
+                }
+            with
+            | instance -> Ok instance.Generator.workflow
+            | exception Invalid_argument msg -> Error msg)
+      in
+      match workflow with
+      | Error _ as e -> e
+      | Ok wf -> (
+          match Serving.create ?algorithm:algo ~seed ?shards wf with
+          | s -> Ok s
+          | exception Invalid_argument msg -> Error msg)
+    in
+    let ledger_present dir =
+      Sys.file_exists dir && Sys.is_directory dir && Sys.readdir dir <> [||]
+    in
+    let serving =
+      match journal with
+      | Some dir when ledger_present dir -> (
+          match Serving.resume ?fsync dir with
+          | Ok r ->
+              Printf.printf "resumed ledger at %s: %d record(s) replayed%s\n"
+                dir r.Serving.replayed
+                (match r.Serving.damaged with
+                | [] -> ""
+                | ds ->
+                    Printf.sprintf ", damaged tail on ledger(s) %s (truncated)"
+                      (String.concat ", " (List.map string_of_int ds)));
+              Ok r.Serving.serving
+          | Error msg -> Error msg)
+      | Some dir -> (
+          match fresh () with
+          | Ok s ->
+              Serving.journal ?fsync ~dir s;
+              Ok s
+          | Error _ as e -> e)
+      | None -> fresh ()
+    in
+    match serving with
+    | Error msg -> `Error (false, msg)
+    | Ok serving -> (
+        match Server.start serving listen with
+        | exception Unix.Unix_error (e, fn, arg) ->
+            Serving.close serving;
+            `Error
+              ( false,
+                Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e) )
+        | server ->
+            Printf.printf
+              "cdw serve: listening on %s (%s, seed %d, %d shard(s)%s)\n%!"
+              (string_of_sockaddr (Server.sockaddr server))
+              (Algorithms.to_string (Serving.algorithm serving))
+              (Serving.seed serving) (Serving.shards serving)
+              (match journal with
+              | Some dir -> ", journal " ^ dir
+              | None -> ", no journal");
+            let stop = ref false in
+            let handler = Sys.Signal_handle (fun _ -> stop := true) in
+            let previous_int = Sys.signal Sys.sigint handler in
+            let previous_term = Sys.signal Sys.sigterm handler in
+            while not !stop do
+              try Unix.sleepf 0.2
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done;
+            Sys.set_signal Sys.sigint previous_int;
+            Sys.set_signal Sys.sigterm previous_term;
+            prerr_endline "cdw serve: shutting down";
+            Server.stop server;
+            (* Close after stop: flushes and releases the ledger(s), so a
+               clean shutdown leaves a strict-clean store behind. *)
+            Serving.close serving;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve consent over a socket: submits, drains, withdrawals and \
+          metrics through the CRC-framed wire protocol, optionally \
+          journaled to a durable (resumable) ledger.")
+    Term.(
+      ret
+        (const run $ listen $ file $ vertices $ stages $ density $ seed $ algo
+       $ shards $ journal $ fsync))
+
+(* ---------------------------------------------------------------- *)
+(* store / shard — one ledger-shape-dispatching implementation        *)
+
+(* [Cdw_shard.Ledger] detects the on-disk shape (plain store directory
+   vs sharded group root) and fans out, so `cdw store` and `cdw shard`
+   drive the same three functions; entries are labelled with their
+   shard id under a group root. *)
+
+let ledger_label = function
+  | None -> ""
+  | Some i -> Printf.sprintf "shard %d: " i
+
+let ledger_verify_run root strict =
+  let module Store = Cdw_store.Store in
+  let module Ledger = Cdw_shard.Ledger in
+  match Ledger.verify root with
+  | Error msg -> `Error (false, msg)
+  | Ok entries ->
+      List.iter
+        (fun (id, report) ->
+          match id with
+          | None -> Format.printf "%a@." Store.pp_report report
+          | Some i ->
+              Format.printf "@[<v>shard %d:@,%a@]@." i Store.pp_report report)
+        entries;
+      if strict && not (Ledger.clean entries) then
+        `Error (false, "a ledger has a damaged tail (see report above)")
+      else `Ok ()
+
+let ledger_replay_run root state =
+  let module Store = Cdw_store.Store in
+  let module Wal = Cdw_store.Wal in
+  let module Ledger = Cdw_shard.Ledger in
+  match Ledger.replay root with
+  | Error msg -> `Error (false, msg)
+  | Ok r ->
+      List.iter
+        (fun (id, (sr : Store.recovery)) ->
+          Format.printf
+            "%s%s (seed %d), generation %d, %d snapshot user(s), %d \
+             replayed, %d valid byte(s), tail %a@."
+            (ledger_label id)
+            (Algorithms.to_string sr.Store.algorithm)
+            sr.Store.seed sr.Store.generation sr.Store.snapshot_users
+            sr.Store.replayed sr.Store.valid_end Wal.pp_tail sr.Store.tail)
+        r.Ledger.entries;
+      Printf.printf "recovered %d ledger(s) under %s: %d record(s) replayed, %s\n"
+        (List.length r.Ledger.entries)
+        root r.Ledger.replayed
+        (match r.Ledger.damaged with
+        | [] -> "all tails clean"
+        | ds ->
+            Printf.sprintf "damaged tail on ledger(s) %s"
+              (String.concat ", " (List.map string_of_int ds)));
+      if state then
+        List.iter
+          (fun (_, (sr : Store.recovery)) ->
+            print_endline
+              (Json.to_string (Store.snapshot_state_json sr.Store.engine)))
+          r.Ledger.entries;
+      `Ok ()
+
+let ledger_compact_run root =
+  let module Ledger = Cdw_shard.Ledger in
+  match Ledger.compact root with
+  | Error msg -> `Error (false, msg)
+  | Ok entries ->
+      List.iter
+        (fun (id, before, after) ->
+          Printf.printf "%sgeneration %d -> %d\n" (ledger_label id) before
+            after)
+        entries;
+      Printf.printf "compacted %d ledger(s) under %s\n" (List.length entries)
+        root;
+      `Ok ()
+
+let ledger_dir_arg ~docv ~doc =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv ~doc)
+
+let strict_flag ~doc = Arg.(value & flag & info [ "strict" ] ~doc)
+
+let state_flag =
+  Arg.(value & flag & info [ "state" ] ~doc:"Also print the recovered per-user constraint state as JSON (one object per ledger).")
 
 let store_cmd =
   let module Store = Cdw_store.Store in
-  let module Wal = Cdw_store.Wal in
   let module Fault = Cdw_store.Fault in
   let dir_arg =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Ledger directory.")
+    ledger_dir_arg ~docv:"DIR"
+      ~doc:"Ledger directory (a plain store, or a sharded root with group.json)."
   in
   let verify_cmd =
     let strict =
-      Arg.(value & flag & info [ "strict" ] ~doc:"Fail unless the ledger is clean (no torn or corrupt tail).")
-    in
-    let run dir strict =
-      match Store.verify dir with
-      | Error msg -> `Error (false, msg)
-      | Ok report ->
-          Format.printf "%a@." Store.pp_report report;
-          if strict && not (Store.report_clean report) then
-            `Error (false, "ledger has a damaged tail (see report above)")
-          else `Ok ()
+      strict_flag
+        ~doc:"Fail unless every ledger under the root is clean (no torn or corrupt tail)."
     in
     Cmd.v
       (Cmd.info "verify"
-         ~doc:"Scan the ledger's whole WAL, checking every frame CRC and record.")
-      Term.(ret (const run $ dir_arg $ strict))
+         ~doc:"Scan every WAL under the root, checking every frame CRC and record.")
+      Term.(ret (const ledger_verify_run $ dir_arg $ strict))
   in
   let replay_cmd =
-    let state =
-      Arg.(value & flag & info [ "state" ] ~doc:"Also print the recovered per-user constraint state as JSON.")
-    in
-    let run dir state =
-      match Store.recover dir with
-      | Error msg -> `Error (false, msg)
-      | Ok r ->
-          Format.printf
-            "@[<v>recovered %s@,\
-             algorithm       %s (seed %d)@,\
-             generation      %d@,\
-             snapshot users  %d@,\
-             replayed        %d records@,\
-             valid prefix    %d bytes@,\
-             tail            %a@]@."
-            dir
-            (Algorithms.to_string r.Store.algorithm)
-            r.Store.seed r.Store.generation r.Store.snapshot_users
-            r.Store.replayed r.Store.valid_end Wal.pp_tail r.Store.tail;
-          if state then
-            print_endline
-              (Cdw_util.Json.to_string (Store.snapshot_state_json r.Store.engine));
-          `Ok ()
-    in
     Cmd.v
       (Cmd.info "replay"
-         ~doc:"Rebuild engine state from the ledger (snapshot + WAL tail) and report it.")
-      Term.(ret (const run $ dir_arg $ state))
+         ~doc:"Rebuild engine state from the ledger(s) (snapshot + WAL tail) and report it.")
+      Term.(ret (const ledger_replay_run $ dir_arg $ state_flag))
   in
   let compact_cmd =
-    let run dir =
-      match Store.resume dir with
-      | Error msg -> `Error (false, msg)
-      | Ok (store, r) ->
-          let old_generation = r.Store.generation in
-          Store.compact store r.Store.engine;
-          Printf.printf
-            "compacted %s: generation %d -> %d, log folded into snapshot\n" dir
-            old_generation (Store.generation store);
-          Store.close store;
-          `Ok ()
-    in
     Cmd.v
       (Cmd.info "compact"
-         ~doc:"Fold the WAL into a fresh snapshot and start an empty next-generation log.")
-      Term.(ret (const run $ dir_arg))
+         ~doc:"Fold every WAL under the root into a fresh snapshot and start an empty next-generation log.")
+      Term.(ret (const ledger_compact_run $ dir_arg))
   in
   let fault_cmd =
     let truncate_tail =
@@ -581,105 +860,46 @@ let store_cmd =
   in
   Cmd.group
     (Cmd.info "store"
-       ~doc:"Inspect, replay, compact and fault-test the durable consent ledger.")
+       ~doc:
+         "Inspect, replay, compact and fault-test a durable consent ledger \
+          (plain or sharded — the shape is detected from the directory).")
     [ verify_cmd; replay_cmd; compact_cmd; fault_cmd ]
 
-(* ---------------------------------------------------------------- *)
-(* shard                                                              *)
-
+(* `cdw shard` survives as the sharded-root spelling of the same
+   Ledger-backed tools (minus fault injection, which targets one WAL —
+   point `cdw store fault` at ROOT/shard-<i>). *)
 let shard_cmd =
-  let module Store = Cdw_store.Store in
-  let module Wal = Cdw_store.Wal in
-  let module Shard_group = Cdw_shard.Shard_group in
   let root_arg =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Sharded ledger root (holds group.json and shard-<i>/ directories).")
+    ledger_dir_arg ~docv:"DIR"
+      ~doc:"Sharded ledger root (holds group.json and shard-<i>/ directories); a plain store directory also works."
   in
   let verify_cmd =
     let strict =
-      Arg.(value & flag & info [ "strict" ] ~doc:"Fail unless every shard's ledger is clean (no torn or corrupt tail).")
-    in
-    let run root strict =
-      match Shard_group.verify root with
-      | Error msg -> `Error (false, msg)
-      | Ok reports ->
-          Array.iteri
-            (fun i report ->
-              Format.printf "@[<v>shard %d:@,%a@]@." i Store.pp_report report)
-            reports;
-          let dirty =
-            Array.exists (fun r -> not (Store.report_clean r)) reports
-          in
-          if strict && dirty then
-            `Error (false, "a shard ledger has a damaged tail (see above)")
-          else `Ok ()
+      strict_flag
+        ~doc:"Fail unless every shard's ledger is clean (no torn or corrupt tail)."
     in
     Cmd.v
       (Cmd.info "verify"
          ~doc:"Scan every shard's WAL, checking every frame CRC and record.")
-      Term.(ret (const run $ root_arg $ strict))
+      Term.(ret (const ledger_verify_run $ root_arg $ strict))
   in
   let replay_cmd =
-    let state =
-      Arg.(value & flag & info [ "state" ] ~doc:"Also print each shard's recovered per-user constraint state as JSON.")
-    in
-    let run root state =
-      match Shard_group.recover root with
-      | Error msg -> `Error (false, msg)
-      | Ok r ->
-          Array.iteri
-            (fun i (sr : Store.recovery) ->
-              Format.printf
-                "shard %d: generation %d, %d snapshot user(s), %d replayed, \
-                 %d valid byte(s), tail %a@."
-                i sr.Store.generation sr.Store.snapshot_users sr.Store.replayed
-                sr.Store.valid_end Wal.pp_tail sr.Store.tail)
-            r.Shard_group.shard_recoveries;
-          Printf.printf "recovered %d shard(s): %d record(s) replayed, %s\n"
-            (Array.length r.Shard_group.shard_recoveries)
-            r.Shard_group.replayed
-            (match r.Shard_group.damaged with
-            | [] -> "all tails clean"
-            | ds ->
-                Printf.sprintf "damaged tail on shard(s) %s"
-                  (String.concat ", " (List.map string_of_int ds)));
-          if state then
-            Array.iter
-              (fun (sr : Store.recovery) ->
-                print_endline
-                  (Cdw_util.Json.to_string
-                     (Store.snapshot_state_json sr.Store.engine)))
-              r.Shard_group.shard_recoveries;
-          `Ok ()
-    in
     Cmd.v
       (Cmd.info "replay"
          ~doc:"Rebuild every shard's engine state from its ledger and report it.")
-      Term.(ret (const run $ root_arg $ state))
+      Term.(ret (const ledger_replay_run $ root_arg $ state_flag))
   in
   let compact_cmd =
-    let run root =
-      match Shard_group.resume root with
-      | Error msg -> `Error (false, msg)
-      | Ok (group, r) ->
-          Shard_group.compact group;
-          Array.iteri
-            (fun i (sr : Store.recovery) ->
-              Printf.printf "shard %d: generation %d -> %d\n" i
-                sr.Store.generation (sr.Store.generation + 1))
-            r.Shard_group.shard_recoveries;
-          Printf.printf "compacted %d shard ledger(s) under %s\n"
-            (Shard_group.shards group) root;
-          Shard_group.close group;
-          `Ok ()
-    in
     Cmd.v
       (Cmd.info "compact"
          ~doc:"Fold every shard's WAL into a fresh snapshot and start empty next-generation logs.")
-      Term.(ret (const run $ root_arg))
+      Term.(ret (const ledger_compact_run $ root_arg))
   in
   Cmd.group
     (Cmd.info "shard"
-       ~doc:"Inspect, replay and compact a sharded consent ledger (one ledger per shard under a common root).")
+       ~doc:
+         "Inspect, replay and compact a sharded consent ledger (an alias of \
+          `cdw store' — both detect the root's shape).")
     [ verify_cmd; replay_cmd; compact_cmd ]
 
 (* ---------------------------------------------------------------- *)
@@ -825,6 +1045,9 @@ let experiment_cmd =
 let main =
   let doc = "consent management in data workflows (EDBT 2023 reproduction)" in
   Cmd.group (Cmd.info "cdw" ~version:"1.0.0" ~doc)
-    [ generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; store_cmd; shard_cmd; trace_cmd; experiment_cmd ]
+    [
+      generate_cmd; show_cmd; solve_cmd; serve_bench_cmd; serve_cmd; store_cmd;
+      shard_cmd; trace_cmd; experiment_cmd;
+    ]
 
 let eval ?argv () = Cmd.eval ?argv main

@@ -56,6 +56,8 @@ let create ?(algorithm = Algorithms.Remove_min_mc)
 
 let index t = t.index
 let metrics t = Shared_index.metrics t.index
+let prometheus t = Metrics.prometheus (metrics t)
+let base t = Shared_index.base t.index
 let algorithm t = t.algorithm
 let seed t = t.seed
 
@@ -100,18 +102,22 @@ let sessions t =
       Hashtbl.fold (fun user s acc -> (user, s) :: acc) t.sessions [])
   |> List.sort compare
 
-let submit t ~user request =
+let submit ?submitted_ms t ~user request =
   (* The journal entry is written under the lock so the WAL order is
      exactly the queue order even with concurrent submitters; [submit]
      only returns once the event is durable per the journal's policy.
      The emit comes BEFORE the queue mutation: if the journal rejects
      the record (e.g. it exceeds the WAL frame bound), the exception
      reaches the submitter with the queue and the log still agreeing —
-     the request simply never happened. *)
+     the request simply never happened. [submitted_ms] backdates the
+     queue timestamp for front ends (the sharded MPSC handoff, the
+     network server) whose requests waited upstream of this engine:
+     queue_wait then measures the whole path, not the last hop. *)
   Trace.span "engine.submit" ~args:[ ("user", user) ] (fun () ->
       with_lock t (fun () ->
           emit t (Submitted { user; request });
-          t.queue <- (user, request, Timing.now_ms ()) :: t.queue));
+          let at = match submitted_ms with Some ms -> ms | None -> Timing.now_ms () in
+          t.queue <- (user, request, at) :: t.queue));
   Metrics.incr (metrics t) "engine.submitted"
 
 let pending t = with_lock t (fun () -> List.length t.queue)

@@ -81,6 +81,12 @@ val index : t -> Shared_index.t
 
 val metrics : t -> Metrics.t
 
+val prometheus : t -> string
+(** {!Metrics.prometheus} over this engine's registry. *)
+
+val base : t -> Cdw_core.Workflow.t
+(** The engine's frozen base workflow ({!Shared_index.base}). *)
+
 val algorithm : t -> Cdw_core.Algorithms.name
 (** The solver every session of this engine runs. *)
 
@@ -124,14 +130,19 @@ val session_seed : t -> string -> int
 (** The rng seed the session of this user id gets — exposed so external
     verification can replay a session's solves exactly. *)
 
-val submit : t -> user:string -> request -> unit
+val submit : ?submitted_ms:float -> t -> user:string -> request -> unit
 (** Queue one request; with a journal attached, returns only after the
     event is journaled (write-ahead). A journaled engine bounds the
     size of a single request: its encoded record must fit one WAL
     frame ({!Cdw_store.Frame.max_payload}, 16 MiB — hundreds of
     thousands of pairs). An oversized request raises
     [Invalid_argument] {e before} it is enqueued or logged, so engine
-    and journal never diverge. *)
+    and journal never diverge.
+
+    [submitted_ms] (default: now) backdates the queue timestamp to
+    when the request entered an upstream queue — the sharded group's
+    MPSC handoff, a network socket — so the [queue_wait] latency
+    metric covers the full path the request actually waited. *)
 
 val pending : t -> int
 

@@ -1,0 +1,38 @@
+(* The consent-serving API, as a module type: everything a front end
+   (CLI benchmark driver, network server) needs from "the thing that
+   serves consent requests", abstracted over whether that thing is one
+   engine or a sharded group of them. See serving.mli. *)
+
+module type S = sig
+  type t
+
+  val algorithm : t -> Cdw_core.Algorithms.name
+  val seed : t -> int
+  val base : t -> Cdw_core.Workflow.t
+  val submit : ?submitted_ms:float -> t -> user:string -> Engine.request -> unit
+  val pending : t -> int
+
+  val drain :
+    ?mode:[ `Sequential | `Parallel of int ] -> t -> Engine.reply list
+
+  val forget : t -> string -> unit
+
+  val restore_session :
+    t ->
+    string ->
+    constraints:(int * int) list ->
+    removed_ids:int list ->
+    (unit, string) result
+
+  val sessions : t -> (string * Session.t) list
+  val metrics : t -> Metrics.t
+  val metrics_json : t -> Cdw_util.Json.t
+  val prometheus : t -> string
+  val set_journal : t -> (Engine.event -> unit) option -> unit
+end
+
+(* The single engine is the reference implementation; this constrained
+   alias is the compile-time proof that [Engine] satisfies the module
+   type (Cdw_shard's Shard_group provides the sharded proof — it lives
+   downstream because its durability story needs Cdw_store). *)
+module Of_engine : S with type t = Engine.t = Engine

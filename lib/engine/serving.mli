@@ -1,0 +1,68 @@
+(** The consent-serving interface, as a module type.
+
+    PR 5 grew two parallel front-end code paths — one written against
+    {!Engine}, one against the sharded group — that differ only in the
+    value they drive. [Serving.S] names the shared surface: submit,
+    drain, withdraw-a-user ({!S.forget}), zero-solver restore, metrics
+    in three shapes, and the journal hook with its {!Engine.event}
+    lifecycle. A front end written against [S] (via a first-class
+    module, see [Cdw_shard.Serving]) serves a single engine and an
+    N-shard group with the same code.
+
+    The contract every implementation owes (the differential suites in
+    [test_shard.ml] and [test_net.ml] enforce it): for the same
+    algorithm, seed and submission sequence, {!S.drain} returns
+    bit-identical replies — users in global first-submission order,
+    each user's replies in submission order — whatever the shard count
+    or drain mode. *)
+
+module type S = sig
+  type t
+
+  val algorithm : t -> Cdw_core.Algorithms.name
+  (** The solver every session runs. *)
+
+  val seed : t -> int
+  (** The seed per-session generators derive from. *)
+
+  val base : t -> Cdw_core.Workflow.t
+  (** The frozen base workflow requests are resolved against. *)
+
+  val submit : ?submitted_ms:float -> t -> user:string -> Engine.request -> unit
+  (** Queue one request ({!Engine.submit} semantics; [submitted_ms]
+      backdates the queue timestamp for upstream front ends). *)
+
+  val pending : t -> int
+
+  val drain :
+    ?mode:[ `Sequential | `Parallel of int ] -> t -> Engine.reply list
+  (** Serve every pending request. Replies are mode- and
+      shard-count-independent (see the module preamble). *)
+
+  val forget : t -> string -> unit
+  (** Withdraw the user entirely (GDPR erasure / session close). *)
+
+  val restore_session :
+    t ->
+    string ->
+    constraints:(int * int) list ->
+    removed_ids:int list ->
+    (unit, string) result
+  (** Install previously captured session state without solver runs
+      ({!Engine.restore_session}). *)
+
+  val sessions : t -> (string * Session.t) list
+  val metrics : t -> Metrics.t
+  val metrics_json : t -> Cdw_util.Json.t
+  val prometheus : t -> string
+
+  val set_journal : t -> (Engine.event -> unit) option -> unit
+  (** Install (or remove) the journal callback on every underlying
+      engine. Sharded implementations may invoke it concurrently from
+      several domains (users are disjoint across shards, so events of
+      one user never race) — callbacks must be thread-safe there. *)
+end
+
+module Of_engine : S with type t = Engine.t
+(** [Engine] itself — the compile-time proof that the single engine
+    implements the serving interface. *)

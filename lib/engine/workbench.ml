@@ -178,13 +178,16 @@ let best_of trials f =
 (* The benchmark inputs alone — base workflow plus request script —
    for harnesses that serve the identical workload through a different
    front end (the sharded group's scaling bench). *)
+let script_for config wf =
+  let pairs = connected_pairs wf in
+  if Array.length pairs = 0 then
+    invalid_arg "Workbench: workflow has no connected pairs";
+  script config pairs
+
 let workload config =
   let instance = generate config in
   let wf = instance.Generator.workflow in
-  let pairs = connected_pairs wf in
-  if Array.length pairs = 0 then
-    invalid_arg "Workbench: generated workflow has no connected pairs";
-  (wf, script config pairs)
+  (wf, script_for config wf)
 
 let run ?(trials = 3) ?attach config =
   let wf, requests = workload config in

@@ -65,6 +65,16 @@ type result = {
   metrics : Cdw_util.Json.t;  (** {!Engine.metrics_json} after the drain *)
 }
 
+val script_for :
+  config -> Cdw_core.Workflow.t -> (string * Engine.request) list
+(** The request script of [config] drawn against an {e existing} base
+    workflow instead of a generated one — what a [serve-bench
+    --connect] client builds after fetching the server's base via the
+    wire protocol's [Hello]. [workload config] is exactly
+    [(wf, script_for config wf)] on the generated workflow. Raises
+    [Invalid_argument] if the workflow has no connected (user,
+    purpose) pair. *)
+
 val workload : config -> Cdw_core.Workflow.t * (string * Engine.request) list
 (** The benchmark inputs alone: the generated base workflow and the
     deterministic request script (both functions of [config] only) —

@@ -1,0 +1,107 @@
+module Engine = Cdw_engine.Engine
+
+type t = {
+  fd : Unix.file_descr;
+  mutable outstanding : int;  (* pipelined submits awaiting their ack *)
+}
+
+let rec connect_retry addr tries =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () ->
+      (* Pipelined small frames: Nagle only adds latency. No-op on
+         Unix-domain sockets. *)
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      fd
+  | exception
+      Unix.Unix_error
+        ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+    when tries > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      connect_retry addr (tries - 1)
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let connect ?(retries = 100) addr =
+  (* A submit written to a server that died must surface as EPIPE (an
+     exception the caller can handle), not as a process-killing
+     SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  { fd = connect_retry addr retries; outstanding = 0 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_reply t =
+  match Wire.read_reply t.fd with
+  | Ok (Ok reply) -> reply
+  | Ok (Error msg) -> failwith ("malformed reply: " ^ msg)
+  | Error `Eof -> failwith "server closed the connection"
+  | Error (`Torn msg) -> failwith ("torn reply frame: " ^ msg)
+  | Error (`Corrupt msg) -> failwith ("corrupt reply frame: " ^ msg)
+
+(* Settle every pipelined submit before a request that expects a typed
+   reply — replies arrive strictly in request order, so the pending
+   acks are exactly the next [outstanding] frames. *)
+let flush t =
+  while t.outstanding > 0 do
+    let reply = read_reply t in
+    t.outstanding <- t.outstanding - 1;
+    match reply with
+    | Wire.Ack -> ()
+    | Wire.Error_r msg -> failwith ("submit rejected: " ^ msg)
+    | _ -> failwith "protocol desync: expected a submit ack"
+  done
+
+let rpc t request =
+  flush t;
+  Wire.send_request t.fd request;
+  read_reply t
+
+let submit t ~user request =
+  Wire.send_request t.fd (Wire.Submit { user; request });
+  t.outstanding <- t.outstanding + 1
+
+let drain t =
+  match rpc t Wire.Drain with
+  | Wire.Drain_r n ->
+      List.init n (fun _ ->
+          match read_reply t with
+          | Wire.Reply_r r -> r
+          | Wire.Error_r msg -> failwith msg
+          | _ -> failwith "protocol desync: expected a drain reply")
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected a drain header"
+
+let hello t =
+  match rpc t Wire.Hello with
+  | Wire.Hello_r h -> h
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected a hello reply"
+
+let forget t user =
+  match rpc t (Wire.Forget user) with
+  | Wire.Ack -> ()
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected a forget ack"
+
+let metrics t =
+  match rpc t Wire.Metrics with
+  | Wire.Metrics_r s -> s
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected metrics"
+
+let prometheus t =
+  match rpc t Wire.Prom with
+  | Wire.Prom_r s -> s
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected an exposition"
+
+let ping t =
+  match rpc t Wire.Ping with
+  | Wire.Pong -> ()
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected a pong"

@@ -1,0 +1,47 @@
+(** Blocking client for the {!Wire} protocol.
+
+    One connection, one thread: requests go out in order and replies
+    come back in order, so the client never needs request ids. Submits
+    are {e pipelined} — {!submit} sends the frame and returns without
+    waiting for its ack; the acks are collected (in order) by the next
+    {!drain}/{!hello}/… call, or explicitly by {!flush}. That keeps a
+    load-generating client's submit loop at socket bandwidth instead
+    of one round-trip per request.
+
+    Every protocol-level failure — a rejected submit, a torn or
+    corrupt reply frame, a server-side [Error_r] — raises [Failure]
+    with the server's (or the classifier's) message. *)
+
+type t
+
+val connect : ?retries:int -> Unix.sockaddr -> t
+(** Connect, retrying [ECONNREFUSED]/[ENOENT]/[ECONNRESET] every 50 ms
+    up to [retries] (default 100) times — enough to race a server that
+    is still binding its socket. Raises the last [Unix.Unix_error] if
+    the server never appears. *)
+
+val submit : t -> user:string -> Cdw_engine.Engine.request -> unit
+(** Pipeline one submit. The ack (or rejection) is read later — see
+    {!flush}. *)
+
+val flush : t -> unit
+(** Read the acks for every pipelined submit. Raises [Failure
+    "submit rejected: …"] on the first rejection. Called implicitly by
+    every reply-bearing request below. *)
+
+val drain : t -> Cdw_engine.Engine.reply list
+(** Flush, then drain the server: replies in the server's global
+    first-submission order, streamed one frame each. *)
+
+val hello : t -> Wire.hello
+val forget : t -> string -> unit
+
+val metrics : t -> string
+(** JSON object with ["serving"] and ["net"] registries. *)
+
+val prometheus : t -> string
+val ping : t -> unit
+
+val close : t -> unit
+(** Close the socket. Pipelined-but-unflushed submits may or may not
+    have been served — flush first if you need the acks. *)

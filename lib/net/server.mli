@@ -1,0 +1,57 @@
+(** The consent-serving socket server ([cdw serve]).
+
+    One listening socket (Unix-domain or TCP), one accept thread, one
+    thread per connection, all speaking the {!Wire} protocol over one
+    shared {!Cdw_shard.Serving.t}. Submits land on the serving value's
+    lock-free path, so connection threads never serialize against each
+    other on the hot path; drains and the rest delegate to the packed
+    implementation, whose own locking applies.
+
+    Error containment, per connection:
+    - a {e torn or corrupt frame} gets a best-effort framed [Error_r]
+      and the connection is closed — past a framing fault the stream
+      offset is unknown, and resynchronizing by guessing is how
+      protocol desyncs are born;
+    - an {e intact frame with a malformed payload} (bad version,
+      unknown opcode, truncated body) gets a framed [Error_r] and the
+      connection {e stays open} — the frame boundary is trusted, so
+      the stream is still in sync;
+    - a {e serving-layer rejection} (journal refusing an oversized
+      record) or an unexpected exception gets a framed [Error_r] and
+      the connection stays open.
+
+    Nothing a client sends can crash the server process — the fuzzing
+    suite in [test_net.ml] drives mutated frames at a live server and
+    requires exactly the behaviours above.
+
+    The server's own counters ([net.connections], [net.requests],
+    [net.frames.torn], [net.frames.corrupt], [net.requests.malformed],
+    [net.submit.rejected], [net.errors]) live in a registry separate
+    from the serving value's; the [Metrics] and [Prom] ops expose
+    both. Request handling is wrapped in ["net.request"] trace
+    spans. *)
+
+type t
+
+val start : ?backlog:int -> Cdw_shard.Serving.t -> Unix.sockaddr -> t
+(** Bind, listen and spawn the accept thread. An existing socket file
+    at an [ADDR_UNIX] path is unlinked first; [ADDR_INET] with port 0
+    binds a kernel-assigned port (read it back with {!sockaddr}).
+    Raises [Unix.Unix_error] if the address cannot be bound. The
+    server borrows the serving value — closing it remains the
+    caller's, after {!stop}. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The actually-bound address. *)
+
+val metrics : t -> Cdw_engine.Metrics.t
+(** The live net.* registry (thread-safe, shared with the serving
+    threads). *)
+
+val stop : t -> unit
+(** Close the listening socket, shut down every open connection, join
+    every thread. Idempotent. In-flight requests finish their reply
+    (or hit a write error) before their thread exits. The accept loop
+    polls its listener on a short tick, so the join is bounded (one
+    tick) without relying on platform-specific
+    wake-a-blocked-[accept] semantics. *)

@@ -1,0 +1,306 @@
+module Engine = Cdw_engine.Engine
+module Frame = Cdw_store.Frame
+
+let version = 0x01
+
+type hello = {
+  h_algorithm : string;
+  h_seed : int;
+  h_shards : int;
+  h_workflow : string;
+}
+
+type request =
+  | Hello
+  | Submit of { user : string; request : Engine.request }
+  | Drain
+  | Forget of string
+  | Metrics
+  | Prom
+  | Ping
+
+type reply =
+  | Hello_r of hello
+  | Ack
+  | Drain_r of int
+  | Reply_r of Engine.reply
+  | Metrics_r of string
+  | Prom_r of string
+  | Pong
+  | Error_r of string
+
+(* ---------------------------------------------------------------- *)
+(* Binary body codec. Little-endian throughout, like the WAL frames:
+   u8 tags, i64 integers, f64 as IEEE bits, u32-length-prefixed
+   strings. Every read is bounds-checked; a malformed body raises
+   [Malformed], which the entry points turn into [Error _]. *)
+
+exception Malformed of string
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+let i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let str b s =
+  Buffer.add_int32_le b (Int32.of_int (String.length s));
+  Buffer.add_string b s
+
+let need buf pos n =
+  if !pos + n > String.length buf then raise (Malformed "truncated body")
+
+let ru8 buf pos =
+  need buf pos 1;
+  let v = Char.code buf.[!pos] in
+  incr pos;
+  v
+
+let ri64 buf pos =
+  need buf pos 8;
+  let v = Int64.to_int (String.get_int64_le buf !pos) in
+  pos := !pos + 8;
+  v
+
+let rf64 buf pos =
+  need buf pos 8;
+  let v = Int64.float_of_bits (String.get_int64_le buf !pos) in
+  pos := !pos + 8;
+  v
+
+let ru32 buf pos =
+  need buf pos 4;
+  let v = Int32.to_int (String.get_int32_le buf !pos) land 0xFFFF_FFFF in
+  pos := !pos + 4;
+  v
+
+let rstr buf pos =
+  let n = ru32 buf pos in
+  need buf pos n;
+  let s = String.sub buf !pos n in
+  pos := !pos + n;
+  s
+
+let pairs_body b pairs =
+  Buffer.add_int32_le b (Int32.of_int (List.length pairs));
+  List.iter
+    (fun (s, t) ->
+      i64 b s;
+      i64 b t)
+    pairs
+
+let rpairs buf pos =
+  let n = ru32 buf pos in
+  need buf pos (n * 16);
+  List.init n (fun _ ->
+      let s = ri64 buf pos in
+      let t = ri64 buf pos in
+      (s, t))
+
+let engine_request_body b = function
+  | Engine.Add pairs ->
+      u8 b 0;
+      pairs_body b pairs
+  | Engine.Withdraw pairs ->
+      u8 b 1;
+      pairs_body b pairs
+  | Engine.Resolve -> u8 b 2
+
+let rengine_request buf pos =
+  match ru8 buf pos with
+  | 0 -> Engine.Add (rpairs buf pos)
+  | 1 -> Engine.Withdraw (rpairs buf pos)
+  | 2 -> Engine.Resolve
+  | t -> raise (Malformed (Printf.sprintf "unknown request tag 0x%02x" t))
+
+let engine_reply_body b (r : Engine.reply) =
+  str b r.Engine.user;
+  engine_request_body b r.Engine.request;
+  (match r.Engine.result with
+  | Ok () -> u8 b 0
+  | Error msg ->
+      u8 b 1;
+      str b msg);
+  f64 b r.Engine.time_ms
+
+let rengine_reply buf pos =
+  let user = rstr buf pos in
+  let request = rengine_request buf pos in
+  let result =
+    match ru8 buf pos with
+    | 0 -> Ok ()
+    | 1 -> Error (rstr buf pos)
+    | t -> raise (Malformed (Printf.sprintf "unknown result tag 0x%02x" t))
+  in
+  let time_ms = rf64 buf pos in
+  { Engine.user; request; result; time_ms }
+
+(* ---------------------------------------------------------------- *)
+(* Payload = [version u8][opcode u8][body]                           *)
+
+let payload opcode body_writer =
+  let b = Buffer.create 64 in
+  u8 b version;
+  u8 b opcode;
+  body_writer b;
+  Buffer.contents b
+
+let encode_request = function
+  | Hello -> payload 0x01 ignore
+  | Submit { user; request } ->
+      payload 0x02 (fun b ->
+          str b user;
+          engine_request_body b request)
+  | Drain -> payload 0x03 ignore
+  | Forget user -> payload 0x04 (fun b -> str b user)
+  | Metrics -> payload 0x05 ignore
+  | Prom -> payload 0x06 ignore
+  | Ping -> payload 0x07 ignore
+
+let encode_reply = function
+  | Hello_r h ->
+      payload 0x81 (fun b ->
+          str b h.h_algorithm;
+          i64 b h.h_seed;
+          i64 b h.h_shards;
+          str b h.h_workflow)
+  | Ack -> payload 0x82 ignore
+  | Drain_r n -> payload 0x83 (fun b -> i64 b n)
+  | Reply_r r -> payload 0x84 (fun b -> engine_reply_body b r)
+  | Metrics_r s -> payload 0x85 (fun b -> str b s)
+  | Prom_r s -> payload 0x86 (fun b -> str b s)
+  | Pong -> payload 0x87 ignore
+  | Error_r msg -> payload 0xEF (fun b -> str b msg)
+
+let with_body buf f =
+  let pos = ref 2 in
+  match f buf pos with
+  | v ->
+      if !pos <> String.length buf then Error "trailing bytes after body"
+      else Ok v
+  | exception Malformed msg -> Error msg
+
+let check_header buf =
+  if String.length buf < 2 then Error "payload shorter than its header"
+  else if Char.code buf.[0] <> version then
+    Error
+      (Printf.sprintf "unsupported protocol version 0x%02x"
+         (Char.code buf.[0]))
+  else Ok (Char.code buf.[1])
+
+let decode_request buf =
+  match check_header buf with
+  | Error _ as e -> e
+  | Ok opcode -> (
+      (* Body-less opcodes still go through [with_body] so trailing
+         bytes are rejected uniformly. *)
+      match opcode with
+      | 0x01 -> with_body buf (fun _ _ -> Hello)
+      | 0x02 ->
+          with_body buf (fun buf pos ->
+              let user = rstr buf pos in
+              let request = rengine_request buf pos in
+              Submit { user; request })
+      | 0x03 -> with_body buf (fun _ _ -> Drain)
+      | 0x04 -> with_body buf (fun buf pos -> Forget (rstr buf pos))
+      | 0x05 -> with_body buf (fun _ _ -> Metrics)
+      | 0x06 -> with_body buf (fun _ _ -> Prom)
+      | 0x07 -> with_body buf (fun _ _ -> Ping)
+      | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op))
+
+let decode_reply buf =
+  match check_header buf with
+  | Error _ as e -> e
+  | Ok opcode -> (
+      match opcode with
+      | 0x81 ->
+          with_body buf (fun buf pos ->
+              let h_algorithm = rstr buf pos in
+              let h_seed = ri64 buf pos in
+              let h_shards = ri64 buf pos in
+              let h_workflow = rstr buf pos in
+              Hello_r { h_algorithm; h_seed; h_shards; h_workflow })
+      | 0x82 -> with_body buf (fun _ _ -> Ack)
+      | 0x83 -> with_body buf (fun buf pos -> Drain_r (ri64 buf pos))
+      | 0x84 -> with_body buf (fun buf pos -> Reply_r (rengine_reply buf pos))
+      | 0x85 -> with_body buf (fun buf pos -> Metrics_r (rstr buf pos))
+      | 0x86 -> with_body buf (fun buf pos -> Prom_r (rstr buf pos))
+      | 0x87 -> with_body buf (fun _ _ -> Pong)
+      | 0xEF -> with_body buf (fun buf pos -> Error_r (rstr buf pos))
+      | op -> Error (Printf.sprintf "unknown reply opcode 0x%02x" op))
+
+(* ---------------------------------------------------------------- *)
+(* Socket framing: the WAL's [length u32][crc32 u32][payload] frame,
+   read incrementally off a blocking fd. *)
+
+let rec write_all fd s ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (ofs + n) (len - n)
+  end
+
+let write_frame fd buf =
+  let framed = Frame.encode buf in
+  write_all fd framed 0 (String.length framed)
+
+(* Read exactly [len] bytes unless the peer closes first; returns how
+   many bytes actually arrived. A reset connection (the peer closed
+   with data still in flight) reads as a close at the current offset —
+   the classification (clean EOF vs torn) falls out of how much had
+   arrived, same as an orderly close. *)
+let read_exact fd buf ofs len =
+  let rec go got =
+    if got >= len then got
+    else
+      match Unix.read fd buf (ofs + got) (len - got) with
+      | 0 -> got
+      | n -> go (got + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go got
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          got
+  in
+  go 0
+
+let read_frame fd =
+  let header = Bytes.create Frame.header_size in
+  match read_exact fd header 0 Frame.header_size with
+  | 0 -> Error `Eof
+  | n when n < Frame.header_size ->
+      Error (`Torn (Printf.sprintf "connection closed mid-header (%d/%d bytes)"
+                      n Frame.header_size))
+  | _ ->
+      let len = Int32.to_int (Bytes.get_int32_le header 0) land 0xFFFF_FFFF in
+      if len > Frame.max_payload then
+        (* Never trust a corrupted length enough to read (or allocate)
+           that many bytes. *)
+        Error (`Corrupt (Printf.sprintf "implausible frame length %d" len))
+      else
+        let body = Bytes.create len in
+        let got = read_exact fd body 0 len in
+        if got < len then
+          Error
+            (`Torn (Printf.sprintf "connection closed mid-frame (%d/%d bytes)"
+                      got len))
+        else
+          (* Hand the complete frame back to the WAL's decoder so CRC
+             verification and corruption classification are literally
+             the ledger's. *)
+          let whole = Bytes.to_string header ^ Bytes.to_string body in
+          (match Frame.decode whole ~pos:0 with
+          | Ok (buf, _) -> Ok buf
+          | Error (`Corrupt _ as e) | Error (`Torn _ as e) -> Error e
+          | Error `Eof -> Error (`Torn "empty frame"))
+
+let send_request fd request = write_frame fd (encode_request request)
+let send_reply fd reply = write_frame fd (encode_reply reply)
+
+let read_request fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok buf -> Ok (decode_request buf)
+
+let read_reply fd =
+  match read_frame fd with
+  | Error _ as e -> e
+  | Ok buf -> Ok (decode_reply buf)

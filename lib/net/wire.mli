@@ -1,0 +1,100 @@
+(** The consent-serving wire protocol (DESIGN.md §13).
+
+    Every message travels in one WAL-style frame —
+    [[length u32 LE][crc32 u32 LE][payload]], {!Cdw_store.Frame} — so
+    the socket reader classifies damage exactly like the ledger's
+    scanner: a short read is {e torn}, a CRC mismatch or implausible
+    length is {e corrupt}, and a read that starts on a frame boundary
+    and gets zero bytes is a clean EOF.
+
+    The payload is [[version u8][opcode u8][body]], all integers
+    little-endian. Version is {!version} (0x01); a peer speaking any
+    other version gets a framed [Error_r] naming the byte. Request
+    opcodes are [0x01]–[0x07], reply opcodes [0x81]–[0x87] plus
+    [0xEF] ([Error_r]).
+
+    Every request draws exactly one reply frame, except [Drain]: its
+    [Drain_r n] header frame is followed by exactly [n] [Reply_r]
+    frames, one engine reply each (so a drain of any size streams
+    without ever outgrowing {!Cdw_store.Frame.max_payload}). *)
+
+val version : int
+(** 0x01 — the protocol version byte every payload leads with. *)
+
+type hello = {
+  h_algorithm : string;  (** {!Cdw_core.Algorithms.to_string} name *)
+  h_seed : int;
+  h_shards : int;
+  h_workflow : string;
+      (** the server's base workflow, {!Cdw_core.Serialize.to_string}
+          text — what lets a client build workloads against a server
+          it knows nothing else about *)
+}
+
+type request =
+  | Hello  (** who are you: algorithm, seed, shards, base workflow *)
+  | Submit of { user : string; request : Cdw_engine.Engine.request }
+      (** enqueue; acked (or [Error_r]ed) individually, so clients may
+          pipeline submits back-to-back *)
+  | Drain  (** serve everything pending; replies stream back *)
+  | Forget of string  (** withdraw the user (GDPR erasure) *)
+  | Metrics  (** one JSON object: serving + net registries *)
+  | Prom  (** Prometheus text exposition *)
+  | Ping
+
+type reply =
+  | Hello_r of hello
+  | Ack
+  | Drain_r of int  (** count of [Reply_r] frames that follow *)
+  | Reply_r of Cdw_engine.Engine.reply
+  | Metrics_r of string
+  | Prom_r of string
+  | Pong
+  | Error_r of string
+
+(** {1 Payload codec} (exposed for tests; servers and clients use the
+    fd helpers below) *)
+
+val encode_request : request -> string
+val encode_reply : reply -> string
+
+val decode_request : string -> (request, string) result
+(** [Error] describes the malformation (bad version, unknown opcode,
+    truncated or trailing body bytes) — the server answers it with a
+    framed [Error_r] and keeps the connection: the {e frame} was
+    intact, so the stream is still in sync. *)
+
+val decode_reply : string -> (reply, string) result
+
+(** {1 Frame I/O over a blocking fd} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame ({!Cdw_store.Frame.encode}) and write the whole payload.
+    Raises [Unix.Unix_error] on I/O failure. *)
+
+val read_frame :
+  Unix.file_descr ->
+  (string, [ `Eof | `Torn of string | `Corrupt of string ]) result
+(** Read one complete frame. [`Eof]: the peer closed exactly on a
+    frame boundary. [`Torn]: it closed mid-frame. [`Corrupt]: the
+    length is implausible (nothing past the header is read — a
+    corrupted length must not drive allocation) or the CRC does not
+    match. After [`Torn]/[`Corrupt] the stream offset is unknown — the
+    connection must be closed, exactly like a damaged WAL tail ends
+    replay. *)
+
+val send_request : Unix.file_descr -> request -> unit
+val send_reply : Unix.file_descr -> reply -> unit
+
+val read_request :
+  Unix.file_descr ->
+  ((request, string) result,
+   [ `Eof | `Torn of string | `Corrupt of string ])
+  result
+(** The outer [result] is frame transport (see {!read_frame}); the
+    inner is payload decoding (see {!decode_request}). *)
+
+val read_reply :
+  Unix.file_descr ->
+  ((reply, string) result, [ `Eof | `Torn of string | `Corrupt of string ])
+  result

@@ -1,0 +1,69 @@
+module Store = Cdw_store.Store
+module Wal = Cdw_store.Wal
+
+let is_group root = Sys.file_exists (Shard_group.group_manifest_path root)
+
+let verify root =
+  if is_group root then
+    match Shard_group.verify root with
+    | Error e -> Error e
+    | Ok reports ->
+        Ok (Array.to_list (Array.mapi (fun i r -> (Some i, r)) reports))
+  else Result.map (fun r -> [ (None, r) ]) (Store.verify root)
+
+let clean reports = List.for_all (fun (_, r) -> Store.report_clean r) reports
+
+type replayed = {
+  entries : (int option * Store.recovery) list;
+  replayed : int;
+  damaged : int list;
+}
+
+let replay root =
+  if is_group root then
+    match Shard_group.recover root with
+    | Error e -> Error e
+    | Ok r ->
+        Ok
+          {
+            entries =
+              Array.to_list
+                (Array.mapi
+                   (fun i sr -> (Some i, sr))
+                   r.Shard_group.shard_recoveries);
+            replayed = r.Shard_group.replayed;
+            damaged = r.Shard_group.damaged;
+          }
+  else
+    match Store.recover root with
+    | Error e -> Error e
+    | Ok r ->
+        Ok
+          {
+            entries = [ (None, r) ];
+            replayed = r.Store.replayed;
+            damaged = (match r.Store.tail with Wal.Clean -> [] | _ -> [ 0 ]);
+          }
+
+let compact root =
+  if is_group root then
+    match Shard_group.resume root with
+    | Error e -> Error e
+    | Ok (group, r) ->
+        Shard_group.compact group;
+        Shard_group.close group;
+        Ok
+          (Array.to_list
+             (Array.mapi
+                (fun i (sr : Store.recovery) ->
+                  (Some i, sr.Store.generation, sr.Store.generation + 1))
+                r.Shard_group.shard_recoveries))
+  else
+    match Store.resume root with
+    | Error e -> Error e
+    | Ok (store, r) ->
+        let before = r.Store.generation in
+        Store.compact store r.Store.engine;
+        let after = Store.generation store in
+        Store.close store;
+        Ok [ (None, before, after) ]

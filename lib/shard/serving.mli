@@ -1,0 +1,138 @@
+(** One serving value for every deployment shape.
+
+    [Cdw_engine.Serving.S] names the serving surface; this module adds
+    the durability story ({!LEDGERED}: per-value ledgers, snapshot,
+    compact, close) and packs the two implementations — a single
+    {!Cdw_engine.Engine} and an N-shard {!Shard_group} — behind one
+    first-class-module existential, {!t}. Front ends (the serve-bench
+    driver, the network server) are written once against the wrapper
+    functions below; the only place the shapes differ is the
+    constructor call.
+
+    Journaling semantics follow the packed value: a single engine
+    write-ahead-logs inside {!submit} (submit returns after the fsync
+    policy is satisfied), a shard group write-behind-logs at drain
+    ingest (see {!Shard_group}, "Journaling is write-behind"). *)
+
+module type LEDGERED = sig
+  include Cdw_engine.Serving.S
+
+  val shards : t -> int
+  (** 1 for a single engine. *)
+
+  val journal :
+    ?fsync:Cdw_store.Wal.fsync_policy ->
+    ?snapshot_every_bytes:int ->
+    dir:string ->
+    t ->
+    unit
+  (** Attach a fresh durable ledger under [dir]
+      ({!Cdw_store.Store.create_for} per engine; a group writes
+      [group.json] and one ledger per shard). Raises
+      [Invalid_argument] if already journaled. *)
+
+  val snapshot : t -> unit
+  (** Drain-boundary snapshot; no-op when not journaled. *)
+
+  val compact : t -> unit
+  (** Fold the WAL(s) into fresh snapshot(s); no-op when not
+      journaled. *)
+
+  val close : t -> unit
+  (** Release everything the value owns: ledgers, and (for a group)
+      the pinned drain domains. Idempotent. *)
+end
+
+(** A single engine with an optional attached ledger. *)
+module Single : sig
+  include LEDGERED
+
+  val make : Cdw_engine.Engine.t -> t
+  val engine : t -> Cdw_engine.Engine.t
+end
+
+module Group : LEDGERED with type t = Shard_group.t
+
+type t = Packed : (module LEDGERED with type t = 'a) * 'a -> t
+(** A serving value of either shape, packed with its implementation. *)
+
+val of_engine : Cdw_engine.Engine.t -> t
+val of_group : Shard_group.t -> t
+
+val create :
+  ?algorithm:Cdw_core.Algorithms.name ->
+  ?options:Cdw_core.Algorithms.Options.t ->
+  ?seed:int ->
+  ?max_cached_pairs:int ->
+  ?max_paths:int ->
+  ?shards:int ->
+  Cdw_core.Workflow.t ->
+  t
+(** [shards = None] (or [Some 1]) builds a single engine, [Some n] an
+    [n]-shard group — otherwise identical configuration
+    ({!Cdw_engine.Engine.create}). *)
+
+(** {1 The serving surface over a packed value}
+
+    Each function unpacks and delegates; semantics are the packed
+    implementation's. *)
+
+val algorithm : t -> Cdw_core.Algorithms.name
+val seed : t -> int
+val base : t -> Cdw_core.Workflow.t
+
+val submit :
+  ?submitted_ms:float -> t -> user:string -> Cdw_engine.Engine.request -> unit
+
+val pending : t -> int
+
+val drain :
+  ?mode:[ `Sequential | `Parallel of int ] -> t -> Cdw_engine.Engine.reply list
+
+val forget : t -> string -> unit
+
+val restore_session :
+  t ->
+  string ->
+  constraints:(int * int) list ->
+  removed_ids:int list ->
+  (unit, string) result
+
+val sessions : t -> (string * Cdw_engine.Session.t) list
+val metrics : t -> Cdw_engine.Metrics.t
+val metrics_json : t -> Cdw_util.Json.t
+val prometheus : t -> string
+val set_journal : t -> (Cdw_engine.Engine.event -> unit) option -> unit
+val shards : t -> int
+
+val journal :
+  ?fsync:Cdw_store.Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  dir:string ->
+  t ->
+  unit
+
+val snapshot : t -> unit
+val compact : t -> unit
+val close : t -> unit
+
+(** {1 Crash restart} *)
+
+type resumed = {
+  serving : t;  (** re-attached and serving, journal included *)
+  replayed : int;  (** WAL records replayed (summed over shards) *)
+  damaged : int list;
+      (** shard ids with a torn/corrupt (now truncated) tail; [[0]]
+          for a damaged single-engine ledger *)
+}
+
+val resume :
+  ?fsync:Cdw_store.Wal.fsync_policy ->
+  ?snapshot_every_bytes:int ->
+  string ->
+  (resumed, string) result
+(** Resume whatever ledger lives at the root: a [group.json] marks a
+    sharded root ({!Shard_group.resume}), anything else resumes as a
+    single-engine ledger ({!Cdw_store.Store.resume}). This is how
+    [cdw serve --journal DIR] restarts over an existing ledger without
+    being told its shape. *)

@@ -5,43 +5,41 @@ module Workbench = Cdw_engine.Workbench
 
 type run = { shards : int; n_requests : int; ms : float; rps : float }
 
-let serve ?(trials = 3) ?attach ~shards config =
+let serve ?(trials = 3) ?attach ~make config =
   if trials < 1 then invalid_arg "Shard_bench.serve: trials must be >= 1";
   let wf, requests = Workbench.workload config in
   let n_requests = List.length requests in
   let run_once () =
-    let group =
-      Shard_group.create ~algorithm:config.Workbench.algorithm
-        ~seed:config.Workbench.seed ~shards wf
-    in
-    (match attach with Some f -> f group | None -> ());
+    let serving = make wf in
+    (match attach with Some f -> f serving | None -> ());
     List.iter
-      (fun (user, request) -> Shard_group.submit group ~user request)
+      (fun (user, request) -> Serving.submit serving ~user request)
       requests;
     let replies =
-      Shard_group.drain ~mode:(`Parallel config.Workbench.domains) group
+      Serving.drain ~mode:(`Parallel config.Workbench.domains) serving
     in
-    (group, replies)
+    (serving, replies)
   in
   (* Best-of-trials like Workbench.run: every trial builds a fresh
-     group, so the minimum is the least-disturbed measurement. Groups
-     of non-best trials are closed as they lose. *)
+     serving value, so the minimum is the least-disturbed measurement.
+     Non-best trials are closed (ledgers and pinned domains released)
+     as they lose. *)
   let rec go best i =
     if i >= trials then best
     else
-      let (group, replies), ms = Timing.time_f run_once in
+      let (serving, replies), ms = Timing.time_f run_once in
       match best with
       | Some (_, _, best_ms) when best_ms <= ms ->
-          Shard_group.close group;
+          Serving.close serving;
           go best (i + 1)
       | Some (prev, _, _) ->
-          Shard_group.close prev;
-          go (Some (group, replies, ms)) (i + 1)
-      | None -> go (Some (group, replies, ms)) (i + 1)
+          Serving.close prev;
+          go (Some (serving, replies, ms)) (i + 1)
+      | None -> go (Some (serving, replies, ms)) (i + 1)
   in
   match go None 0 with
   | None -> assert false
-  | Some (group, replies, ms) ->
+  | Some (serving, replies, ms) ->
       List.iter
         (fun (r : Engine.reply) ->
           match r.Engine.result with
@@ -54,7 +52,15 @@ let serve ?(trials = 3) ?attach ~shards config =
         if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
         else infinity
       in
-      ({ shards; n_requests; ms; rps }, group)
+      ({ shards = Serving.shards serving; n_requests; ms; rps }, serving)
+
+let serve_group ?trials ?attach ~shards config =
+  serve ?trials ?attach
+    ~make:(fun wf ->
+      Serving.of_group
+        (Shard_group.create ~algorithm:config.Workbench.algorithm
+           ~seed:config.Workbench.seed ~shards wf))
+    config
 
 type row = { r_shards : int; r_ms : float; r_rps : float; r_speedup : float }
 
@@ -62,8 +68,8 @@ let scaling ?trials ?(shard_counts = [ 1; 2; 4 ]) config =
   let runs =
     List.map
       (fun shards ->
-        let run, group = serve ?trials ~shards config in
-        Shard_group.close group;
+        let run, serving = serve_group ?trials ~shards config in
+        Serving.close serving;
         run)
       shard_counts
   in

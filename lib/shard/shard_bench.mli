@@ -1,16 +1,17 @@
-(** Shard-scaling benchmark: the {!Cdw_engine.Workbench} request
-    script served through a {!Shard_group} at several shard counts.
+(** Serving benchmark over any {!Serving.t} shape, plus the
+    shard-scaling sweep.
 
     The workload (workflow + script) is byte-identical to the
     single-engine benchmark's — {!Cdw_engine.Workbench.workload} of
-    the same config — so an [N]-shard row is directly comparable to
-    the unsharded [engine_ms] of [BENCH_engine.json], and rows are
-    comparable to each other. Scaling comes from draining shards in
-    parallel on the domain pool; on a single-core host the rows
-    collapse to ≈1× and that honest number is what gets recorded. *)
+    the same config — so a run through any serving shape is directly
+    comparable to the unsharded [engine_ms] of [BENCH_engine.json],
+    and rows are comparable to each other. Sharded scaling comes from
+    draining shards on their pinned domains; on a single-core host the
+    rows collapse to ≈1× and that honest number is what gets
+    recorded. *)
 
 type run = {
-  shards : int;
+  shards : int;  (** {!Serving.shards} of the value that served *)
   n_requests : int;
   ms : float;  (** best-of-trials wall time: create + submit + drain *)
   rps : float;  (** requests per second at [ms] *)
@@ -18,18 +19,29 @@ type run = {
 
 val serve :
   ?trials:int ->
-  ?attach:(Shard_group.t -> unit) ->
+  ?attach:(Serving.t -> unit) ->
+  make:(Cdw_core.Workflow.t -> Serving.t) ->
+  Cdw_engine.Workbench.config ->
+  run * Serving.t
+(** Serve the config's workload through a fresh [make wf] per trial
+    (default 3 trials) and report the best wall time; the returned
+    serving value is the best trial's, post-drain (for metrics /
+    exposition / snapshotting) — callers own its {!Serving.close}.
+    [attach] runs on each fresh value before any submit — the hook
+    [cdw serve-bench --journal] uses to wire ledgers onto the value
+    under test (journaled runs should use [~trials:1]: each trial
+    re-creates the ledger directory). Losing trials' values are closed
+    as they lose. Raises [Invalid_argument] if any reply is an error
+    or [trials < 1]. *)
+
+val serve_group :
+  ?trials:int ->
+  ?attach:(Serving.t -> unit) ->
   shards:int ->
   Cdw_engine.Workbench.config ->
-  run * Shard_group.t
-(** Serve the config's workload through a fresh [shards]-group per
-    trial (default 3 trials) and report the best wall time; the
-    returned group is the best trial's, post-drain (for metrics /
-    exposition / snapshotting). [attach] runs on each fresh group
-    before any submit — the hook [cdw serve-bench --shards --journal]
-    uses to wire per-shard ledgers (journaled runs should use
-    [~trials:1]: each trial re-creates the ledger directory). Raises
-    [Invalid_argument] if any reply is an error or [trials < 1]. *)
+  run * Serving.t
+(** {!serve} with [make] fixed to an [N]-shard {!Shard_group} on the
+    config's algorithm and seed. *)
 
 type row = {
   r_shards : int;
@@ -41,9 +53,9 @@ type row = {
 val scaling :
   ?trials:int -> ?shard_counts:int list -> Cdw_engine.Workbench.config ->
   row list
-(** One {!serve} per shard count (default [[1; 2; 4]]), groups closed
-    after timing; [r_speedup] is each row's wall time relative to the
-    first row's. *)
+(** One {!serve_group} per shard count (default [[1; 2; 4]]), values
+    closed after timing; [r_speedup] is each row's wall time relative
+    to the first row's. *)
 
 val scaling_json : row list -> Cdw_util.Json.t
 (** The [BENCH_engine.json] ["shard_scaling"] payload: an array of

@@ -6,17 +6,50 @@ module Json = Cdw_util.Json
 module Metrics = Cdw_engine.Metrics
 module Session = Cdw_engine.Session
 module Store = Cdw_store.Store
+module Timing = Cdw_util.Timing
 module Trace = Cdw_obs.Trace
 module Wal = Cdw_store.Wal
 module Workflow = Cdw_core.Workflow
 
+(* One submitted request in flight between the lock-free submit path
+   and its shard's drain. [seq] is the group-global submission number —
+   the only thing the gather needs to reconstruct single-engine reply
+   order. *)
+type item = {
+  seq : int;
+  i_user : string;
+  i_request : Engine.request;
+  at_ms : float;  (* submit wall time, for end-to-end queue_wait *)
+}
+
+(* One user's replies out of one shard drain, tagged with the user's
+   first-submission sequence number: the unit the gather sorts. *)
+type gather = { g_seq : int; g_replies : Engine.reply list }
+
+type command = Drain of int * int | Stop
+(* Drain (ticket, trace parent): the ticket matches a result to the
+   group drain that asked for it. *)
+
+type shard = {
+  position : int;
+  engine : Engine.t;
+  inbox : item Mpsc.t;
+  depth : int Atomic.t;  (* items in [inbox], racy but convergent *)
+  m : Mutex.t;  (* guards [cmd], [outcome] *)
+  cv : Condition.t;
+  mutable cmd : command option;
+  mutable outcome : (int * (gather list, exn) result) option;
+  mutable domain : unit Domain.t option;  (* the pinned drain domain *)
+}
+
 type t = {
   shards : int;
-  engines : Engine.t array;
+  members : shard array;
+  seq : int Atomic.t;  (* global submission counter — the only shared
+                          submit-path state, and it is lock-free *)
   mutable stores : Store.t array;  (* [||] until [journal] / [resume] *)
-  order_lock : Mutex.t;
-  mutable order : string list;  (* reversed global first-submission order *)
-  seen : (string, unit) Hashtbl.t;
+  drain_lock : Mutex.t;  (* serializes drains, worker spawn and close *)
+  mutable tickets : int;
 }
 
 let with_lock m f =
@@ -26,11 +59,25 @@ let with_lock m f =
 let group_of_engines engines =
   {
     shards = Array.length engines;
-    engines;
+    members =
+      Array.mapi
+        (fun position engine ->
+          {
+            position;
+            engine;
+            inbox = Mpsc.create ();
+            depth = Atomic.make 0;
+            m = Mutex.create ();
+            cv = Condition.create ();
+            cmd = None;
+            outcome = None;
+            domain = None;
+          })
+        engines;
+    seq = Atomic.make 0;
     stores = [||];
-    order_lock = Mutex.create ();
-    order = [];
-    seen = Hashtbl.create 64;
+    drain_lock = Mutex.create ();
+    tickets = 0;
   }
 
 let create ?algorithm ?options ?seed ?max_cached_pairs ?max_paths ~shards wf =
@@ -44,80 +91,222 @@ let create ?algorithm ?options ?seed ?max_cached_pairs ?max_paths ~shards wf =
            frozen))
 
 let shards t = t.shards
-let engines t = t.engines
+let engines t = Array.map (fun s -> s.engine) t.members
 let route t user = Router.shard_of ~shards:t.shards user
+let algorithm t = Engine.algorithm t.members.(0).engine
+let seed t = Engine.seed t.members.(0).engine
+let base t = Engine.base t.members.(0).engine
 
-let submit t ~user request =
-  with_lock t.order_lock (fun () ->
-      if not (Hashtbl.mem t.seen user) then begin
-        Hashtbl.add t.seen user ();
-        t.order <- user :: t.order
-      end);
-  Engine.submit t.engines.(route t user) ~user request
+(* ---------------------------------------------------------------- *)
+(* The lock-free submit path                                         *)
+
+let submit ?submitted_ms t ~user request =
+  let s = t.members.(route t user) in
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let at_ms =
+    match submitted_ms with Some ms -> ms | None -> Timing.now_ms ()
+  in
+  Mpsc.push s.inbox { seq; i_user = user; i_request = request; at_ms };
+  Atomic.incr s.depth
 
 let pending t =
-  Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+  Array.fold_left
+    (fun acc s -> acc + Atomic.get s.depth + Engine.pending s.engine)
+    0 t.members
 
-(* Gather: per-shard reply lists come back grouped by user (each in the
-   shard's own first-submission order); re-sequence the users by the
-   global first-submission order the router recorded at submit time.
-   Users are disjoint across shards, so per-user reply order is already
-   the submission order — only the user interleaving needs restoring. *)
-let merge_replies order per_shard =
-  let tbl : (string, Engine.reply list ref) Hashtbl.t = Hashtbl.create 64 in
-  Array.iter
-    (fun replies ->
+(* ---------------------------------------------------------------- *)
+(* Per-shard drain (runs on the shard's pinned domain, or on the
+   caller in [`Sequential] mode)                                     *)
+
+(* Take the shard's whole inbox, restore the global submission order
+   (CAS order under racing producers can differ from seq order), feed
+   the engine — journal hooks fire inside [Engine.submit], so the WAL
+   records land in seq order — and drain. A submit the journal rejects
+   (e.g. an oversized record) answers with a framed error reply instead
+   of killing the shard domain. *)
+let drain_shard shard ~parent =
+  Trace.span "shard.drain" ~parent
+    ~args:[ ("shard", string_of_int shard.position) ]
+    (fun () ->
+      let items =
+        List.sort
+          (fun (a : item) (b : item) -> compare a.seq b.seq)
+          (Mpsc.take_all shard.inbox)
+      in
+      let n = List.length items in
+      if n > 0 then ignore (Atomic.fetch_and_add shard.depth (-n));
+      let m = Engine.metrics shard.engine in
+      Metrics.record_ms m "queue_depth" (float_of_int n);
+      let first : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let rejected = ref [] in
       List.iter
-        (fun (r : Engine.reply) ->
-          match Hashtbl.find_opt tbl r.Engine.user with
-          | Some rs -> rs := r :: !rs
-          | None -> Hashtbl.add tbl r.Engine.user (ref [ r ]))
-        replies)
-    per_shard;
+        (fun it ->
+          if not (Hashtbl.mem first it.i_user) then
+            Hashtbl.add first it.i_user it.seq;
+          match
+            Engine.submit ~submitted_ms:it.at_ms shard.engine ~user:it.i_user
+              it.i_request
+          with
+          | () -> ()
+          | exception exn ->
+              let msg =
+                match exn with
+                | Invalid_argument m | Failure m -> m
+                | e -> Printexc.to_string e
+              in
+              Metrics.incr m "shard.submit.rejected";
+              rejected :=
+                {
+                  Engine.user = it.i_user;
+                  request = it.i_request;
+                  result = Error msg;
+                  time_ms = 0.0;
+                }
+                :: !rejected)
+        items;
+      let replies = Engine.drain ~mode:`Sequential shard.engine in
+      (* Engine replies come back grouped by user: cut them into
+         per-user runs, then append any rejected submits to their
+         user's run (or open one) so no request goes unanswered. *)
+      let runs =
+        List.fold_left
+          (fun acc (r : Engine.reply) ->
+            match acc with
+            | (u, rs) :: rest when u = r.Engine.user -> (u, r :: rs) :: rest
+            | _ -> (r.Engine.user, [ r ]) :: acc)
+          [] replies
+        |> List.rev_map (fun (u, rs) -> (u, List.rev rs))
+      in
+      let runs =
+        List.fold_left
+          (fun runs (rej : Engine.reply) ->
+            let rec add = function
+              | [] -> [ (rej.Engine.user, [ rej ]) ]
+              | (u, rs) :: rest when u = rej.Engine.user ->
+                  (u, rs @ [ rej ]) :: rest
+              | g :: rest -> g :: add rest
+            in
+            add runs)
+          runs (List.rev !rejected)
+      in
+      List.map
+        (fun (u, rs) ->
+          {
+            g_seq =
+              (match Hashtbl.find_opt first u with
+              | Some s -> s
+              | None -> max_int);
+            g_replies = rs;
+          })
+        runs)
+
+(* ---------------------------------------------------------------- *)
+(* Pinned drain domains                                              *)
+
+let send shard cmd =
+  Mutex.lock shard.m;
+  shard.cmd <- Some cmd;
+  Condition.broadcast shard.cv;
+  Mutex.unlock shard.m
+
+let rec worker shard =
+  let cmd =
+    Mutex.lock shard.m;
+    let rec wait () =
+      match shard.cmd with
+      | Some c ->
+          shard.cmd <- None;
+          c
+      | None ->
+          Condition.wait shard.cv shard.m;
+          wait ()
+    in
+    let c = wait () in
+    Mutex.unlock shard.m;
+    c
+  in
+  match cmd with
+  | Stop -> ()
+  | Drain (ticket, parent) ->
+      let outcome =
+        match drain_shard shard ~parent with
+        | g -> Ok g
+        | exception e -> Error e
+      in
+      Mutex.lock shard.m;
+      shard.outcome <- Some (ticket, outcome);
+      Condition.broadcast shard.cv;
+      Mutex.unlock shard.m;
+      worker shard
+
+let await shard ticket =
+  Mutex.lock shard.m;
+  let rec wait () =
+    match shard.outcome with
+    | Some (tk, outcome) when tk = ticket ->
+        shard.outcome <- None;
+        outcome
+    | _ ->
+        Condition.wait shard.cv shard.m;
+        wait ()
+  in
+  let outcome = wait () in
+  Mutex.unlock shard.m;
+  match outcome with Ok g -> g | Error e -> raise e
+
+(* Called under [drain_lock]. Domains are spawned on first need and
+   live until [close] — each shard's drains all run on its own pinned
+   domain, with no pool and no work-stealing in between. *)
+let ensure_workers t =
+  Array.iter
+    (fun s ->
+      if s.domain = None then s.domain <- Some (Domain.spawn (fun () -> worker s)))
+    t.members
+
+(* ---------------------------------------------------------------- *)
+(* Group drain: scatter tickets, gather by sequence number            *)
+
+let merge gathers =
   List.concat_map
-    (fun user ->
-      match Hashtbl.find_opt tbl user with
-      | Some rs -> List.rev !rs
-      | None -> []  (* journaled reject: submission recorded, no reply *))
-    order
+    (fun g -> g.g_replies)
+    (List.sort (fun a b -> compare a.g_seq b.g_seq) gathers)
 
 let drain ?mode t =
-  let domains =
-    match mode with
-    | Some `Sequential -> 1
-    | Some (`Parallel n) -> max 1 n
-    | None -> Domain_pool.recommended_domains ()
-  in
-  let order =
-    with_lock t.order_lock (fun () ->
-        let order = List.rev t.order in
-        t.order <- [];
-        Hashtbl.reset t.seen;
-        order)
-  in
-  Trace.span "group.drain"
-    ~args:[ ("shards", string_of_int t.shards) ]
-    (fun () ->
-      let parent = Trace.current_span () in
-      let per_shard =
-        Domain_pool.run ~domains
-          (Array.mapi
-             (fun i engine () ->
-               Trace.span "shard.drain" ~parent
-                 ~args:[ ("shard", string_of_int i) ]
-                 (fun () ->
-                   (* Each shard drains sequentially: the group's
-                      parallelism is the shard fan-out itself, and
-                      engine drains are mode-deterministic anyway. *)
-                   Engine.drain ~mode:`Sequential engine))
-             t.engines)
-      in
-      merge_replies order per_shard)
+  with_lock t.drain_lock (fun () ->
+      Trace.span "group.drain"
+        ~args:[ ("shards", string_of_int t.shards) ]
+        (fun () ->
+          let parent = Trace.current_span () in
+          let gathers =
+            match mode with
+            | Some `Sequential ->
+                (* Shard 0, 1, … on the calling domain — the replies
+                   are identical (test_shard's determinism property),
+                   and nothing is spawned. *)
+                Array.to_list
+                  (Array.map (fun s -> drain_shard s ~parent) t.members)
+            | Some (`Parallel _) | None ->
+                ensure_workers t;
+                let ticket = t.tickets in
+                t.tickets <- ticket + 1;
+                Array.iter (fun s -> send s (Drain (ticket, parent))) t.members;
+                Array.to_list (Array.map (fun s -> await s ticket) t.members)
+          in
+          merge (List.concat gathers)))
 
-let session t user = Engine.session t.engines.(route t user) user
+let session t user = Engine.session t.members.(route t user).engine user
+let forget t user = Engine.forget t.members.(route t user).engine user
+
+let restore_session t user ~constraints ~removed_ids =
+  Engine.restore_session
+    t.members.(route t user).engine
+    user ~constraints ~removed_ids
+
+let set_journal t cb =
+  Array.iter (fun s -> Engine.set_journal s.engine cb) t.members
 
 let sessions t =
-  Array.to_list t.engines
+  Array.to_list (engines t)
   |> List.concat_map Engine.sessions
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -127,8 +316,8 @@ let sessions t =
 let metrics t =
   let merged = Metrics.create () in
   Array.iter
-    (fun e -> Metrics.merge_into ~into:merged (Engine.metrics e))
-    t.engines;
+    (fun s -> Metrics.merge_into ~into:merged (Engine.metrics s.engine))
+    t.members;
   merged
 
 let metrics_json t =
@@ -163,8 +352,8 @@ let metrics_json t =
 let prometheus t =
   Metrics.prometheus_sets
     (List.mapi
-       (fun i e -> ([ ("shard", string_of_int i) ], Engine.metrics e))
-       (Array.to_list t.engines))
+       (fun i s -> ([ ("shard", string_of_int i) ], Engine.metrics s.engine))
+       (Array.to_list t.members))
 
 (* ---------------------------------------------------------------- *)
 (* Durability                                                        *)
@@ -210,18 +399,34 @@ let journal ?fsync ?snapshot_every_bytes ~dir t =
   write_group_manifest dir ~shards:t.shards;
   t.stores <-
     Array.mapi
-      (fun i engine ->
+      (fun i s ->
         Store.create_for ?fsync ?snapshot_every_bytes ~dir:(shard_dir dir i)
-          engine)
-      t.engines
+          s.engine)
+      t.members
 
 let snapshot t =
-  Array.iteri (fun i store -> Store.write_snapshot store t.engines.(i)) t.stores
+  Array.iteri
+    (fun i store -> Store.write_snapshot store t.members.(i).engine)
+    t.stores
 
 let compact t =
-  Array.iteri (fun i store -> Store.compact store t.engines.(i)) t.stores
+  Array.iteri
+    (fun i store -> Store.compact store t.members.(i).engine)
+    t.stores
 
-let close t = Array.iter Store.close t.stores
+let close t =
+  with_lock t.drain_lock (fun () ->
+      Array.iter
+        (fun s ->
+          match s.domain with
+          | Some d ->
+              send s Stop;
+              Domain.join d;
+              s.domain <- None
+          | None -> ())
+        t.members;
+      Array.iter Store.close t.stores;
+      t.stores <- [||])
 
 type recovery = {
   shard_recoveries : Store.recovery array;
@@ -244,7 +449,9 @@ let summarize shard_recoveries =
   { shard_recoveries; replayed; damaged }
 
 (* Run one recovery task per shard on the pool and fail on the first
-   failed shard (lowest index), tagging the error with the shard. *)
+   failed shard (lowest index), tagging the error with the shard. The
+   pool (not the pinned serving domains) is the right tool here:
+   recovery happens before any serving domain exists. *)
 let per_shard_results ~domains ~shards task =
   let results = Domain_pool.run ~domains (Array.init shards task) in
   let rec collect i =
@@ -294,7 +501,9 @@ let resume ?fsync ?snapshot_every_bytes
       let pairs =
         Array.map (function Ok p -> p | Error _ -> assert false) results
       in
-      let group = group_of_engines (Array.map (fun (_, r) -> r.Store.engine) pairs) in
+      let group =
+        group_of_engines (Array.map (fun (_, r) -> r.Store.engine) pairs)
+      in
       group.stores <- Array.map fst pairs;
       Ok (group, summarize (Array.map snd pairs))
 

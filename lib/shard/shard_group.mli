@@ -1,5 +1,6 @@
 (** Sharded consent serving: N independent {!Cdw_engine.Engine}s over
-    one shared frozen base, observably identical to a single engine.
+    one shared frozen base, observably identical to a single engine —
+    with a lock-free submit path and a pinned drain domain per shard.
 
     The serving scenario (paper §8, "many users, one workflow") is
     embarrassingly parallel {e across users}: sessions never share
@@ -15,17 +16,33 @@
     - {b stable routing}: {!Router.shard_of} (SplitMix modulo — see
       {!Router} for why not rendezvous) fixes each user's shard as a
       pure function of the id and the shard count;
+    - {b lock-free submit}: {!submit} draws a global sequence number
+      from one atomic counter and pushes onto the target shard's
+      {!Mpsc} inbox — no mutex anywhere on the path, so concurrent
+      submitters (the network server's connection threads) never
+      serialize against each other or against a running drain;
+    - {b pinned drain domains}: each shard owns one long-lived domain
+      (spawned lazily on the first parallel {!drain}, joined by
+      {!close}). A drain scatters one ticket per shard; each pinned
+      domain takes its whole inbox, {e sorts it by sequence number}
+      (the MPSC linearization order can differ from seq-draw order
+      under racing producers), feeds its engine, and drains it
+      sequentially — the parallelism {e is} the shard fan-out;
+    - {b gather by sequence number}: per-user reply groups come back
+      tagged with the user's first-submission seq; the gather sorts
+      the groups by that tag, which reconstructs exactly the global
+      first-submission order a single engine's queue would have
+      produced. No order log, no submit-side lock;
     - {b determinism}: every shard engine is created with the {e same}
       seed, and an engine derives per-session randomness from
       (seed, user id) alone — so a user's session solves identically
       whether it lives in a 1-shard, 7-shard, or unsharded deployment
-      (the differential property [test_shard.ml] enforces this);
-    - {b scatter/gather drain}: {!drain} drains every shard on the
-      {!Cdw_engine.Domain_pool} (each shard's own drain sequential —
-      the parallelism {e is} the shard fan-out), then merges the
-      per-shard replies back into global per-user first-submission
-      order. A ["group.drain"] trace span wraps the gather and each
-      shard contributes a ["shard.drain"] span parented to it.
+      (the differential property [test_shard.ml] enforces this).
+
+    A ["group.drain"] trace span wraps the gather and each shard
+    contributes a ["shard.drain"] span parented to it (across domains);
+    each shard records its inbox batch size in the ["queue_depth"]
+    distribution of its own metrics registry.
 
     {b Durability} is per shard: {!journal} gives every shard its own
     {!Cdw_store.Store} ledger in [shard-<i>/] under one root (its own
@@ -33,14 +50,23 @@
     manifest pinning the shard count. Users are disjoint across
     shards, so {e any} combination of per-shard durable prefixes is a
     consistent group state — a torn WAL tail on one shard shortens
-    that shard's history and that shard's only. {!snapshot} cuts a
-    coordinated drain-boundary snapshot (each shard at its own
-    [Drain_settled] offset) and {!recover}/{!resume} restore all
-    shards in parallel on the domain pool.
+    that shard's history and that shard's only.
 
-    Like the engine, [submit]/[drain] are meant to be driven from one
-    serving thread; only the drain fan-out (and recovery) is
-    parallel. *)
+    {b Journaling is write-behind at the group boundary}: the
+    lock-free {!submit} cannot block on an fsync, so a request is
+    WAL-logged when its shard's drain {e ingests} it (on the pinned
+    domain, in sequence order), not when [submit] returns. A crash
+    can therefore lose inbox items that were submitted but never
+    drained — exactly the items no drain ever acknowledged. Within a
+    shard the log is still an exact prefix of the serving history, so
+    recovery semantics are unchanged. A request the journal {e rejects}
+    at ingest (e.g. oversized, {!Cdw_engine.Engine.submit}'s
+    [Invalid_argument]) is answered with an [Error] reply rather than
+    killing the shard domain.
+
+    {!submit} is safe from any thread/domain; {!drain} may be called
+    from one serving thread at a time (an internal lock serializes
+    late callers). *)
 
 type t
 
@@ -56,7 +82,8 @@ val create :
 (** [create ~shards wf] builds [shards] engines over one frozen copy
     of [wf], every engine configured identically (options as in
     {!Cdw_engine.Engine.create}, same [seed] for all — that sameness
-    is what makes the group bit-identical to a single engine). Raises
+    is what makes the group bit-identical to a single engine). No
+    domains are spawned until the first parallel {!drain}. Raises
     [Invalid_argument] if [shards < 1]. *)
 
 val shards : t -> int
@@ -68,27 +95,65 @@ val engines : t -> Cdw_engine.Engine.t array
 val route : t -> string -> int
 (** The shard serving this user id ({!Router.shard_of}). *)
 
-val submit : t -> user:string -> Cdw_engine.Engine.request -> unit
-(** Route and enqueue one request; with journaling attached this
-    write-ahead-logs on the user's shard before returning, exactly as
-    {!Cdw_engine.Engine.submit} does. *)
+val algorithm : t -> Cdw_core.Algorithms.name
+(** The solver every session runs (identical across shards). *)
+
+val seed : t -> int
+(** The engine seed (identical across shards). *)
+
+val base : t -> Cdw_core.Workflow.t
+(** The shared frozen base workflow. *)
+
+val submit :
+  ?submitted_ms:float -> t -> user:string -> Cdw_engine.Engine.request -> unit
+(** Route and enqueue one request: one atomic fetch-add (the global
+    sequence number), one atomic push onto the shard's inbox. No lock,
+    no journal I/O — with journaling attached the WAL record is
+    written when the request is ingested by its shard's next drain
+    (see the module preamble). [submitted_ms] (default: now) backdates
+    the queue timestamp as in {!Cdw_engine.Engine.submit}. *)
 
 val pending : t -> int
-(** Pending requests across all shards. *)
+(** Requests waiting across all shards (inbox depths plus engine
+    queues). Racy under concurrent submitters, exact when quiescent. *)
 
 val drain :
   ?mode:[ `Sequential | `Parallel of int ] -> t -> Cdw_engine.Engine.reply list
 (** Serve every pending request on every shard and merge the replies:
     users in global first-submission order, each user's replies in
     submission order — the exact order a single engine's
-    {!Cdw_engine.Engine.drain} returns. [`Parallel n] (default
-    [`Parallel (Domain_pool.recommended_domains ())]) fans the shard
-    drains out on [n] domains; [`Sequential] drains shard 0, 1, … on
-    the calling domain. The replies are identical either way: shards
-    share no session state, so drain interleaving is unobservable. *)
+    {!Cdw_engine.Engine.drain} returns. The default (and any
+    [`Parallel _]) scatters tickets to the pinned per-shard domains,
+    spawning them on first use; [`Sequential] drains shard 0, 1, … on
+    the calling domain and never spawns. The replies are identical
+    either way: shards share no session state, so drain interleaving
+    is unobservable. *)
 
 val session : t -> string -> Cdw_engine.Session.t
 (** Get-or-create the user's session on its shard. *)
+
+val forget : t -> string -> unit
+(** Drop the user's session on its shard
+    ({!Cdw_engine.Engine.forget}): GDPR erasure / session close.
+    Requests of that user still in flight are kept and will re-create
+    a fresh session at the next drain. *)
+
+val restore_session :
+  t ->
+  string ->
+  constraints:(int * int) list ->
+  removed_ids:int list ->
+  (unit, string) result
+(** Install previously captured session state on the user's shard
+    without running the solver ({!Cdw_engine.Engine.restore_session}). *)
+
+val set_journal : t -> (Cdw_engine.Engine.event -> unit) option -> unit
+(** Install (or remove) one journal callback on {e every} shard
+    engine. During a parallel drain the callback runs concurrently on
+    several pinned domains — users are disjoint across shards, so
+    events of one user never race, but the callback itself must be
+    thread-safe. (The per-shard {!journal} ledgers do not go through
+    this hook; they attach store callbacks per engine.) *)
 
 val sessions : t -> (string * Cdw_engine.Session.t) list
 (** All sessions of all shards, sorted by user id. *)
@@ -125,15 +190,19 @@ val journal :
 (** Attach a fresh per-shard ledger under [dir]: writes [group.json]
     (pinning the shard count), then {!Cdw_store.Store.create_for} on
     every shard engine in its {!shard_dir}. Any previous ledger files
-    in those directories are dropped. Raises [Invalid_argument] if the
-    group is already journaled. *)
+    in those directories are dropped. Records are written at drain
+    ingest, in global sequence order per shard (see the module
+    preamble on write-behind journaling). Raises [Invalid_argument]
+    if the group is already journaled. *)
 
 val snapshot : t -> unit
 (** Coordinated drain-boundary snapshot: {!Cdw_store.Store.write_snapshot}
     on every shard, each keyed to its own WAL offset. Users are
     disjoint across shards, so the per-shard boundaries jointly
     describe one consistent group state. Same precondition as the
-    store call: no pending requests (drain first). A no-op when not
+    store call: no pending requests in the {e engines} (drain first).
+    Inbox items not yet drained are not captured — they are not yet
+    journaled either, so ledger and snapshot agree. A no-op when not
     journaled. *)
 
 val compact : t -> unit
@@ -142,7 +211,9 @@ val compact : t -> unit
     A no-op when not journaled. *)
 
 val close : t -> unit
-(** Close every shard's ledger. The group itself needs no teardown. *)
+(** Stop and join the pinned drain domains (if any were spawned), then
+    close every shard's ledger. Idempotent. Call this on every group —
+    leaked domains are a finite resource under OCaml 5. *)
 
 type recovery = {
   shard_recoveries : Cdw_store.Store.recovery array;
@@ -157,12 +228,13 @@ val recover : ?domains:int -> string -> (recovery, string) result
 (** Read-only group recovery: load [group.json], then
     {!Cdw_store.Store.recover} every shard in parallel on [domains]
     (default {!Cdw_engine.Domain_pool.recommended_domains}) domains.
-    Each recovered shard engine owns its base parsed from its own
-    manifest (recovery does not share the frozen base — every shard
-    manifest embeds the identical workflow). [Error] if the group
-    manifest or any shard's manifest/snapshot is unreadable; damaged
-    WAL {e tails} never fail recovery, they only shorten that shard's
-    prefix. *)
+    Recovery fans out on the {!Cdw_engine.Domain_pool} — the pinned
+    serving domains don't exist yet at recovery time. Each recovered
+    shard engine owns its base parsed from its own manifest (recovery
+    does not share the frozen base — every shard manifest embeds the
+    identical workflow). [Error] if the group manifest or any shard's
+    manifest/snapshot is unreadable; damaged WAL {e tails} never fail
+    recovery, they only shorten that shard's prefix. *)
 
 val resume :
   ?fsync:Cdw_store.Wal.fsync_policy ->

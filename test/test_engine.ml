@@ -356,6 +356,34 @@ let test_metrics_json () =
       Alcotest.(check bool) (key ^ " present") true (contains json key))
     [ "counters"; "latency_ms"; "sessions"; "index.paths.hit"; "solve" ]
 
+(* Regression pin for Metrics.merge_into: [.error] counters — the ones
+   [Metrics.time] bumps when a timed thunk raises — are plain counters
+   and must merge additively like any other, including when only the
+   source registry has seen a failure. A merge that rebuilt counters
+   from the latency series would drop them (the series and its error
+   counter share a key prefix, not storage). *)
+let test_merge_preserves_error_counters () =
+  let into = Metrics.create () in
+  let src = Metrics.create () in
+  Metrics.incr into "drain.user";
+  (try Metrics.time into "drain.user" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (try Metrics.time src "drain.user" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* A bare error counter with no twin series in [into]. *)
+  Metrics.incr src "shard.submit.rejected.error";
+  Metrics.merge_into ~into src;
+  Alcotest.(check int) "errors add across registries" 2
+    (Metrics.counter into "drain.user.error");
+  Alcotest.(check int) "src-only error counter survives" 1
+    (Metrics.counter into "shard.submit.rejected.error");
+  Alcotest.(check int) "plain counter untouched" 1
+    (Metrics.counter into "drain.user");
+  (* And the merged registry reports them in its JSON view. *)
+  let json = Json.to_string (Metrics.to_json into) in
+  Alcotest.(check bool) "error counters in json" true
+    (contains json "drain.user.error")
+
 let suite =
   [
     test_snapshot_matches_bfs;
@@ -368,4 +396,7 @@ let suite =
     ("withdraw of never-accepted pair is a clean error", `Quick, test_withdraw_unknown_pair);
     ("metrics reservoir sampling", `Quick, test_metrics_reservoir);
     ("metrics json", `Quick, test_metrics_json);
+    ( "metrics merge preserves .error counters",
+      `Quick,
+      test_merge_preserves_error_counters );
   ]

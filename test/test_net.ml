@@ -1,0 +1,393 @@
+(* Wire-protocol and socket-serving tests: codec round-trips, the
+   in-process vs over-the-wire differential, and frame fuzzing against
+   a live server (torn, bit-flipped, oversized and truncated frames
+   must come back as framed errors — never a crash or a desync). *)
+
+module Client = Cdw_net.Client
+module Engine = Cdw_engine.Engine
+module Frame = Cdw_store.Frame
+module Metrics = Cdw_engine.Metrics
+module Server = Cdw_net.Server
+module Serving = Cdw_shard.Serving
+module Splitmix = Cdw_util.Splitmix
+module Wire = Cdw_net.Wire
+module Workbench = Cdw_engine.Workbench
+
+(* ---------------------------------------------------------------- *)
+(* harness *)
+
+let with_server ?shards ?(config = Workbench.quick) f =
+  let wf, script = Workbench.workload config in
+  let serving =
+    Serving.create ~algorithm:config.Workbench.algorithm
+      ~seed:config.Workbench.seed ?shards wf
+  in
+  let path = Filename.temp_file "cdw_net" ".sock" in
+  Sys.remove path;
+  let server = Server.start serving (Unix.ADDR_UNIX path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Serving.close serving;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f server script)
+
+let raw_connect server =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Server.sockaddr server);
+  fd
+
+let write_raw fd s =
+  let rec go ofs len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s ofs len in
+      go (ofs + n) (len - n)
+    end
+  in
+  go 0 (String.length s)
+
+let expect_error_reply name fd =
+  match Wire.read_reply fd with
+  | Ok (Ok (Wire.Error_r _)) -> ()
+  | other ->
+      Alcotest.failf "%s: expected a framed Error_r, got %s" name
+        (match other with
+        | Ok (Ok _) -> "another reply"
+        | Ok (Error msg) -> "undecodable reply: " ^ msg
+        | Error `Eof -> "EOF"
+        | Error (`Torn msg) -> "torn: " ^ msg
+        | Error (`Corrupt msg) -> "corrupt: " ^ msg)
+
+let expect_eof name fd =
+  match Wire.read_reply fd with
+  | Error `Eof -> ()
+  | _ -> Alcotest.failf "%s: expected the server to close the connection" name
+
+(* The server must still answer a fresh connection — whatever the
+   previous client did to its own. *)
+let check_alive server =
+  let client = Client.connect (Server.sockaddr server) in
+  Client.ping client;
+  Client.close client
+
+(* ---------------------------------------------------------------- *)
+(* codec round-trips *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun request ->
+      match Wire.decode_request (Wire.encode_request request) with
+      | Ok decoded ->
+          Alcotest.(check bool) "request round-trips" true (decoded = request)
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    [
+      Wire.Hello;
+      Wire.Submit { user = "alice"; request = Engine.Add [ (1, 2); (3, 4) ] };
+      Wire.Submit { user = ""; request = Engine.Withdraw [] };
+      Wire.Submit { user = "u\xffv"; request = Engine.Resolve };
+      Wire.Drain;
+      Wire.Forget "bob";
+      Wire.Metrics;
+      Wire.Prom;
+      Wire.Ping;
+    ]
+
+let test_reply_roundtrip () =
+  List.iter
+    (fun reply ->
+      match Wire.decode_reply (Wire.encode_reply reply) with
+      | Ok decoded ->
+          Alcotest.(check bool) "reply round-trips" true (decoded = reply)
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    [
+      Wire.Hello_r
+        {
+          Wire.h_algorithm = "remove-first-edge";
+          h_seed = 42;
+          h_shards = 4;
+          h_workflow = "user u\nalgorithm a\npurpose p\n";
+        };
+      Wire.Ack;
+      Wire.Drain_r 0;
+      Wire.Drain_r 12345;
+      Wire.Reply_r
+        {
+          Engine.user = "alice";
+          request = Engine.Add [ (7, 9) ];
+          result = Ok ();
+          time_ms = 1.5;
+        };
+      Wire.Reply_r
+        {
+          Engine.user = "bob";
+          request = Engine.Withdraw [ (1, 2) ];
+          result = Error "no such constraint";
+          time_ms = 0.0;
+        };
+      Wire.Metrics_r "{}";
+      Wire.Prom_r "# TYPE x counter\n";
+      Wire.Pong;
+      Wire.Error_r "something broke";
+    ]
+
+let test_malformed_payloads () =
+  let check name buf =
+    match Wire.decode_request buf with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: decoded a malformed payload" name
+  in
+  check "empty" "";
+  check "header only half" "\x01";
+  check "wrong version" "\x02\x07";
+  check "unknown opcode" "\x01\xaa";
+  check "trailing bytes" (Wire.encode_request Wire.Ping ^ "x");
+  (* A submit whose body stops mid-string. *)
+  let submit =
+    Wire.encode_request
+      (Wire.Submit { user = "carol"; request = Engine.Add [ (1, 2) ] })
+  in
+  check "truncated body" (String.sub submit 0 (String.length submit - 3));
+  (* A pair count far beyond the bytes that follow must be rejected by
+     the bounds pre-check, not drive allocation. *)
+  let b = Buffer.create 32 in
+  Buffer.add_string b "\x01\x02";
+  Buffer.add_int32_le b 1l;
+  Buffer.add_char b 'u';
+  Buffer.add_char b '\x00';
+  Buffer.add_int32_le b 0x0FFF_FFFFl;
+  check "implausible pair count" (Buffer.contents b)
+
+(* ---------------------------------------------------------------- *)
+(* the serving surface over a socket *)
+
+let test_hello_and_ops () =
+  with_server ~shards:2 (fun server _script ->
+      let client = Client.connect (Server.sockaddr server) in
+      let h = Client.hello client in
+      Alcotest.(check int) "shards" 2 h.Wire.h_shards;
+      (match Cdw_core.Serialize.parse h.Wire.h_workflow with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "hello workflow does not parse: %s" msg);
+      Client.ping client;
+      Client.forget client "nobody-in-particular";
+      let metrics = Client.metrics client in
+      (match Cdw_util.Json.parse metrics with
+      | Ok (Cdw_util.Json.Object fields) ->
+          Alcotest.(check bool) "metrics has serving + net" true
+            (List.mem_assoc "serving" fields && List.mem_assoc "net" fields)
+      | Ok _ -> Alcotest.fail "metrics is not an object"
+      | Error msg -> Alcotest.failf "metrics does not parse: %s" msg);
+      let prom = Client.prometheus client in
+      Alcotest.(check bool) "exposition mentions net requests" true
+        (String.length prom > 0);
+      Client.close client)
+
+let replies_signature replies =
+  List.map
+    (fun (r : Engine.reply) -> (r.Engine.user, r.Engine.request, r.Engine.result))
+    replies
+
+(* The acceptance differential: the reply stream a client reads off the
+   socket is bit-identical (user, request, result — time excluded) to
+   an in-process single-engine serve of the same script, whatever the
+   server's shard count, across 20 generator seeds. *)
+let test_differential_wire_vs_inprocess () =
+  let checked = ref 0 in
+  let seed = ref 100 in
+  while !checked < 20 do
+    let config = { Workbench.quick with Workbench.seed = !seed } in
+    incr seed;
+    match Workbench.workload config with
+    | exception Invalid_argument _ -> () (* no connected pairs; next seed *)
+    | wf, script ->
+        incr checked;
+        let inproc =
+          let s =
+            Serving.create ~algorithm:config.Workbench.algorithm
+              ~seed:config.Workbench.seed wf
+          in
+          List.iter (fun (u, r) -> Serving.submit s ~user:u r) script;
+          let replies = Serving.drain s in
+          Serving.close s;
+          replies_signature replies
+        in
+        List.iter
+          (fun shards ->
+            with_server ~shards ~config (fun server script ->
+                let client = Client.connect (Server.sockaddr server) in
+                List.iter (fun (u, r) -> Client.submit client ~user:u r) script;
+                let replies = Client.drain client in
+                Client.close client;
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %d, %d shard(s): wire == in-process"
+                     config.Workbench.seed shards)
+                  true
+                  (replies_signature replies = inproc)))
+          [ 1; 2; 4 ]
+  done
+
+(* ---------------------------------------------------------------- *)
+(* frame fuzzing against a live server *)
+
+let test_torn_frame () =
+  with_server (fun server _ ->
+      let fd = raw_connect server in
+      let frame = Frame.encode (Wire.encode_request Wire.Ping) in
+      (* Half a frame, then shut the write half: the server sees a read
+         that dies mid-frame — torn, exactly like a torn WAL append. *)
+      write_raw fd (String.sub frame 0 (String.length frame - 3));
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      expect_error_reply "torn" fd;
+      expect_eof "torn closes" fd;
+      Unix.close fd;
+      check_alive server;
+      Alcotest.(check bool) "torn counted" true
+        (Metrics.counter (Server.metrics server) "net.frames.torn" >= 1))
+
+let test_bit_flipped_frame () =
+  with_server (fun server _ ->
+      let fd = raw_connect server in
+      let frame = Bytes.of_string (Frame.encode (Wire.encode_request Wire.Ping)) in
+      (* Flip one payload bit: the length still reads fine, the CRC
+         does not match — corrupt, the ledger scanner's taxonomy. *)
+      let pos = Frame.header_size in
+      Bytes.set frame pos (Char.chr (Char.code (Bytes.get frame pos) lxor 0x10));
+      write_raw fd (Bytes.to_string frame);
+      expect_error_reply "bit flip" fd;
+      expect_eof "corrupt closes" fd;
+      Unix.close fd;
+      check_alive server;
+      Alcotest.(check bool) "corrupt counted" true
+        (Metrics.counter (Server.metrics server) "net.frames.corrupt" >= 1))
+
+let test_oversized_frame () =
+  with_server (fun server _ ->
+      let fd = raw_connect server in
+      (* A header whose length field claims more than any frame may
+         carry: rejected before a single body byte is read or a buffer
+         allocated. *)
+      let header = Bytes.create Frame.header_size in
+      Bytes.set_int32_le header 0 (Int32.of_int (Frame.max_payload + 1));
+      Bytes.set_int32_le header 4 0xDEAD_BEEFl;
+      write_raw fd (Bytes.to_string header);
+      expect_error_reply "oversized" fd;
+      expect_eof "oversized closes" fd;
+      Unix.close fd;
+      check_alive server)
+
+let test_malformed_body_keeps_connection () =
+  with_server (fun server _ ->
+      let fd = raw_connect server in
+      (* An intact frame around a bad payload: the stream is still in
+         sync, so the server answers the error and keeps serving on the
+         same connection. *)
+      write_raw fd (Frame.encode "\x01\xaa");
+      expect_error_reply "unknown opcode" fd;
+      Wire.send_request fd Wire.Ping;
+      (match Wire.read_reply fd with
+      | Ok (Ok Wire.Pong) -> ()
+      | _ -> Alcotest.fail "connection should survive a malformed body");
+      Unix.close fd;
+      check_alive server;
+      Alcotest.(check bool) "malformed counted" true
+        (Metrics.counter (Server.metrics server) "net.requests.malformed" >= 1))
+
+(* Randomized sweep: mutate valid frames 60 ways (bit flips anywhere,
+   truncations, garbage prefixes) and require a framed error or a
+   clean close for each — and a healthy server afterwards. *)
+let test_fuzz_mutations () =
+  with_server (fun server script ->
+      let rng = Splitmix.create 0xF0112 in
+      let victims =
+        [|
+          Frame.encode (Wire.encode_request Wire.Ping);
+          Frame.encode (Wire.encode_request Wire.Hello);
+          Frame.encode
+            (Wire.encode_request
+               (match script with
+               | (user, request) :: _ -> Wire.Submit { user; request }
+               | [] -> Wire.Ping));
+          Frame.encode (Wire.encode_request (Wire.Forget "mallory"));
+        |]
+      in
+      for _ = 1 to 60 do
+        let frame = Bytes.of_string (Splitmix.pick rng victims) in
+        let mutated =
+          match Splitmix.int rng 3 with
+          | 0 ->
+              (* flip one bit anywhere, header included *)
+              let pos = Splitmix.int rng (Bytes.length frame) in
+              let bit = Splitmix.int rng 8 in
+              Bytes.set frame pos
+                (Char.chr (Char.code (Bytes.get frame pos) lxor (1 lsl bit)));
+              Bytes.to_string frame
+          | 1 ->
+              (* truncate: a torn send *)
+              let keep = Splitmix.int rng (Bytes.length frame) in
+              Bytes.sub_string frame 0 keep
+          | _ ->
+              (* garbage where a header should be *)
+              String.init
+                (Frame.header_size + Splitmix.int rng 8)
+                (fun _ -> Char.chr (Splitmix.int rng 256))
+        in
+        let fd = raw_connect server in
+        write_raw fd mutated;
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        (* Whatever happened, the server must answer with framed
+           replies (possibly none before closing) — reading to EOF must
+           terminate, and nothing may crash the process. *)
+        let rec settle guard =
+          if guard > 0 then
+            match Wire.read_reply fd with
+            | Ok _ -> settle (guard - 1)
+            | Error _ -> ()
+        in
+        settle 4;
+        Unix.close fd
+      done;
+      check_alive server)
+
+(* A client killed mid-pipeline (socket torn down with submits and a
+   drain in flight) must not wedge the server. *)
+let test_client_vanishes_mid_stream () =
+  with_server (fun server script ->
+      let fd = raw_connect server in
+      List.iter
+        (fun (user, request) ->
+          Wire.send_request fd (Wire.Submit { user; request }))
+        script;
+      Wire.send_request fd Wire.Drain;
+      (* Vanish without reading a single reply. *)
+      Unix.close fd;
+      check_alive server;
+      (* The next client can still drain what the dead one left behind
+         (or nothing, if the server got to it first) — either way the
+         serving value is intact. *)
+      let client = Client.connect (Server.sockaddr server) in
+      ignore (Client.drain client);
+      Client.close client)
+
+let suite =
+  [
+    Alcotest.test_case "request codec round-trips" `Quick test_request_roundtrip;
+    Alcotest.test_case "reply codec round-trips" `Quick test_reply_roundtrip;
+    Alcotest.test_case "malformed payloads are rejected" `Quick
+      test_malformed_payloads;
+    Alcotest.test_case "hello/ping/forget/metrics/prom over a socket" `Quick
+      test_hello_and_ops;
+    Alcotest.test_case "differential: wire == in-process, shards x seeds"
+      `Quick test_differential_wire_vs_inprocess;
+    Alcotest.test_case "torn frame: framed error, connection closed" `Quick
+      test_torn_frame;
+    Alcotest.test_case "bit-flipped frame: corrupt, connection closed" `Quick
+      test_bit_flipped_frame;
+    Alcotest.test_case "oversized frame: rejected without allocation" `Quick
+      test_oversized_frame;
+    Alcotest.test_case "malformed body: error reply, connection survives"
+      `Quick test_malformed_body_keeps_connection;
+    Alcotest.test_case "fuzz: 60 mutated frames never crash the server"
+      `Quick test_fuzz_mutations;
+    Alcotest.test_case "client vanishing mid-stream leaves the server healthy"
+      `Quick test_client_vanishes_mid_stream;
+  ]

@@ -106,7 +106,12 @@ let run_sharded ?attach ~algorithm ~seed ~shards ~mode wf rounds =
         List.map reply_key (Shard_group.drain ~mode group))
       rounds
   in
-  (group, replies, session_state (Shard_group.sessions group))
+  let state = session_state (Shard_group.sessions group) in
+  (* Join the pinned drain domains — domains are a finite resource, and
+     this suite creates dozens of groups. Sessions and metrics stay
+     readable on the closed group. *)
+  Shard_group.close group;
+  (group, replies, state)
 
 (* ---------------------------------------------------------------- *)
 (* Differential: shard counts {1,2,4,7} vs a single engine            *)
