@@ -24,7 +24,7 @@ let usage () =
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
     \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
-    \              [--baseline FILE] [--shards] [--net]";
+    \              [--baseline FILE] [--shards] [--net] [--tiered]";
   exit 2
 
 (* The same workload served over a Unix-domain socket: server thread
@@ -74,6 +74,71 @@ let networked ?(trials = 3) config =
   in
   (n_requests, ms, rps)
 
+(* Million-user tiered row: a Zipf-skewed open-loop stream over the
+   config's base workflow, served under a memory cap that keeps at most
+   [resident_cap] sessions live — at 1M stable users that forces the
+   overwhelming majority cold, so the row measures sustained serving
+   with eviction and on-demand rehydration on the hot path. *)
+let tiered config =
+  let module Serving = Cdw_shard.Serving in
+  let module Tier = Cdw_engine.Tier in
+  let module Traffic = Cdw_workload.Traffic in
+  let wf, _ = Workbench.workload config in
+  let pairs = Workbench.connected_pairs wf in
+  let spec =
+    {
+      Traffic.default with
+      Traffic.requests = 200_000;
+      seed = config.Workbench.seed;
+    }
+  in
+  let serving =
+    Serving.create ~algorithm:config.Workbench.algorithm
+      ~seed:config.Workbench.seed wf
+  in
+  (* Turn tiering on with a floor cap first to learn the measured
+     per-session byte cost, then set the real cap in those units. *)
+  Serving.set_mem_cap serving (Some 1);
+  let session_bytes =
+    match Serving.tier_stats serving with
+    | Some st -> st.Tier.session_bytes
+    | None -> 1024
+  in
+  let resident_cap = 4096 in
+  let cap = resident_cap * session_bytes in
+  Serving.set_mem_cap serving (Some cap);
+  let run =
+    Shard_bench.serve_traffic
+      ~mode:(`Parallel config.Workbench.domains)
+      serving spec ~pairs
+  in
+  Serving.close serving;
+  if run.Shard_bench.t_errors > 0 then
+    failwith
+      (Printf.sprintf "tiered bench: %d request(s) failed"
+         run.Shard_bench.t_errors);
+  let cold_fraction =
+    match run.Shard_bench.t_tier with
+    | Some st when st.Tier.resident + st.Tier.parked > 0 ->
+        float_of_int st.Tier.parked
+        /. float_of_int (st.Tier.resident + st.Tier.parked)
+    | _ -> 0.0
+  in
+  Format.printf "%a@,  cold fraction %.3f (cap %d B = %d sessions)@."
+    Shard_bench.pp_traffic run cold_fraction cap resident_cap;
+  let extra =
+    [
+      ("traffic", Json.String (Traffic.spec_to_string spec));
+      ("users", Json.Number (float_of_int spec.Traffic.users));
+      ("zipf_s", Json.Number spec.Traffic.zipf_s);
+      ("churn", Json.Number spec.Traffic.churn);
+      ("cold_fraction", Json.Number cold_fraction);
+    ]
+  in
+  match Shard_bench.traffic_run_json run with
+  | Json.Object fields -> Json.Object (extra @ fields)
+  | json -> json
+
 (* Regression guard: compare this run's engine_rps against a previously
    committed result file. Only meaningful when the configs match — a
    --quick baseline says nothing about the acceptance workload — so a
@@ -120,6 +185,7 @@ let () =
   let trace_out = ref None in
   let shards = ref false in
   let net = ref false in
+  let tier = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -175,6 +241,9 @@ let () =
         parse rest
     | "--net" :: rest ->
         net := true;
+        parse rest
+    | "--tiered" :: rest ->
+        tier := true;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
@@ -248,6 +317,10 @@ let () =
            ])
     end
   in
+  (* Tiered row: a 1M-user Zipf stream under a memory cap forcing >90%
+     of sessions cold (see [tiered]) — sustained rps and p999 with
+     eviction/rehydration live on the serving path. *)
+  let tiered_row = if !tier then Some (tiered !config) else None in
   let result_json =
     match Workbench.result_json result with
     | Json.Object fields ->
@@ -270,6 +343,11 @@ let () =
         let fields =
           match networked_row with
           | Some row -> fields @ [ ("networked", row) ]
+          | None -> fields
+        in
+        let fields =
+          match tiered_row with
+          | Some row -> fields @ [ ("tiered", row) ]
           | None -> fields
         in
         Json.Object fields

@@ -24,8 +24,12 @@ dune exec test/main.exe -- test 'graph/frozen-view' > /dev/null
 # shards, 200 sessions); speedups are core-count bound, so a one-core
 # CI host records ~1x — the rows document, they do not gate. --net
 # appends the same workload served over a Unix socket, isolating the
-# wire-protocol overhead against the in-process number.
-dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards --net
+# wire-protocol overhead against the in-process number. --tiered
+# appends the million-user Zipf row: 200k requests over a 1M-user
+# population under a memory cap that keeps >=90% of sessions cold,
+# recording sustained rps, p999, and the eviction/hydration counters
+# (sessions_resident_peak, resident_bytes_peak included).
+dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards --net --tiered
 
 # Crash-recovery smoke: journal a serving run, tear the last append,
 # prove the ledger recovers and compacts back to a clean state.
@@ -67,6 +71,31 @@ dune exec bin/cdw.exe -- trace summarize "$OBS_DIR/trace.json" \
   --min-drain-coverage 0.8
 dune exec bin/cdw.exe -- trace prom-lint "$OBS_DIR/metrics.prom"
 test -s "$OBS_DIR/stats.jsonl"                                  # time series written
+
+# Tiering smoke: a 100k-user Zipf stream under a 2 MB cap — far below
+# the population's resident footprint — must actually exercise the
+# cold/warm machinery (hydrations visible in the telemetry stream),
+# and a kill -9 mid-run must leave a ledger that replays, compacts,
+# and verifies strict-clean: eviction is a cache decision, never a
+# durability one.
+TIER_DIR=$(mktemp -d)
+CLEANUP_DIRS="$CLEANUP_DIRS $TIER_DIR"
+dune exec bin/cdw.exe -- serve-bench \
+  --traffic zipf:1.1,users:100000,churn:0.05,requests:60000 \
+  --mem-cap-bytes 2000000 --stats-out "$TIER_DIR/stats.jsonl" > /dev/null
+grep -q '"tier.hydrations": *[1-9]' "$TIER_DIR/stats.jsonl"      # cold path ran
+CDW=./_build/default/bin/cdw.exe   # direct binary: kill -9 must hit the
+                                   # run itself, not a dune wrapper
+"$CDW" serve-bench --traffic zipf:1.1,users:100000,requests:400000 \
+  --mem-cap-bytes 2000000 --journal "$TIER_DIR/ledger" --fsync never \
+  > /dev/null 2>&1 &
+TIER_PID=$!
+sleep 0.5
+kill -9 "$TIER_PID"
+wait "$TIER_PID" 2> /dev/null || true
+"$CDW" store replay "$TIER_DIR/ledger"       # torn tail confined + replayed
+"$CDW" store compact "$TIER_DIR/ledger"
+"$CDW" store verify "$TIER_DIR/ledger" --strict
 
 # Network smoke: a journaled 2-shard server on a Unix socket serves two
 # concurrent clients in disjoint session namespaces (--user-prefix),

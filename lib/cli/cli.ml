@@ -330,6 +330,123 @@ let serve_bench_connect config ~addr ~prefix ~trials ~out =
             `Error
               (false, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
 
+(* Drive a remote `cdw serve` with an open-loop Traffic stream: the
+   pairs pool comes from the server's own base (via Hello), submits are
+   pipelined, and drains happen at synthetic-time window boundaries —
+   the same cadence the in-process driver uses, so the two transports
+   serve the identical stream. *)
+let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
+  let module Client = Cdw_net.Client in
+  let module Wire = Cdw_net.Wire in
+  let module Engine = Cdw_engine.Engine in
+  let module Workbench = Cdw_engine.Workbench in
+  let module Shard_bench = Cdw_shard.Shard_bench in
+  let module Traffic = Cdw_workload.Traffic in
+  let module Timing = Cdw_util.Timing in
+  match Client.connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "connect %s: %s" (string_of_sockaddr addr)
+            (Unix.error_message e) )
+  | client -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            let h = Client.hello client in
+            let wf =
+              match Serialize.parse h.Wire.h_workflow with
+              | Ok (wf, _) -> wf
+              | Error msg -> failwith ("server base workflow: " ^ msg)
+            in
+            let pairs = Workbench.connected_pairs wf in
+            let gen = Traffic.create spec ~pairs in
+            let rename u = if prefix = "user" then u else prefix ^ "." ^ u in
+            let ours u =
+              prefix = "user" || String.starts_with ~prefix:(prefix ^ ".") u
+            in
+            let lat = ref [] in
+            let errors = ref 0 in
+            let count replies =
+              List.iter
+                (fun (r : Engine.reply) ->
+                  if ours r.Engine.user then begin
+                    lat := r.Engine.time_ms :: !lat;
+                    match r.Engine.result with
+                    | Ok () -> ()
+                    | Error _ -> incr errors
+                  end)
+                replies
+            in
+            let run () =
+              let rec pump window_end =
+                match Traffic.next gen with
+                | None -> ()
+                | Some { Traffic.at_ms; user; op } ->
+                    let window_end =
+                      if at_ms >= window_end then begin
+                        count (Client.drain client);
+                        let skipped =
+                          float_of_int
+                            (int_of_float ((at_ms -. window_end) /. window_ms))
+                        in
+                        window_end +. ((skipped +. 1.0) *. window_ms)
+                      end
+                      else window_end
+                    in
+                    Client.submit client ~user:(rename user)
+                      (Shard_bench.request_of_op op);
+                    pump window_end
+              in
+              pump window_ms;
+              count (Client.drain client)
+            in
+            let (), ms = Timing.time_f run in
+            let n = Traffic.generated gen in
+            let users = Traffic.distinct_users gen in
+            let p999 =
+              match List.sort compare !lat with
+              | [] -> 0.0
+              | sorted ->
+                  let a = Array.of_list sorted in
+                  a.(int_of_float (0.999 *. float_of_int (Array.length a - 1)))
+            in
+            (h.Wire.h_shards, n, users, !errors, ms, p999))
+      with
+      | shards, n_requests, users, errors, ms, p999 ->
+          let rps =
+            if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
+            else infinity
+          in
+          Printf.printf
+            "networked traffic: %s (%d shard(s) server-side), %d requests, %d \
+             users, %.1f ms, %.0f req/s, p999 %.3f ms, %d error(s)\n"
+            (string_of_sockaddr addr) shards n_requests users ms rps p999
+            errors;
+          (match out with
+          | None -> ()
+          | Some file ->
+              write_json file
+                (Json.Object
+                   [
+                     ("transport", Json.String "socket");
+                     ("addr", Json.String (string_of_sockaddr addr));
+                     ( "traffic",
+                       Json.String (Cdw_workload.Traffic.spec_to_string spec) );
+                     ("shards", Json.Number (float_of_int shards));
+                     ("n_requests", Json.Number (float_of_int n_requests));
+                     ("distinct_users", Json.Number (float_of_int users));
+                     ("errors", Json.Number (float_of_int errors));
+                     ("engine_ms", Json.Number ms);
+                     ("engine_rps", Json.Number rps);
+                     ("p999_ms", Json.Number p999);
+                   ]));
+          `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+      | exception Unix.Unix_error (e, fn, _) ->
+          `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
 let serve_bench_cmd =
   let module Workbench = Cdw_engine.Workbench in
   let quick =
@@ -399,9 +516,16 @@ let serve_bench_cmd =
   let stats_interval =
     Arg.(value & opt float 1.0 & info [ "stats-interval" ] ~docv:"SECS" ~doc:"Telemetry emit interval in seconds (min 0.05).")
   in
+  let traffic =
+    Arg.(value & opt (some string) None & info [ "traffic" ] ~docv:"SPEC" ~doc:"Serve an open-loop production-shaped stream instead of the fixed session script: comma-separated key:value settings over the default — zipf:S, users:M, churn:C, requests:N, mix:I/W/Q, rps:R, burst:RPS/ON_MS/OFF_MS, seed:N. E.g. --traffic zipf:1.1,users:1000000,churn:0.05. The stream runs once (--trials does not apply); works both in-process and with --connect.")
+  in
+  let mem_cap =
+    Arg.(value & opt (some int) None & info [ "mem-cap-bytes" ] ~docv:"BYTES" ~doc:"Bound resident-session memory: beyond the cap the coldest idle sessions are evicted to a compact parked record at drain boundaries and rehydrated on demand (tier.evictions / tier.hydrations counters). In-process only; with --connect set the cap server-side on `cdw serve'.")
+  in
   let run quick vertices stages density sessions batches pairs no_withdrawals
       seed domains shards algo trials connect user_prefix out metrics_out
-      journal fsync trace_out prom_out stats_out stats_interval =
+      journal fsync trace_out prom_out stats_out stats_interval traffic mem_cap
+      =
     let module Serving = Cdw_shard.Serving in
     let module Shard_bench = Cdw_shard.Shard_bench in
     let module Trace = Cdw_obs.Trace in
@@ -423,9 +547,23 @@ let serve_bench_cmd =
         domains = pick (fun c -> c.Workbench.domains) domains;
       }
     in
+    let traffic_spec =
+      match traffic with
+      | None -> Ok None
+      | Some s ->
+          Result.map Option.some (Cdw_workload.Traffic.spec_of_string s)
+    in
+    match traffic_spec with
+    | Error msg -> `Error (false, "--traffic: " ^ msg)
+    | Ok traffic_spec -> (
     match connect with
-    | Some addr ->
-        serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out
+    | Some addr -> (
+        match traffic_spec with
+        | Some spec ->
+            serve_bench_connect_traffic spec ~addr ~prefix:user_prefix
+              ~window_ms:50.0 ~out
+        | None ->
+            serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out)
     | None ->
         (* One code path for every local serving shape: [Serving.create]
            picks single-engine or sharded from --shards, and everything
@@ -448,7 +586,12 @@ let serve_bench_cmd =
             Some
               ( (fun () -> Serving.prometheus serving),
                 fun () -> Serving.metrics_json serving );
-          Option.iter (fun dir -> Serving.journal ?fsync ~dir serving) journal
+          Option.iter (fun dir -> Serving.journal ?fsync ~dir serving) journal;
+          (* Tiering goes on before any submit, so the whole run —
+             journal replay included — respects the cap. *)
+          Option.iter
+            (fun cap -> Serving.set_mem_cap serving (Some cap))
+            mem_cap
         in
         let emit_telemetry () =
           match !live with
@@ -491,6 +634,10 @@ let serve_bench_cmd =
         in
         let finish () =
           Option.iter Telemetry.stop telemetry;
+          (* One guaranteed final time-series line: short runs would
+             otherwise beat the first interval tick and leave an empty
+             --stats-out. *)
+          emit_telemetry ();
           if trace_out <> None then Trace.set_enabled false
         in
         (* Ctrl-C: flush everything observable before dying, so an
@@ -525,42 +672,89 @@ let serve_bench_cmd =
           Serving.create ~algorithm:config.Workbench.algorithm
             ~seed:config.Workbench.seed ?shards wf
         in
-        (match Shard_bench.serve ~trials ~attach ~make config with
-        | run, serving ->
-            restore_sigint ();
-            finish ();
-            write_trace ();
-            Printf.printf
-              "serve-bench: %d shard(s), %d requests, %.1f ms, %.0f req/s\n"
-              run.Shard_bench.shards run.Shard_bench.n_requests
-              run.Shard_bench.ms run.Shard_bench.rps;
-            let metrics_json = Serving.metrics_json serving in
-            print_endline (Json.to_string metrics_json);
-            journal_note ();
-            (match out with
-            | None -> ()
-            | Some file ->
-                write_json file
-                  (Json.Object
-                     [
-                       ( "shards",
-                         Json.Number (float_of_int run.Shard_bench.shards) );
-                       ( "n_requests",
-                         Json.Number (float_of_int run.Shard_bench.n_requests)
-                       );
-                       ("engine_ms", Json.Number run.Shard_bench.ms);
-                       ("engine_rps", Json.Number run.Shard_bench.rps);
-                       ("metrics", metrics_json);
-                     ]));
-            (match metrics_out with
-            | None -> ()
-            | Some file -> write_json file metrics_json);
-            Serving.close serving;
-            `Ok ()
-        | exception Invalid_argument msg ->
-            restore_sigint ();
-            finish ();
-            `Error (false, msg))
+        (match traffic_spec with
+        | Some spec -> (
+            (* Open-loop traffic: one stream, one serving value — no
+               best-of-trials (the stream is the workload, not a probe). *)
+            match
+              let wf, _ = Workbench.workload config in
+              let serving = make wf in
+              attach serving;
+              let pairs = Workbench.connected_pairs wf in
+              let trun =
+                Shard_bench.serve_traffic
+                  ~mode:(`Parallel config.Workbench.domains) serving spec
+                  ~pairs
+              in
+              (trun, serving)
+            with
+            | trun, serving ->
+                restore_sigint ();
+                finish ();
+                write_trace ();
+                Format.printf "%a@." Shard_bench.pp_traffic trun;
+                let metrics_json = Serving.metrics_json serving in
+                print_endline (Json.to_string metrics_json);
+                journal_note ();
+                (match out with
+                | None -> ()
+                | Some file ->
+                    write_json file
+                      (Json.Object
+                         [
+                           ( "traffic",
+                             Json.String
+                               (Cdw_workload.Traffic.spec_to_string spec) );
+                           ("run", Shard_bench.traffic_run_json trun);
+                           ("metrics", metrics_json);
+                         ]));
+                (match metrics_out with
+                | None -> ()
+                | Some file -> write_json file metrics_json);
+                Serving.close serving;
+                `Ok ()
+            | exception Invalid_argument msg ->
+                restore_sigint ();
+                finish ();
+                `Error (false, msg))
+        | None -> (
+            match Shard_bench.serve ~trials ~attach ~make config with
+            | run, serving ->
+                restore_sigint ();
+                finish ();
+                write_trace ();
+                Printf.printf
+                  "serve-bench: %d shard(s), %d requests, %.1f ms, %.0f req/s\n"
+                  run.Shard_bench.shards run.Shard_bench.n_requests
+                  run.Shard_bench.ms run.Shard_bench.rps;
+                let metrics_json = Serving.metrics_json serving in
+                print_endline (Json.to_string metrics_json);
+                journal_note ();
+                (match out with
+                | None -> ()
+                | Some file ->
+                    write_json file
+                      (Json.Object
+                         [
+                           ( "shards",
+                             Json.Number (float_of_int run.Shard_bench.shards)
+                           );
+                           ( "n_requests",
+                             Json.Number
+                               (float_of_int run.Shard_bench.n_requests) );
+                           ("engine_ms", Json.Number run.Shard_bench.ms);
+                           ("engine_rps", Json.Number run.Shard_bench.rps);
+                           ("metrics", metrics_json);
+                         ]));
+                (match metrics_out with
+                | None -> ()
+                | Some file -> write_json file metrics_json);
+                Serving.close serving;
+                `Ok ()
+            | exception Invalid_argument msg ->
+                restore_sigint ();
+                finish ();
+                `Error (false, msg))))
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -575,7 +769,8 @@ let serve_bench_cmd =
         (const run $ quick $ vertices $ stages $ density $ sessions $ batches
        $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials
        $ connect $ user_prefix $ out $ metrics_out $ journal $ fsync
-       $ trace_out $ prom_out $ stats_out $ stats_interval))
+       $ trace_out $ prom_out $ stats_out $ stats_interval $ traffic
+       $ mem_cap))
 
 (* ---------------------------------------------------------------- *)
 (* serve                                                              *)
@@ -611,7 +806,11 @@ let serve_cmd =
   let fsync =
     Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
   in
-  let run listen file vertices stages density seed algo shards journal fsync =
+  let mem_cap =
+    Arg.(value & opt (some int) None & info [ "mem-cap-bytes" ] ~docv:"BYTES" ~doc:"Bound resident-session memory: beyond the cap the coldest idle sessions are evicted to a compact parked record at drain boundaries and rehydrated on demand. Served replies are identical with or without the cap. With --shards the cap is split evenly across shards.")
+  in
+  let run listen file vertices stages density seed algo shards journal fsync
+      mem_cap =
     let fresh () =
       let workflow =
         match file with
@@ -669,6 +868,11 @@ let serve_cmd =
     match serving with
     | Error msg -> `Error (false, msg)
     | Ok serving -> (
+        (* After resume (replayed sessions count against the cap) and
+           before the first socket request. *)
+        Option.iter
+          (fun cap -> Serving.set_mem_cap serving (Some cap))
+          mem_cap;
         match Server.start serving listen with
         | exception Unix.Unix_error (e, fn, arg) ->
             Serving.close serving;
@@ -710,7 +914,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ listen $ file $ vertices $ stages $ density $ seed $ algo
-       $ shards $ journal $ fsync))
+       $ shards $ journal $ fsync $ mem_cap))
 
 (* ---------------------------------------------------------------- *)
 (* store / shard — one ledger-shape-dispatching implementation        *)

@@ -152,7 +152,22 @@ let delta_removed_ids t =
       (Digraph.removed_edge_ids (Workflow.graph t.current))
 
 let restore t ~constraints ~removed_ids =
-  match Constraint_set.make t.base (List.sort_uniq compare constraints) with
+  (* Stable first-occurrence dedup: the accepted order must come back
+     exactly as captured. Solvers iterate constraints in list order, so
+     a sorted restore would make the session's future re-solves diverge
+     from the never-snapshotted (or never-evicted) original. *)
+  let dedup =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.add seen p ();
+          true
+        end)
+      constraints
+  in
+  match Constraint_set.make t.base dedup with
   | Error _ as e -> Result.map ignore e
   | Ok validated ->
       let g_base = Workflow.graph t.base in

@@ -36,7 +36,10 @@ type t = {
          the drain derives per-request queue-wait latency *)
   mutable journal : (event -> unit) option;
   mutable drains : int;  (* sequence number of the next drain *)
-  lock : Mutex.t;  (* guards [sessions], [queue], [journal], [drains] *)
+  mutable tier : Tier.t option;
+      (* session tiering under a memory cap; None = everything resident *)
+  lock : Mutex.t;
+      (* guards [sessions], [queue], [journal], [drains], [tier] *)
 }
 
 let create ?(algorithm = Algorithms.Remove_min_mc)
@@ -51,6 +54,7 @@ let create ?(algorithm = Algorithms.Remove_min_mc)
     queue = [];
     journal = None;
     drains = 0;
+    tier = None;
     lock = Mutex.create ();
   }
 
@@ -71,9 +75,47 @@ let set_journal t journal = with_lock t (fun () -> t.journal <- journal)
 
 let session_seed t user = t.seed lxor Hashtbl.hash user
 
-let session t user =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.sessions user with
+(* Under the lock: revive a parked session through the zero-solver-run
+   restore path, rewinding its rng to the captured state so randomized
+   solves continue the exact stream an unevicted session would have.
+   Hydration emits no journal event — eviction is a cache decision the
+   ledger never sees (the state it re-installs is already durable). *)
+let hydrate_locked t user (p : Tier.parked) =
+  let s =
+    Session.create ~index:t.index ~algorithm:t.algorithm ~options:t.options
+      ~rng_seed:(session_seed t user) user
+  in
+  (match Session.restore s ~constraints:p.Tier.p_pairs ~removed_ids:p.Tier.p_cuts
+   with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "Engine: hydrating %S: %s" user e));
+  Session.set_rng_state s p.Tier.p_rng;
+  Hashtbl.add t.sessions user s;
+  s
+
+let session_locked t user =
+  match Hashtbl.find_opt t.sessions user with
+  | Some s ->
+      (match t.tier with Some tier -> Tier.touch tier user | None -> ());
+      s
+  | None -> (
+      let hydrated =
+        match t.tier with
+        | None -> None
+        | Some tier -> (
+            match Tier.take_parked tier user with
+            | None -> None
+            | Some p ->
+                let s =
+                  Trace.span "tier.hydrate"
+                    ~args:[ ("user", user) ]
+                    (fun () -> hydrate_locked t user p)
+                in
+                Metrics.incr (metrics t) "tier.hydrations";
+                Tier.touch tier user;
+                Some s)
+      in
+      match hydrated with
       | Some s -> s
       | None ->
           let s =
@@ -81,18 +123,34 @@ let session t user =
               ~options:t.options ~rng_seed:(session_seed t user) user
           in
           Hashtbl.add t.sessions user s;
+          (match t.tier with Some tier -> Tier.touch tier user | None -> ());
           Metrics.incr (metrics t) "engine.sessions.created";
           emit t (Session_opened { user });
           s)
 
+let session t user = with_lock t (fun () -> session_locked t user)
+
 let restore_session t user ~constraints ~removed_ids =
-  let s = session t user in
-  Session.restore s ~constraints ~removed_ids
+  (* One lock section end to end: the get-or-create and the state
+     install are atomic, so a submit (or drain) racing a restore can
+     never run against a half-installed session — the hydration path
+     for a just-evicted user with queued work depends on this. *)
+  with_lock t (fun () ->
+      let s = session_locked t user in
+      Session.restore s ~constraints ~removed_ids)
 
 let forget t user =
   with_lock t (fun () ->
-      if Hashtbl.mem t.sessions user then begin
-        Hashtbl.remove t.sessions user;
+      let resident = Hashtbl.mem t.sessions user in
+      let parked =
+        match t.tier with
+        | Some tier -> Tier.peek_parked tier user <> None
+        | None -> false
+      in
+      if resident then Hashtbl.remove t.sessions user;
+      (* erasure reaches the cold tier: LRU node and parked state both *)
+      (match t.tier with Some tier -> Tier.remove tier user | None -> ());
+      if resident || parked then begin
         Metrics.incr (metrics t) "engine.sessions.forgotten";
         emit t (Session_closed { user })
       end)
@@ -100,6 +158,130 @@ let forget t user =
 let sessions t =
   with_lock t (fun () ->
       Hashtbl.fold (fun user s acc -> (user, s) :: acc) t.sessions [])
+  |> List.sort compare
+
+(* ---------------------------------------------------------------- *)
+(* Session tiering                                                    *)
+
+(* Marginal resident bytes of one session over the shared index:
+   reachable words of (index, k probe sessions) minus the index alone,
+   divided by k — shared structure is counted once, so each session is
+   charged only its private state (the Workbench measurement, applied
+   to full sessions). Probes are never registered and die with this
+   frame. *)
+let measured_session_bytes t =
+  let word = Sys.word_size / 8 in
+  let k = 8 in
+  let probe i =
+    let id = Printf.sprintf "\000tier-probe-%d" i in
+    Session.create ~index:t.index ~algorithm:t.algorithm ~options:t.options
+      ~rng_seed:(session_seed t id) id
+  in
+  let probes = Array.init k probe in
+  let with_probes = Obj.reachable_words (Obj.repr (t.index, probes)) in
+  let index_only = Obj.reachable_words (Obj.repr t.index) in
+  let marginal = (with_probes - index_only) * word / k in
+  if marginal > 0 then marginal else 1024
+
+(* Under the lock: evict coldest-first until the resident set fits the
+   cap. Users with queued requests are pinned — their queued work must
+   land on the session state the submit observed, so they stay resident
+   until their queue drains (the drain boundary that follows re-runs
+   this sweep). Eviction emits no journal event: the parked record is
+   the session's recoverable state, already durable when journaled. *)
+let evict_over_cap_locked t =
+  match t.tier with
+  | None -> ()
+  | Some tier when not (Tier.over_cap tier) -> ()
+  | Some tier ->
+      let pinned = Hashtbl.create 16 in
+      List.iter (fun (u, _, _) -> Hashtbl.replace pinned u ()) t.queue;
+      let is_pinned u = Hashtbl.mem pinned u in
+      let evicted = ref 0 in
+      Trace.span "tier.evict" (fun () ->
+          let rec sweep () =
+            if Tier.over_cap tier then
+              match Tier.pop_coldest tier ~pinned:is_pinned with
+              | None -> ()
+              | Some user ->
+                  (match Hashtbl.find_opt t.sessions user with
+                  | None -> ()
+                  | Some s ->
+                      Tier.park tier user
+                        {
+                          Tier.p_pairs =
+                            Constraint_set.pairs (Session.constraints s);
+                          p_cuts = Session.cut_ids s;
+                          p_rng = Session.rng_state s;
+                        };
+                      Hashtbl.remove t.sessions user;
+                      incr evicted);
+                  sweep ()
+          in
+          sweep ());
+      if !evicted > 0 then
+        Metrics.incr ~by:!evicted (metrics t) "tier.evictions"
+
+let set_mem_cap ?session_bytes t cap =
+  with_lock t (fun () ->
+      match cap with
+      | None -> (
+          match t.tier with
+          | None -> ()
+          | Some tier ->
+              (* Tiering off: hydrate everything parked back to a live
+                 session so no state is stranded in a table nothing
+                 reads any more. *)
+              let all =
+                Tier.fold_parked tier ~init:[] ~f:(fun acc u p ->
+                    (u, p) :: acc)
+              in
+              List.iter (fun (user, p) -> ignore (hydrate_locked t user p)) all;
+              if all <> [] then
+                Metrics.incr ~by:(List.length all) (metrics t)
+                  "tier.hydrations";
+              t.tier <- None)
+      | Some cap_bytes ->
+          (match t.tier with
+          | Some tier -> Tier.set_cap_bytes tier cap_bytes
+          | None ->
+              let session_bytes =
+                match session_bytes with
+                | Some b when b > 0 -> b
+                | Some _ ->
+                    invalid_arg "Engine.set_mem_cap: session_bytes must be > 0"
+                | None -> measured_session_bytes t
+              in
+              let tier = Tier.create ~cap_bytes ~session_bytes in
+              (* Seed the LRU with every live session; sorted order
+                 makes the initial coldness ranking deterministic. *)
+              Hashtbl.fold (fun u _ acc -> u :: acc) t.sessions []
+              |> List.sort compare
+              |> List.iter (fun u -> Tier.touch tier u);
+              t.tier <- Some tier);
+          evict_over_cap_locked t)
+
+let mem_cap t =
+  with_lock t (fun () -> Option.map Tier.cap_bytes t.tier)
+
+let tier_stats t = with_lock t (fun () -> Option.map Tier.stats t.tier)
+
+let session_states t =
+  with_lock t (fun () ->
+      let live =
+        Hashtbl.fold
+          (fun user s acc ->
+            ( user,
+              Constraint_set.pairs (Session.constraints s),
+              Session.cut_ids s )
+            :: acc)
+          t.sessions []
+      in
+      match t.tier with
+      | None -> live
+      | Some tier ->
+          Tier.fold_parked tier ~init:live ~f:(fun acc user p ->
+              (user, p.Tier.p_pairs, p.Tier.p_cuts) :: acc))
   |> List.sort compare
 
 let submit ?submitted_ms t ~user request =
@@ -306,6 +488,9 @@ let drain ?mode t =
               match seq with
               | Some seq -> emit t (Drain_settled { seq })
               | None -> ());
+          (* Drain boundary = eviction boundary: the batch is applied
+             and settled, so every evictable session is quiescent. *)
+          with_lock t (fun () -> evict_over_cap_locked t);
           replies))
 
 let metrics_json t =
@@ -328,6 +513,28 @@ let metrics_json t =
             (float_of_int (sum (fun s -> s.Incremental.full_resolves))) );
       ]
   in
+  let tier_json =
+    match tier_stats t with
+    | None -> []
+    | Some (st : Tier.stats) ->
+        let n k v = (k, Json.Number (float_of_int v)) in
+        [
+          ( "tier",
+            Json.Object
+              [
+                n "cap_bytes" st.cap_bytes;
+                n "session_bytes" st.session_bytes;
+                n "resident" st.resident;
+                n "parked" st.parked;
+                n "sessions_resident_peak" st.resident_peak;
+                n "resident_bytes" st.resident_bytes;
+                n "resident_bytes_peak" st.resident_bytes_peak;
+                n "evictions" st.evictions;
+                n "hydrations" st.hydrations;
+              ] );
+        ]
+  in
   match Metrics.to_json (metrics t) with
-  | Json.Object fields -> Json.Object (fields @ [ ("sessions", sessions_json) ])
+  | Json.Object fields ->
+      Json.Object (fields @ (("sessions", sessions_json) :: tier_json))
   | other -> other

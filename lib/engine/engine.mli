@@ -124,7 +124,39 @@ val forget : t -> string -> unit
     kept and will re-create a fresh session at the next drain. *)
 
 val sessions : t -> (string * Session.t) list
-(** All sessions, sorted by user id. *)
+(** All {e resident} sessions, sorted by user id. Under a memory cap
+    ({!set_mem_cap}) evicted sessions are absent here; use
+    {!session_states} to enumerate every user's recoverable state
+    regardless of tier. *)
+
+val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
+(** [set_mem_cap t (Some cap_bytes)] turns on session tiering: the
+    engine keeps at most [cap_bytes / session_bytes] sessions resident
+    in an LRU and parks the coldest ones as compact
+    (constraints, cuts, rng) records, rehydrating on demand through the
+    zero-solver-run {!restore_session} path. Eviction happens at drain
+    boundaries only, never evicts a user with queued requests, and is
+    observably transparent: capped and uncapped runs produce
+    bit-identical replies and final states.
+
+    [session_bytes] (first call only) overrides the measured marginal
+    resident cost of one session; by default the engine probes it with
+    [Obj.reachable_words]. [set_mem_cap t None] turns tiering off and
+    rehydrates every parked session. Counters: [tier.evictions],
+    [tier.hydrations]; trace spans [tier.evict], [tier.hydrate]. *)
+
+val mem_cap : t -> int option
+(** The active memory cap in bytes, if tiering is on. *)
+
+val tier_stats : t -> Tier.stats option
+(** Tiering counters (resident/parked/peaks/evictions/hydrations), if
+    tiering is on. *)
+
+val session_states : t -> (string * (int * int) list * int list) list
+(** Every user's recoverable state — (user, accepted constraint pairs,
+    cut edge ids) — across {e both} tiers: resident sessions and parked
+    ones. Sorted by user id. This is what ledger snapshots persist; it
+    is identical for capped and uncapped runs of the same workload. *)
 
 val session_seed : t -> string -> int
 (** The rng seed the session of this user id gets — exposed so external

@@ -25,6 +25,10 @@ module type S = sig
     (unit, string) result
 
   val sessions : t -> (string * Session.t) list
+  val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
+  val mem_cap : t -> int option
+  val tier_stats : t -> Tier.stats option
+  val session_states : t -> (string * (int * int) list * int list) list
   val metrics : t -> Metrics.t
   val metrics_json : t -> Cdw_util.Json.t
   val prometheus : t -> string

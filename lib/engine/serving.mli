@@ -52,6 +52,22 @@ module type S = sig
       ({!Engine.restore_session}). *)
 
   val sessions : t -> (string * Session.t) list
+  (** Resident sessions only; see {!session_states} for the cold tier. *)
+
+  val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
+  (** Bound resident-session memory ({!Engine.set_mem_cap}). Sharded
+      implementations split the cap evenly across shards. *)
+
+  val mem_cap : t -> int option
+  (** The total active cap in bytes, if tiering is on. *)
+
+  val tier_stats : t -> Tier.stats option
+  (** Tiering counters, summed across shards where applicable. *)
+
+  val session_states : t -> (string * (int * int) list * int list) list
+  (** Every user's recoverable (constraints, cuts) state across both
+      tiers, sorted by user id ({!Engine.session_states}). *)
+
   val metrics : t -> Metrics.t
   val metrics_json : t -> Cdw_util.Json.t
   val prometheus : t -> string

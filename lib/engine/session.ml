@@ -3,14 +3,15 @@ module Incremental = Cdw_core.Incremental
 module Splitmix = Cdw_util.Splitmix
 module Trace = Cdw_obs.Trace
 
-type t = { id : string; inner : Incremental.t }
+type t = { id : string; inner : Incremental.t; rng : Splitmix.t }
 
 let create ~index ~algorithm ~(options : Algorithms.Options.t) ~rng_seed id =
   let metrics = Shared_index.metrics index in
+  let rng = Splitmix.create rng_seed in
   let options =
     {
       options with
-      Algorithms.Options.rng = Some (Splitmix.create rng_seed);
+      Algorithms.Options.rng = Some rng;
       paths_for = Some (Shared_index.path_provider index);
     }
   in
@@ -49,7 +50,7 @@ let create ~index ~algorithm ~(options : Algorithms.Options.t) ~rng_seed id =
     Incremental.create ~algorithm:solver ~oracle ~copy_base:false
       (Shared_index.base index)
   in
-  { id; inner }
+  { id; inner; rng }
 
 let id t = t.id
 let workflow t = Incremental.workflow t.inner
@@ -64,3 +65,6 @@ let cut_ids t = Incremental.delta_removed_ids t.inner
 
 let restore t ~constraints ~removed_ids =
   Incremental.restore t.inner ~constraints ~removed_ids
+
+let rng_state t = Splitmix.state t.rng
+let set_rng_state t state = Splitmix.set_state t.rng state

@@ -69,3 +69,13 @@ val restore :
   (unit, string) result
 (** Install a previously captured (constraints, cut_ids) state without
     running the solver ({!Cdw_core.Incremental.restore}). *)
+
+val rng_state : t -> int64
+(** The session generator's state word ({!Cdw_util.Splitmix.state}).
+    Captured at tier eviction alongside {!constraints} and {!cut_ids},
+    so a rehydrated session's randomized solves continue the exact
+    stream an unevicted one would have — eviction is observably
+    transparent even under [remove-random-edge]. *)
+
+val set_rng_state : t -> int64 -> unit
+(** Rewind the session generator to a {!rng_state} capture. *)

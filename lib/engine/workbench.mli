@@ -65,6 +65,11 @@ type result = {
   metrics : Cdw_util.Json.t;  (** {!Engine.metrics_json} after the drain *)
 }
 
+val connected_pairs : Cdw_core.Workflow.t -> (int * int) array
+(** All base-connected (user, purpose) pairs of the workflow — the pool
+    every session draws constraints from, and the [pairs] input the
+    {!Cdw_workload.Traffic} generator samples. *)
+
 val script_for :
   config -> Cdw_core.Workflow.t -> (string * Engine.request) list
 (** The request script of [config] drawn against an {e existing} base

@@ -61,7 +61,17 @@ let rpc t request =
   Wire.send_request t.fd request;
   read_reply t
 
+(* Pipelining must be bounded. Every unread ack occupies a whole skb
+   (~768 B of socket buffer accounting, not 10 B of payload), so a few
+   hundred unsettled acks fill the server's send buffer; the server
+   then blocks writing acks, stops reading submits, and the two peers
+   deadlock writing at each other. Settling well below that threshold
+   keeps the server's ack stream always drainable, which is what makes
+   an arbitrarily long submit burst safe. *)
+let max_outstanding = 128
+
 let submit t ~user request =
+  if t.outstanding >= max_outstanding then flush t;
   Wire.send_request t.fd (Wire.Submit { user; request });
   t.outstanding <- t.outstanding + 1
 

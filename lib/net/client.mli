@@ -22,7 +22,11 @@ val connect : ?retries:int -> Unix.sockaddr -> t
 
 val submit : t -> user:string -> Cdw_engine.Engine.request -> unit
 (** Pipeline one submit. The ack (or rejection) is read later — see
-    {!flush}. *)
+    {!flush}. Pipelining is {e bounded}: past 128 unsettled acks the
+    call settles them first (each unread ack pins a whole kernel skb,
+    so unbounded pipelining mutual-write-deadlocks the connection once
+    the socket buffers fill — a burst of thousands of submits between
+    drains, e.g. a [--traffic] window, would otherwise hang). *)
 
 val flush : t -> unit
 (** Read the acks for every pipelined submit. Raises [Failure

@@ -45,6 +45,13 @@ module Single = struct
     Engine.restore_session t.engine user ~constraints ~removed_ids
 
   let sessions t = Engine.sessions t.engine
+
+  let set_mem_cap ?session_bytes t cap =
+    Engine.set_mem_cap ?session_bytes t.engine cap
+
+  let mem_cap t = Engine.mem_cap t.engine
+  let tier_stats t = Engine.tier_stats t.engine
+  let session_states t = Engine.session_states t.engine
   let metrics t = Engine.metrics t.engine
   let metrics_json t = Engine.metrics_json t.engine
   let prometheus t = Engine.prometheus t.engine
@@ -99,6 +106,13 @@ let restore_session (Packed ((module M), v)) user ~constraints ~removed_ids =
   M.restore_session v user ~constraints ~removed_ids
 
 let sessions (Packed ((module M), v)) = M.sessions v
+
+let set_mem_cap ?session_bytes (Packed ((module M), v)) cap =
+  M.set_mem_cap ?session_bytes v cap
+
+let mem_cap (Packed ((module M), v)) = M.mem_cap v
+let tier_stats (Packed ((module M), v)) = M.tier_stats v
+let session_states (Packed ((module M), v)) = M.session_states v
 let metrics (Packed ((module M), v)) = M.metrics v
 let metrics_json (Packed ((module M), v)) = M.metrics_json v
 let prometheus (Packed ((module M), v)) = M.prometheus v

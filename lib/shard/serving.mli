@@ -99,6 +99,10 @@ val restore_session :
   (unit, string) result
 
 val sessions : t -> (string * Cdw_engine.Session.t) list
+val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
+val mem_cap : t -> int option
+val tier_stats : t -> Cdw_engine.Tier.stats option
+val session_states : t -> (string * (int * int) list * int list) list
 val metrics : t -> Cdw_engine.Metrics.t
 val metrics_json : t -> Cdw_util.Json.t
 val prometheus : t -> string

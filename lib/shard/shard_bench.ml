@@ -1,6 +1,9 @@
 module Engine = Cdw_engine.Engine
 module Json = Cdw_util.Json
+module Metrics = Cdw_engine.Metrics
+module Tier = Cdw_engine.Tier
 module Timing = Cdw_util.Timing
+module Traffic = Cdw_workload.Traffic
 module Workbench = Cdw_engine.Workbench
 
 type run = { shards : int; n_requests : int; ms : float; rps : float }
@@ -61,6 +64,136 @@ let serve_group ?trials ?attach ~shards config =
         (Shard_group.create ~algorithm:config.Workbench.algorithm
            ~seed:config.Workbench.seed ~shards wf))
     config
+
+(* ---------------------------------------------------------------- *)
+(* Open-loop traffic serving: pump a Traffic stream through a serving
+   value, draining at synthetic-time window boundaries.               *)
+
+type traffic_run = {
+  t_shards : int;
+  t_requests : int;
+  t_users : int;  (* distinct users the stream touched *)
+  t_errors : int;
+  t_ms : float;
+  t_rps : float;
+  t_p999_ms : float;
+  t_drains : int;
+  t_tier : Tier.stats option;
+}
+
+let request_of_op = function
+  | Traffic.Install pairs -> Engine.Add pairs
+  | Traffic.Withdraw pairs -> Engine.Withdraw pairs
+  (* A query is a read-only touch: the empty add is Incremental's free
+     no-op, but it still routes through the session — hydrating it if
+     parked, exactly what a consent lookup would do. *)
+  | Traffic.Query -> Engine.Add []
+
+let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
+    serving spec ~pairs =
+  if window_ms <= 0.0 then
+    invalid_arg "Shard_bench.serve_traffic: window_ms must be > 0";
+  (match mem_cap_bytes with
+  | Some cap -> Serving.set_mem_cap ?session_bytes serving (Some cap)
+  | None -> ());
+  let gen = Traffic.create spec ~pairs in
+  let errors = ref 0 in
+  let drains = ref 0 in
+  let count_errors replies =
+    List.iter
+      (fun (r : Engine.reply) ->
+        match r.Engine.result with Ok () -> () | Error _ -> incr errors)
+      replies
+  in
+  let run () =
+    (* Open-loop pump: submit every event of the current synthetic-time
+       window, drain at the boundary, repeat. The drain cadence is a
+       function of the stream's own timestamps, so a run is identical
+       whatever the wall-clock speed of the machine. *)
+    let rec pump window_end =
+      match Traffic.next gen with
+      | None -> ()
+      | Some { Traffic.at_ms; user; op } ->
+          let window_end =
+            if at_ms >= window_end then begin
+              count_errors (Serving.drain ?mode serving);
+              incr drains;
+              let skipped =
+                Float.of_int
+                  (int_of_float ((at_ms -. window_end) /. window_ms))
+              in
+              window_end +. ((skipped +. 1.0) *. window_ms)
+            end
+            else window_end
+          in
+          Serving.submit serving ~user (request_of_op op);
+          pump window_end
+    in
+    pump window_ms;
+    count_errors (Serving.drain ?mode serving);
+    incr drains
+  in
+  let (), ms = Timing.time_f run in
+  let n = Traffic.generated gen in
+  let m = Serving.metrics serving in
+  {
+    t_shards = Serving.shards serving;
+    t_requests = n;
+    t_users = Traffic.distinct_users gen;
+    t_errors = !errors;
+    t_ms = ms;
+    t_rps = (if ms > 0.0 then float_of_int n /. (ms /. 1000.0) else infinity);
+    t_p999_ms =
+      (match Metrics.percentile m "request" 0.999 with
+      | Some p -> p
+      | None -> 0.0);
+    t_drains = !drains;
+    t_tier = Serving.tier_stats serving;
+  }
+
+let traffic_run_json r =
+  let n k v = (k, Json.Number (float_of_int v)) in
+  let tier =
+    match r.t_tier with
+    | None -> []
+    | Some (st : Tier.stats) ->
+        [
+          n "mem_cap_bytes" st.Tier.cap_bytes;
+          n "session_bytes" st.Tier.session_bytes;
+          n "sessions_resident_peak" st.Tier.resident_peak;
+          n "resident_bytes_peak" st.Tier.resident_bytes_peak;
+          n "hydrations" st.Tier.hydrations;
+          n "evictions" st.Tier.evictions;
+          n "parked" st.Tier.parked;
+        ]
+  in
+  Json.Object
+    ([
+       n "shards" r.t_shards;
+       n "n_requests" r.t_requests;
+       n "distinct_users" r.t_users;
+       n "errors" r.t_errors;
+       ("engine_ms", Json.Number r.t_ms);
+       ("engine_rps", Json.Number r.t_rps);
+       ("p999_ms", Json.Number r.t_p999_ms);
+       n "drains" r.t_drains;
+     ]
+    @ tier)
+
+let pp_traffic ppf r =
+  Format.fprintf ppf
+    "@[<v>traffic: %d requests, %d users, %d shards@,\
+     \  %10.1f ms  %8.0f req/s  p999 %.3f ms  (%d drains)@]" r.t_requests
+    r.t_users r.t_shards r.t_ms r.t_rps r.t_p999_ms r.t_drains;
+  match r.t_tier with
+  | None -> ()
+  | Some (st : Tier.stats) ->
+      Format.fprintf ppf
+        "@,\
+         @[<v>  tier: cap %d B, %d B/session, peak %d resident (%d B), %d \
+         evictions, %d hydrations@]"
+        st.Tier.cap_bytes st.Tier.session_bytes st.Tier.resident_peak
+        st.Tier.resident_bytes_peak st.Tier.evictions st.Tier.hydrations
 
 type row = { r_shards : int; r_ms : float; r_rps : float; r_speedup : float }
 

@@ -43,6 +43,50 @@ val serve_group :
 (** {!serve} with [make] fixed to an [N]-shard {!Shard_group} on the
     config's algorithm and seed. *)
 
+(** {1 Open-loop traffic serving} *)
+
+type traffic_run = {
+  t_shards : int;
+  t_requests : int;  (** events the stream emitted *)
+  t_users : int;  (** distinct users (stable + churn) touched *)
+  t_errors : int;  (** error replies (0 — traffic is valid by construction) *)
+  t_ms : float;  (** wall time of the whole pump: submit + drains *)
+  t_rps : float;  (** sustained requests per second *)
+  t_p999_ms : float;  (** p999 of per-request service time *)
+  t_drains : int;
+  t_tier : Cdw_engine.Tier.stats option;  (** when run under a memory cap *)
+}
+
+val request_of_op : Cdw_workload.Traffic.op -> Cdw_engine.Engine.request
+(** [Install]/[Withdraw] map directly; [Query] is the engine's free
+    [Add []] — a session touch that hydrates a parked session exactly
+    like a consent lookup would. *)
+
+val serve_traffic :
+  ?mode:[ `Sequential | `Parallel of int ] ->
+  ?window_ms:float ->
+  ?mem_cap_bytes:int ->
+  ?session_bytes:int ->
+  Serving.t ->
+  Cdw_workload.Traffic.spec ->
+  pairs:(int * int) array ->
+  traffic_run
+(** Pump the spec's whole event stream through the serving value,
+    draining at [window_ms] (default 50) boundaries of the stream's
+    {e synthetic} timestamps — the drain cadence is a function of the
+    stream alone, so runs are reproducible whatever the host's speed.
+    [mem_cap_bytes] turns on session tiering ({!Serving.set_mem_cap})
+    before the first submit. The caller owns the serving value
+    (creation is not timed, nor is {!Serving.close}). *)
+
+val traffic_run_json : traffic_run -> Cdw_util.Json.t
+(** The [BENCH_engine.json] ["tiered"] payload core: request/user
+    counts, wall time, sustained rps, p999, plus the tier counters
+    ([mem_cap_bytes], [session_bytes], [sessions_resident_peak],
+    [resident_bytes_peak], [hydrations], [evictions]) when capped. *)
+
+val pp_traffic : Format.formatter -> traffic_run -> unit
+
 type row = {
   r_shards : int;
   r_ms : float;

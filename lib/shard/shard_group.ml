@@ -6,6 +6,7 @@ module Json = Cdw_util.Json
 module Metrics = Cdw_engine.Metrics
 module Session = Cdw_engine.Session
 module Store = Cdw_store.Store
+module Tier = Cdw_engine.Tier
 module Timing = Cdw_util.Timing
 module Trace = Cdw_obs.Trace
 module Wal = Cdw_store.Wal
@@ -311,6 +312,77 @@ let sessions t =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ---------------------------------------------------------------- *)
+(* Session tiering: the group cap is split evenly across shards (the
+   splitmix router spreads users near-uniformly, so equal slices track
+   equal populations). The per-session byte estimate is measured once
+   on shard 0 and shared, keeping every shard's resident budget — and
+   thus the eviction pattern — identical across layouts. *)
+
+let set_mem_cap ?session_bytes t cap =
+  match cap with
+  | None -> Array.iter (fun s -> Engine.set_mem_cap s.engine None) t.members
+  | Some cap_bytes ->
+      let per = max 1 (cap_bytes / t.shards) in
+      let first = t.members.(0).engine in
+      Engine.set_mem_cap ?session_bytes first (Some per);
+      let session_bytes =
+        match session_bytes with
+        | Some _ as sb -> sb
+        | None ->
+            Option.map
+              (fun (st : Tier.stats) -> st.Tier.session_bytes)
+              (Engine.tier_stats first)
+      in
+      Array.iteri
+        (fun i s ->
+          if i > 0 then Engine.set_mem_cap ?session_bytes s.engine (Some per))
+        t.members
+
+let mem_cap t =
+  Array.fold_left
+    (fun acc s ->
+      match (acc, Engine.mem_cap s.engine) with
+      | Some total, Some cap -> Some (total + cap)
+      | _ -> None)
+    (Some 0) t.members
+  |> function
+  | Some 0 -> None
+  | other -> other
+
+let tier_stats t =
+  let per_shard =
+    Array.to_list t.members
+    |> List.filter_map (fun s -> Engine.tier_stats s.engine)
+  in
+  match per_shard with
+  | [] -> None
+  | hd :: tl ->
+      (* Sums across shards; [resident_peak]/[resident_bytes_peak] are
+         sums of per-shard peaks (an upper bound on the true group-wide
+         instant peak — shards peak independently). *)
+      Some
+        (List.fold_left
+           (fun (a : Tier.stats) (b : Tier.stats) ->
+             {
+               Tier.resident = a.resident + b.resident;
+               parked = a.parked + b.parked;
+               resident_peak = a.resident_peak + b.resident_peak;
+               resident_bytes = a.resident_bytes + b.resident_bytes;
+               resident_bytes_peak =
+                 a.resident_bytes_peak + b.resident_bytes_peak;
+               cap_bytes = a.cap_bytes + b.cap_bytes;
+               session_bytes = max a.session_bytes b.session_bytes;
+               evictions = a.evictions + b.evictions;
+               hydrations = a.hydrations + b.hydrations;
+             })
+           hd tl)
+
+let session_states t =
+  Array.to_list (engines t)
+  |> List.concat_map Engine.session_states
+  |> List.sort compare
+
+(* ---------------------------------------------------------------- *)
 (* Merged observability                                              *)
 
 let metrics t =
@@ -339,11 +411,33 @@ let metrics_json t =
             (float_of_int (sum (fun s -> s.Incremental.full_resolves))) );
       ]
   in
+  let tier_json =
+    match tier_stats t with
+    | None -> []
+    | Some (st : Tier.stats) ->
+        let n k v = (k, Json.Number (float_of_int v)) in
+        [
+          ( "tier",
+            Json.Object
+              [
+                n "cap_bytes" st.cap_bytes;
+                n "session_bytes" st.session_bytes;
+                n "resident" st.resident;
+                n "parked" st.parked;
+                n "sessions_resident_peak" st.resident_peak;
+                n "resident_bytes" st.resident_bytes;
+                n "resident_bytes_peak" st.resident_bytes_peak;
+                n "evictions" st.evictions;
+                n "hydrations" st.hydrations;
+              ] );
+        ]
+  in
   let extra =
     [
       ("sessions", sessions_json);
       ("shards", Json.Number (float_of_int t.shards));
     ]
+    @ tier_json
   in
   match Metrics.to_json (metrics t) with
   | Json.Object fields -> Json.Object (fields @ extra)

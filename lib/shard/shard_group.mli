@@ -156,7 +156,26 @@ val set_journal : t -> (Cdw_engine.Engine.event -> unit) option -> unit
     this hook; they attach store callbacks per engine.) *)
 
 val sessions : t -> (string * Cdw_engine.Session.t) list
-(** All sessions of all shards, sorted by user id. *)
+(** All {e resident} sessions of all shards, sorted by user id. *)
+
+val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
+(** Bound resident-session memory across the group: the cap is split
+    evenly across shards (the router spreads users near-uniformly) and
+    each shard engine tiers independently
+    ({!Cdw_engine.Engine.set_mem_cap}). The per-session byte estimate
+    is measured once on shard 0 and shared, so every shard gets the
+    same resident budget. [None] turns tiering off everywhere. *)
+
+val mem_cap : t -> int option
+(** The summed active cap across shards, if tiering is on. *)
+
+val tier_stats : t -> Cdw_engine.Tier.stats option
+(** Tiering counters summed across shards. The peak fields are sums of
+    per-shard peaks — an upper bound on the instantaneous group peak. *)
+
+val session_states : t -> (string * (int * int) list * int list) list
+(** Every user's recoverable state across all shards and both tiers,
+    sorted by user id ({!Cdw_engine.Engine.session_states}). *)
 
 (** {1 Merged observability} *)
 

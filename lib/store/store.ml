@@ -155,11 +155,8 @@ let snapshot_state_json engine =
   let g = Workflow.graph wf in
   let users =
     List.map
-      (fun (user, session) ->
-        let pairs =
-          Constraint_set.pairs (Session.constraints session)
-          |> encode_pairs wf |> List.sort compare
-        in
+      (fun (user, pairs, cut_ids) ->
+        let pairs = encode_pairs wf pairs |> List.sort compare in
         (* Cut edges are removals relative to the base, so each id names
            an edge that is live in the base: (src, dst) names identify it
            across reloads, like vertex names do for constraint pairs. *)
@@ -169,7 +166,7 @@ let snapshot_state_json engine =
               let e = Cdw_graph.Digraph.edge g id in
               ( encode_vertex wf (Cdw_graph.Digraph.edge_src e),
                 encode_vertex wf (Cdw_graph.Digraph.edge_dst e) ))
-            (Session.cut_ids session)
+            cut_ids
           |> List.sort compare
         in
         Json.Object
@@ -178,7 +175,9 @@ let snapshot_state_json engine =
             ("pairs", pairs_json pairs);
             ("cuts", pairs_json cuts);
           ])
-      (Engine.sessions engine)  (* already sorted by user *)
+      (* Both tiers — resident sessions and parked records — already
+         sorted by user; a snapshot must not lose evicted users. *)
+      (Engine.session_states engine)
   in
   Json.Object [ ("users", Json.Array users) ]
 

@@ -26,6 +26,21 @@ val bool : t -> bool
 val split : t -> t
 (** An independent generator derived from the current state. *)
 
+val state : t -> int64
+(** The full internal state — one word. With {!of_state} this lets a
+    generator be captured and resumed exactly (session eviction parks
+    the rng alongside the constraint state, so rehydration is
+    observably transparent even for randomized solvers). *)
+
+val of_state : int64 -> t
+(** A generator resuming from a {!state} capture. [of_state (state t)]
+    produces the same stream as [t] from this point on. *)
+
+val set_state : t -> int64 -> unit
+(** Rewind (or fast-forward) an existing generator to a {!state}
+    capture, in place — for generators aliased inside closures that
+    cannot be swapped for a fresh value. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -1,0 +1,370 @@
+module Splitmix = Cdw_util.Splitmix
+
+(* ---------------------------------------------------------------- *)
+(* Zipf sampling by rejection inversion (Hörmann & Derflinger 1996)  *)
+
+module Zipf = struct
+  (* The continuous density h(x) = x^-s majorizes the discrete mass on
+     [k - 1/2, k + 1/2]; inverting its integral turns one uniform draw
+     into a candidate rank, and the acceptance test succeeds with
+     probability bounded away from zero uniformly in n and s — the
+     rejection loop is O(1) expected at any scale, with no tables. *)
+
+  type t = {
+    z_n : int;
+    z_s : float;
+    h_x1 : float;  (* h_integral 1.5 - 1, the left end of the u range *)
+    h_n : float;  (* h_integral (n + 0.5), the right end *)
+    s_const : float;  (* fast-accept threshold on k - x *)
+    mutable harmonic : float option;  (* lazily: sum_{k<=n} k^-s *)
+    mutable iters : int;
+    mutable total_draws : int;
+  }
+
+  (* Integral of x^-s from 1, written to stay exact at s = 1. *)
+  let h_integral ~s x =
+    if s = 1.0 then log x else ((x ** (1.0 -. s)) -. 1.0) /. (1.0 -. s)
+
+  let h ~s x = x ** (-.s)
+
+  let h_integral_inverse ~s x =
+    if s = 1.0 then exp x
+    else
+      let t = x *. (1.0 -. s) in
+      (* clamp against rounding past the pole *)
+      let t = if t < -1.0 then -1.0 else t in
+      (1.0 +. t) ** (1.0 /. (1.0 -. s))
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Traffic.Zipf.create: n must be >= 1";
+    if not (s > 0.0 && Float.is_finite s) then
+      invalid_arg "Traffic.Zipf.create: s must be a finite float > 0";
+    {
+      z_n = n;
+      z_s = s;
+      h_x1 = h_integral ~s 1.5 -. 1.0;
+      h_n = h_integral ~s (float_of_int n +. 0.5);
+      s_const = 2.0 -. h_integral_inverse ~s (h_integral ~s 2.5 -. h ~s 2.0);
+      harmonic = None;
+      iters = 0;
+      total_draws = 0;
+    }
+
+  let n t = t.z_n
+  let s t = t.z_s
+
+  let draw t rng =
+    let s = t.z_s in
+    t.total_draws <- t.total_draws + 1;
+    let rec loop () =
+      t.iters <- t.iters + 1;
+      let u = t.h_n +. (Splitmix.float rng 1.0 *. (t.h_x1 -. t.h_n)) in
+      let x = h_integral_inverse ~s u in
+      let k = int_of_float (x +. 0.5) in
+      let k = if k < 1 then 1 else if k > t.z_n then t.z_n else k in
+      let kf = float_of_int k in
+      if kf -. x <= t.s_const then k
+      else if u >= h_integral ~s (kf +. 0.5) -. h ~s kf then k
+      else loop ()
+    in
+    loop ()
+
+  let mass t k =
+    if k < 1 || k > t.z_n then 0.0
+    else
+      let harmonic =
+        match t.harmonic with
+        | Some h -> h
+        | None ->
+            let acc = ref 0.0 in
+            for i = 1 to t.z_n do
+              acc := !acc +. h ~s:t.z_s (float_of_int i)
+            done;
+            t.harmonic <- Some !acc;
+            !acc
+      in
+      h ~s:t.z_s (float_of_int k) /. harmonic
+
+  let iterations t = t.iters
+  let draws t = t.total_draws
+end
+
+(* ---------------------------------------------------------------- *)
+(* Specification                                                     *)
+
+type op =
+  | Install of (int * int) list
+  | Withdraw of (int * int) list
+  | Query
+
+type arrival =
+  | Poisson of float
+  | Bursty of { on_rps : float; on_ms : float; off_ms : float }
+
+type spec = {
+  users : int;
+  zipf_s : float;
+  churn : float;
+  install_w : int;
+  withdraw_w : int;
+  query_w : int;
+  arrival : arrival;
+  requests : int;
+  seed : int;
+}
+
+let default =
+  {
+    users = 1_000_000;
+    zipf_s = 1.1;
+    churn = 0.05;
+    install_w = 6;
+    withdraw_w = 1;
+    query_w = 3;
+    arrival = Poisson 50_000.0;
+    requests = 100_000;
+    seed = 42;
+  }
+
+let spec_to_string spec =
+  let arrival =
+    match spec.arrival with
+    | Poisson rps -> Printf.sprintf "rps:%g" rps
+    | Bursty { on_rps; on_ms; off_ms } ->
+        Printf.sprintf "burst:%g/%g/%g" on_rps on_ms off_ms
+  in
+  Printf.sprintf "zipf:%g,users:%d,churn:%g,requests:%d,mix:%d/%d/%d,%s,seed:%d"
+    spec.zipf_s spec.users spec.churn spec.requests spec.install_w
+    spec.withdraw_w spec.query_w arrival spec.seed
+
+let spec_of_string text =
+  let ( let* ) = Result.bind in
+  let num conv key v =
+    match conv v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "%s: %S is not a number" key v)
+  in
+  let fold spec item =
+    let* spec = spec in
+    match String.index_opt item ':' with
+    | None -> Error (Printf.sprintf "%S: expected key:value" item)
+    | Some i -> (
+        let key = String.sub item 0 i in
+        let v = String.sub item (i + 1) (String.length item - i - 1) in
+        match key with
+        | "zipf" | "s" ->
+            let* s = num float_of_string_opt key v in
+            Ok { spec with zipf_s = s }
+        | "users" ->
+            let* n = num int_of_string_opt key v in
+            Ok { spec with users = n }
+        | "churn" ->
+            let* c = num float_of_string_opt key v in
+            Ok { spec with churn = c }
+        | "requests" ->
+            let* n = num int_of_string_opt key v in
+            Ok { spec with requests = n }
+        | "seed" ->
+            let* n = num int_of_string_opt key v in
+            Ok { spec with seed = n }
+        | "mix" -> (
+            match String.split_on_char '/' v with
+            | [ i; w; q ] ->
+                let* i = num int_of_string_opt "mix" i in
+                let* w = num int_of_string_opt "mix" w in
+                let* q = num int_of_string_opt "mix" q in
+                Ok { spec with install_w = i; withdraw_w = w; query_w = q }
+            | _ -> Error (Printf.sprintf "mix: %S is not I/W/Q" v))
+        | "rps" ->
+            let* r = num float_of_string_opt key v in
+            Ok { spec with arrival = Poisson r }
+        | "burst" -> (
+            match String.split_on_char '/' v with
+            | [ r; on; off ] ->
+                let* on_rps = num float_of_string_opt "burst" r in
+                let* on_ms = num float_of_string_opt "burst" on in
+                let* off_ms = num float_of_string_opt "burst" off in
+                Ok { spec with arrival = Bursty { on_rps; on_ms; off_ms } }
+            | _ -> Error (Printf.sprintf "burst: %S is not RPS/ON_MS/OFF_MS" v))
+        | other -> Error (Printf.sprintf "unknown traffic key %S" other))
+  in
+  List.fold_left fold (Ok default) (String.split_on_char ',' text)
+
+let validate spec =
+  if spec.users < 1 then invalid_arg "Traffic: users must be >= 1";
+  if not (spec.zipf_s > 0.0) then invalid_arg "Traffic: zipf exponent must be > 0";
+  if spec.churn < 0.0 || spec.churn > 1.0 then
+    invalid_arg "Traffic: churn must be in [0, 1]";
+  if spec.install_w < 0 || spec.withdraw_w < 0 || spec.query_w < 0
+     || spec.install_w + spec.withdraw_w + spec.query_w <= 0
+  then invalid_arg "Traffic: behavior mix weights must be >= 0 and sum > 0";
+  if spec.requests < 0 then invalid_arg "Traffic: requests must be >= 0";
+  match spec.arrival with
+  | Poisson rps when not (rps > 0.0) ->
+      invalid_arg "Traffic: arrival rate must be > 0"
+  | Bursty { on_rps; on_ms; off_ms }
+    when not (on_rps > 0.0 && on_ms > 0.0 && off_ms >= 0.0) ->
+      invalid_arg "Traffic: burst parameters must be positive"
+  | _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* The event stream                                                  *)
+
+type event = { at_ms : float; user : string; op : op }
+
+type t = {
+  spec : spec;
+  pairs : (int * int) array;
+  zipf : Zipf.t;
+  rng : Splitmix.t;
+  state : Bytes.t;
+      (* one byte per stable user: low nibble = installs this cycle,
+         high nibble = withdrawals this cycle (withdrawals never
+         outrun installs, so every emitted op is valid) *)
+  touched : Bytes.t;  (* bitset: stable user has appeared *)
+  mutable stable_seen : int;
+  mutable churned : int;
+  mutable emitted : int;
+  mutable clock_ms : float;
+  mutable phase_end_ms : float;  (* Bursty: end of the current on-phase *)
+}
+
+let create spec ~pairs =
+  validate spec;
+  if Array.length pairs = 0 then
+    invalid_arg "Traffic.create: the pair pool is empty";
+  {
+    spec;
+    pairs;
+    zipf = Zipf.create ~n:spec.users ~s:spec.zipf_s;
+    rng = Splitmix.create (spec.seed lxor 0x7AF1C);
+    state = Bytes.make spec.users '\000';
+    touched = Bytes.make ((spec.users + 7) / 8) '\000';
+    stable_seen = 0;
+    churned = 0;
+    emitted = 0;
+    clock_ms = 0.0;
+    phase_end_ms =
+      (match spec.arrival with Bursty { on_ms; _ } -> on_ms | Poisson _ -> 0.0);
+  }
+
+let generated t = t.emitted
+let distinct_users t = t.stable_seen + t.churned
+
+(* Exponential inter-arrival; the bursty source carries a draw that
+   lands in the silent window over to the next on-phase start. *)
+let advance_clock t =
+  let exp_ms rps =
+    let u = Splitmix.float t.rng 1.0 in
+    -.log (1.0 -. u) /. rps *. 1000.0
+  in
+  match t.spec.arrival with
+  | Poisson rps -> t.clock_ms <- t.clock_ms +. exp_ms rps
+  | Bursty { on_rps; on_ms; off_ms } ->
+      let at = t.clock_ms +. exp_ms on_rps in
+      if at <= t.phase_end_ms then t.clock_ms <- at
+      else begin
+        t.clock_ms <- t.phase_end_ms +. off_ms;
+        t.phase_end_ms <- t.clock_ms +. on_ms
+      end
+
+(* Per-user pair pools, recomputed on demand so a million users cost no
+   pool storage. Slot picks are addressed by (user, slot, attempt)
+   alone — independent of the stream rng — so slot w withdraws exactly
+   the pair it installed however many events separate them. Slots are
+   kept distinct by bounded probing; a pool that cannot grow (tiny pair
+   arrays) just caps that user's cycle earlier. *)
+let max_pool = 15 (* a nibble counts to 15 *)
+let probes = 16
+
+let slot_pick t u j a =
+  let h =
+    Splitmix.create
+      (t.spec.seed lxor (u * 0x2545F491) lxor (((j * probes) + a) * 0x9E3779B9))
+  in
+  t.pairs.(Splitmix.int h (Array.length t.pairs))
+
+let pool t u ~upto =
+  let chosen = Array.make (max upto 1) (0, 0) in
+  let rec fill j =
+    if j >= upto then upto
+    else
+      let rec dup p i = i < j && (chosen.(i) = p || dup p (i + 1)) in
+      let rec probe a =
+        if a >= probes then None
+        else
+          let p = slot_pick t u j a in
+          if dup p 0 then probe (a + 1) else Some p
+      in
+      match probe 0 with
+      | Some p ->
+          chosen.(j) <- p;
+          fill (j + 1)
+      | None -> j
+  in
+  let size = fill 0 in
+  (chosen, size)
+
+(* One stable-user operation: draw the behavior mix, then degrade to
+   [Query] whenever the drawn op would be invalid against the state the
+   stream itself built — a withdraw with nothing accepted, an install
+   past the pool. A fully-cycled user (installed and withdrawn its
+   whole pool) starts a fresh cycle, so hot Zipf heads keep generating
+   real solver work instead of saturating. *)
+let stable_op t u =
+  let b = Char.code (Bytes.get t.state u) in
+  let i = b land 0xF and w = (b lsr 4) land 0xF in
+  let set i w = Bytes.set t.state u (Char.chr (i lor (w lsl 4))) in
+  let total = t.spec.install_w + t.spec.withdraw_w + t.spec.query_w in
+  let r = Splitmix.int t.rng total in
+  if r < t.spec.install_w then begin
+    let i, w = if i > 0 && i = w then (0, 0) else (i, w) in
+    if i >= max_pool then Query
+    else
+      let chosen, size = pool t u ~upto:(i + 1) in
+      if i >= size then Query
+      else begin
+        set (i + 1) w;
+        Install [ chosen.(i) ]
+      end
+  end
+  else if r < t.spec.install_w + t.spec.withdraw_w then begin
+    if w >= i then Query
+    else
+      let chosen, _ = pool t u ~upto:(w + 1) in
+      begin
+        set i (w + 1);
+        Withdraw [ chosen.(w) ]
+      end
+  end
+  else Query
+
+let stable_name u = Printf.sprintf "u%07d" u
+let churn_name c = Printf.sprintf "c%d" c
+
+let next t =
+  if t.emitted >= t.spec.requests then None
+  else begin
+    advance_clock t;
+    t.emitted <- t.emitted + 1;
+    let user, op =
+      if t.spec.churn > 0.0 && Splitmix.float t.rng 1.0 < t.spec.churn then begin
+        (* A brand-new one-shot user: installs once, never returns. *)
+        let c = t.churned in
+        t.churned <- c + 1;
+        let p = t.pairs.(Splitmix.int t.rng (Array.length t.pairs)) in
+        (churn_name c, Install [ p ])
+      end
+      else begin
+        let u = Zipf.draw t.zipf t.rng - 1 in
+        let byte = u lsr 3 and bit = u land 7 in
+        let cur = Char.code (Bytes.get t.touched byte) in
+        if cur land (1 lsl bit) = 0 then begin
+          Bytes.set t.touched byte (Char.chr (cur lor (1 lsl bit)));
+          t.stable_seen <- t.stable_seen + 1
+        end;
+        (stable_name u, stable_op t u)
+      end
+    in
+    Some { at_ms = t.clock_ms; user; op }
+  end

@@ -1,0 +1,130 @@
+(** Production-shaped open-loop traffic: millions of distinct users,
+    Zipf-distributed request skew, seeded arrival processes, per-user
+    behavior mix and churn.
+
+    The paper's evaluation solves each instance once; a consent service
+    instead faces a long-running request stream whose heat is wildly
+    uneven — a few users interact constantly, most almost never, and a
+    steady trickle of one-shot users consent once and go idle forever.
+    This module generates that stream deterministically from a seed:
+
+    {[
+      let gen = Traffic.create spec ~pairs in
+      let rec pump () =
+        match Traffic.next gen with
+        | None -> ()
+        | Some { at_ms; user; op } -> serve at_ms user op; pump ()
+    ]}
+
+    Every emitted operation is {e valid by construction} against the
+    session state the stream itself built (withdrawals only ever name
+    currently-accepted pairs), so a run never depends on server-side
+    rejection. Per-user bookkeeping is one byte per stable user — a
+    million-user spec costs ~1 MB, not a million session objects.
+
+    The module is deliberately independent of the engine: [op] is its
+    own type, mapped to engine requests by the driver (a [Query] is the
+    engine's free-touch [Add []]). *)
+
+(** {1 Zipf sampling} *)
+
+module Zipf : sig
+  (** Bounded Zipf(s) sampler over ranks [1..n] by rejection inversion
+      (Hörmann & Derflinger 1996): O(1) expected work per draw at any
+      [n] and any exponent [s > 0] — no alias table, no cumulative
+      array, so a million-rank sampler costs a handful of floats. *)
+
+  type t
+
+  val create : n:int -> s:float -> t
+  (** [n >= 1] ranks with exponent [s > 0] (mass of rank [k]
+      proportional to [1/k^s]). Raises [Invalid_argument] otherwise. *)
+
+  val n : t -> int
+  val s : t -> float
+
+  val draw : t -> Cdw_util.Splitmix.t -> int
+  (** A rank in [1..n], Zipf(s)-distributed. Deterministic in the
+      generator's state. *)
+
+  val mass : t -> int -> float
+  (** Theoretical probability of rank [k] — [k^-s / H_{n,s}]. The
+      normalizing sum is computed once, lazily (O(n), test-side use). *)
+
+  val iterations : t -> int
+  (** Cumulative rejection-loop iterations over every {!draw} so far.
+      [iterations / draws] is the measured per-draw cost; the property
+      test pins it below a constant, making "O(1) per draw"
+      falsifiable. *)
+
+  val draws : t -> int
+end
+
+(** {1 Traffic specification} *)
+
+type op =
+  | Install of (int * int) list  (** accept constraints *)
+  | Withdraw of (int * int) list  (** withdraw previously accepted ones *)
+  | Query  (** a read-only touch (maps to the engine's free [Add []]) *)
+
+type arrival =
+  | Poisson of float  (** mean arrivals per second *)
+  | Bursty of { on_rps : float; on_ms : float; off_ms : float }
+      (** on/off source: Poisson bursts at [on_rps] for [on_ms], then
+          silence for [off_ms], repeating *)
+
+type spec = {
+  users : int;  (** stable-user population (Zipf ranks) *)
+  zipf_s : float;  (** skew exponent over the stable population *)
+  churn : float;
+      (** fraction of arrivals from one-shot users in [0,1]: each is a
+          brand-new user that installs once and never returns *)
+  install_w : int;  (** behavior mix weights of a stable-user arrival *)
+  withdraw_w : int;
+  query_w : int;
+  arrival : arrival;
+  requests : int;  (** total events the stream emits *)
+  seed : int;
+}
+
+val default : spec
+(** 1M users, Zipf 1.1, 5% churn, mix 6/1/3, Poisson 50k rps, 100k
+    requests, seed 42. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a [serve-bench --traffic] argument: comma-separated
+    [key:value] settings over {!default} — [zipf:S], [users:M],
+    [churn:C], [requests:N], [mix:I/W/Q], [rps:R] (Poisson),
+    [burst:RPS/ON_MS/OFF_MS], [seed:N]. E.g.
+    ["zipf:1.1,users:1000000,churn:0.05"]. *)
+
+val spec_to_string : spec -> string
+(** Round-trips through {!spec_of_string}. *)
+
+(** {1 The event stream} *)
+
+type event = {
+  at_ms : float;
+      (** synthetic arrival time from stream start — drives the
+          driver's drain-window boundaries, monotone non-decreasing *)
+  user : string;
+  op : op;
+}
+
+type t
+
+val create : spec -> pairs:(int * int) array -> t
+(** A fresh stream over the given pool of base-connected
+    (user-vertex, purpose) pairs — see
+    [Cdw_engine.Workbench.connected_pairs]. Raises [Invalid_argument]
+    on an empty pool or a malformed spec. Equal specs and pools give
+    equal streams. *)
+
+val next : t -> event option
+(** The next event, or [None] once [spec.requests] have been emitted. *)
+
+val generated : t -> int
+(** Events emitted so far. *)
+
+val distinct_users : t -> int
+(** Distinct users (stable + churn) seen so far. *)

@@ -368,6 +368,31 @@ let test_client_vanishes_mid_stream () =
       ignore (Client.drain client);
       Client.close client)
 
+(* A burst of thousands of submits between drains (one --traffic
+   window, say) must not deadlock the connection. Every unread ack
+   pins a whole kernel skb, so a few hundred unsettled acks fill the
+   server's send buffer and the two peers block writing at each other
+   — the client's bounded pipelining (settle past 128 outstanding) is
+   what this test pins. Before that bound existed, this test hung. *)
+let test_submit_burst_does_not_deadlock () =
+  with_server (fun server _script ->
+      let client = Client.connect (Server.sockaddr server) in
+      let n = 4_000 in
+      for i = 1 to n do
+        Client.submit client
+          ~user:(Printf.sprintf "burst-%02d" (i mod 40))
+          (Engine.Add [])
+      done;
+      let replies = Client.drain client in
+      Alcotest.(check int) "every submit answered" n (List.length replies);
+      List.iter
+        (fun (r : Engine.reply) ->
+          match r.Engine.result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "burst reply rejected: %s" e)
+        replies;
+      Client.close client)
+
 let suite =
   [
     Alcotest.test_case "request codec round-trips" `Quick test_request_roundtrip;
@@ -390,4 +415,6 @@ let suite =
       `Quick test_fuzz_mutations;
     Alcotest.test_case "client vanishing mid-stream leaves the server healthy"
       `Quick test_client_vanishes_mid_stream;
+    Alcotest.test_case "4k-submit burst does not deadlock the connection"
+      `Quick test_submit_burst_does_not_deadlock;
   ]
