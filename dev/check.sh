@@ -69,8 +69,40 @@ dune exec bin/cdw.exe -- serve-bench --quick --trials 1 \
   --stats-out "$OBS_DIR/stats.jsonl" --stats-interval 0.2 > /dev/null
 dune exec bin/cdw.exe -- trace summarize "$OBS_DIR/trace.json" \
   --min-drain-coverage 0.8
+# prom-lint now also enforces histogram exposition conformance:
+# cumulative le buckets, a closing +Inf, matching _count/_sum.
 dune exec bin/cdw.exe -- trace prom-lint "$OBS_DIR/metrics.prom"
 test -s "$OBS_DIR/stats.jsonl"                                  # time series written
+
+# Cross-process tracing + flight-recorder smoke: a traced 2-shard
+# networked server, driven by a traced client. The merged trace must
+# hold the stitched client -> server -> shard timeline and attribute
+# (>=80% of) every shard's drain wall to named phases; SIGUSR1 must
+# make the live server dump its flight rings as a summarizable trace.
+# Coverage floor 0.8, same rationale as the drain-coverage floor above.
+FLIGHT_DIR=$(mktemp -d)
+CLEANUP_DIRS="$CLEANUP_DIRS $FLIGHT_DIR"
+FSOCK="$FLIGHT_DIR/cdw.sock"
+CDW=./_build/default/bin/cdw.exe   # direct binary: SIGUSR1 must hit the
+                                   # server itself, not a dune wrapper
+"$CDW" serve --listen "$FSOCK" --shards 2 --trace \
+  --flight-out "$FLIGHT_DIR/flight.json" > /dev/null &
+FLIGHT_SERVER=$!
+"$CDW" serve-bench --quick --trials 2 --connect "$FSOCK" \
+  --trace-out "$FLIGHT_DIR/trace.json" > /dev/null
+kill -USR1 "$FLIGHT_SERVER"                  # dump the flight rings
+sleep 0.5
+test -s "$FLIGHT_DIR/flight.json"            # SIGUSR1 dump written
+dune exec bin/cdw.exe -- trace summarize "$FLIGHT_DIR/flight.json" > /dev/null
+dune exec bin/cdw.exe -- trace summarize --scaling "$FLIGHT_DIR/flight.json" \
+  | grep -q '^1 '                            # both shards in the dump
+# the merged client+server trace attributes each shard's drain wall
+dune exec bin/cdw.exe -- trace summarize --scaling \
+  --min-drain-coverage 0.8 "$FLIGHT_DIR/trace.json"
+grep -q 'client.drain' "$FLIGHT_DIR/trace.json"   # client half present
+grep -q 'net.request'  "$FLIGHT_DIR/trace.json"   # server half merged in
+kill "$FLIGHT_SERVER"
+wait "$FLIGHT_SERVER" 2> /dev/null || true
 
 # Tiering smoke: a 100k-user Zipf stream under a 2 MB cap — far below
 # the population's resident footprint — must actually exercise the

@@ -241,12 +241,13 @@ let fsync_conv =
    against it, then per trial forget our sessions, pipeline every
    submit and drain. Replies for foreign users (another client sharing
    the server) are passed over; ours must all succeed. *)
-let serve_bench_connect config ~addr ~prefix ~trials ~out =
+let serve_bench_connect config ~addr ~prefix ~trials ~out ~trace_out =
   let module Client = Cdw_net.Client in
   let module Wire = Cdw_net.Wire in
   let module Engine = Cdw_engine.Engine in
   let module Workbench = Cdw_engine.Workbench in
   let module Timing = Cdw_util.Timing in
+  let module Trace = Cdw_obs.Trace in
   if trials < 1 then `Error (false, "trials must be >= 1")
   else
     match Client.connect addr with
@@ -277,7 +278,14 @@ let serve_bench_connect config ~addr ~prefix ~trials ~out =
               List.iter (fun u -> Hashtbl.replace mine u ()) users;
               let n_requests = List.length script in
               let best = ref infinity in
+              if trace_out <> None then begin
+                Trace.set_process_label "serve-bench";
+                Trace.set_enabled true
+              end;
               for _ = 1 to trials do
+                (* Keep only the last trial's client spans — the trial
+                   the timings report. *)
+                if trace_out <> None then Trace.reset ();
                 (* Reset our sessions server-side; not timed. *)
                 List.iter (Client.forget client) users;
                 let replies, ms =
@@ -300,9 +308,31 @@ let serve_bench_connect config ~addr ~prefix ~trials ~out =
                   replies;
                 if ms < !best then best := ms
               done;
-              (h.Wire.h_shards, n_requests, !best))
+              (* One timeline across both processes: the server's own
+                 export (its spans parent under our wire-carried span
+                 ids) merged into ours, timestamps aligned via the
+                 exports' epochs. Empty when the server runs without
+                 --trace — then the local half still stands alone. *)
+              let trace_json =
+                match trace_out with
+                | None -> None
+                | Some _ ->
+                    let theirs = Client.server_trace client in
+                    Trace.set_enabled false;
+                    let ours = Trace.export () in
+                    Some
+                      (if theirs = "" then ours
+                       else
+                         match Json.parse theirs with
+                         | Ok tj -> Trace.merge_exports ours tj
+                         | Error _ -> ours)
+              in
+              (h.Wire.h_shards, n_requests, !best, trace_json))
         with
-        | shards, n_requests, ms ->
+        | shards, n_requests, ms, trace_json ->
+            (match (trace_out, trace_json) with
+            | Some file, Some json -> write_json file json
+            | _ -> ());
             let rps =
               if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
               else infinity
@@ -505,7 +535,7 @@ let serve_bench_cmd =
     Arg.(value & opt (some fsync_conv) None & info [ "fsync" ] ~docv:"POLICY" ~doc:"Ledger fsync policy: always, never or every:N (default every:32). Requires --journal.")
   in
   let trace_out =
-    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the last serving trial and write it to $(docv) (open in Perfetto, or feed to `cdw trace summarize').")
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the last serving trial and write it to $(docv) (open in Perfetto, or feed to `cdw trace summarize'). With --connect, the server's own trace (if it runs with --trace) is fetched over the wire and merged into one timeline — client submit to server ingest to shard drain, stitched by the wire-carried span ids.")
   in
   let prom_out =
     Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc:"Rewrite $(docv) with the serving metrics in Prometheus text exposition format every --stats-interval while the benchmark runs, and once at the end.")
@@ -563,7 +593,8 @@ let serve_bench_cmd =
             serve_bench_connect_traffic spec ~addr ~prefix:user_prefix
               ~window_ms:50.0 ~out
         | None ->
-            serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out)
+            serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out
+              ~trace_out)
     | None ->
         (* One code path for every local serving shape: [Serving.create]
            picks single-engine or sharded from --shards, and everything
@@ -778,6 +809,9 @@ let serve_bench_cmd =
 let serve_cmd =
   let module Serving = Cdw_shard.Serving in
   let module Server = Cdw_net.Server in
+  let module Trace = Cdw_obs.Trace in
+  let module Flight = Cdw_obs.Flight in
+  let module Domain_acct = Cdw_engine.Domain_acct in
   let listen =
     Arg.(required & opt (some sockaddr_conv) None & info [ "listen" ] ~docv:"ADDR" ~doc:"Listen address: a Unix socket path (anything with a slash) or HOST:PORT. Required.")
   in
@@ -809,8 +843,14 @@ let serve_cmd =
   let mem_cap =
     Arg.(value & opt (some int) None & info [ "mem-cap-bytes" ] ~docv:"BYTES" ~doc:"Bound resident-session memory: beyond the cap the coldest idle sessions are evicted to a compact parked record at drain boundaries and rehydrated on demand. Served replies are identical with or without the cap. With --shards the cap is split evenly across shards.")
   in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Enable the in-process tracer. Clients fetch the export over the wire (serve-bench --connect --trace-out merges it with their own half into one stitched timeline).")
+  in
+  let flight_out =
+    Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc:"Arm the flight recorder: SIGUSR1 dumps the per-domain rings of recent drain operations to $(docv) as Perfetto JSON, an internal server error dumps them automatically, and a clean shutdown writes a final dump. Always-on and bounded — safe to leave armed in production.")
+  in
   let run listen file vertices stages density seed algo shards journal fsync
-      mem_cap =
+      mem_cap trace flight_out =
     let fresh () =
       let workflow =
         match file with
@@ -873,6 +913,31 @@ let serve_cmd =
         Option.iter
           (fun cap -> Serving.set_mem_cap serving (Some cap))
           mem_cap;
+        if trace then begin
+          Trace.set_process_label "cdw-serve";
+          Trace.reset ();
+          Trace.set_enabled true
+        end;
+        Option.iter
+          (fun path ->
+            (* The context thunk runs inside the SIGUSR1 handler: it
+               reads only atomics (per-domain accounting, shard count),
+               never a lock. *)
+            Flight.set_context
+              (Some
+                 (fun () ->
+                   Json.Object
+                     [
+                       ( "shards",
+                         Json.Number (float_of_int (Serving.shards serving)) );
+                       ( "domains",
+                         Json.Array
+                           (List.map Domain_acct.stats_json
+                              (Serving.domain_stats serving)) );
+                     ]));
+            Flight.install ~path;
+            Printf.printf "flight recorder armed: SIGUSR1 dumps to %s\n" path)
+          flight_out;
         match Server.start serving listen with
         | exception Unix.Unix_error (e, fn, arg) ->
             Serving.close serving;
@@ -900,6 +965,9 @@ let serve_cmd =
             Sys.set_signal Sys.sigterm previous_term;
             prerr_endline "cdw serve: shutting down";
             Server.stop server;
+            (* The final flight dump covers the rings as the server
+               went down — the record a post-mortem wants. *)
+            Option.iter (fun path -> Flight.write path) flight_out;
             (* Close after stop: flushes and releases the ledger(s), so a
                clean shutdown leaves a strict-clean store behind. *)
             Serving.close serving;
@@ -914,7 +982,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ listen $ file $ vertices $ stages $ density $ seed $ algo
-       $ shards $ journal $ fsync $ mem_cap))
+       $ shards $ journal $ fsync $ mem_cap $ trace $ flight_out))
 
 (* ---------------------------------------------------------------- *)
 (* store / shard — one ledger-shape-dispatching implementation        *)
@@ -1117,31 +1185,60 @@ let trace_cmd =
   in
   let summarize_cmd =
     let min_coverage =
-      Arg.(value & opt (some float) None & info [ "min-drain-coverage" ] ~docv:"FRACTION" ~doc:"Fail unless at least $(docv) (in [0,1]) of the engine.drain wall time is accounted for by named child phases.")
+      Arg.(value & opt (some float) None & info [ "min-drain-coverage" ] ~docv:"FRACTION" ~doc:"Fail unless at least $(docv) (in [0,1]) of the drain wall time is accounted for by named child phases (per shard with --scaling).")
     in
-    let run file min_coverage =
-      match Trace_summary.of_file file with
-      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
-      | Ok report -> (
-          Format.printf "%a@." Trace_summary.pp report;
-          match min_coverage with
-          | None -> `Ok ()
-          | Some want ->
-              let got = Trace_summary.coverage report in
-              if got >= want then `Ok ()
-              else
-                `Error
-                  ( false,
-                    Printf.sprintf
-                      "drain coverage %.1f%% is below the required %.1f%%"
-                      (100.0 *. got) (100.0 *. want) ))
+    let scaling =
+      Arg.(value & flag & info [ "scaling" ] ~doc:"Report the sharded-drain breakdown instead: per shard, drain wall attributed to execute / journal / sort / gather plus the barrier time spent waiting for the slowest sibling. Works on live traces and flight-recorder dumps; fails on single-engine traces.")
+    in
+    let run file min_coverage scaling =
+      if scaling then
+        match Trace_summary.scaling_of_file file with
+        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+        | Ok report -> (
+            Format.printf "%a@." Trace_summary.pp_scaling report;
+            match min_coverage with
+            | None -> `Ok ()
+            | Some want -> (
+                match
+                  List.find_opt
+                    (fun r -> r.Trace_summary.sh_coverage < want)
+                    report.Trace_summary.sc_shards
+                with
+                | None -> `Ok ()
+                | Some r ->
+                    `Error
+                      ( false,
+                        Printf.sprintf
+                          "shard %d drain coverage %.1f%% is below the \
+                           required %.1f%%"
+                          r.Trace_summary.sh_shard
+                          (100.0 *. r.Trace_summary.sh_coverage)
+                          (100.0 *. want) )))
+      else
+        match Trace_summary.of_file file with
+        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+        | Ok report -> (
+            Format.printf "%a@." Trace_summary.pp report;
+            match min_coverage with
+            | None -> `Ok ()
+            | Some want ->
+                let got = Trace_summary.coverage report in
+                if got >= want then `Ok ()
+                else
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "drain coverage %.1f%% is below the required %.1f%%"
+                        (100.0 *. got) (100.0 *. want) ))
     in
     Cmd.v
       (Cmd.info "summarize"
          ~doc:
            "Aggregate a Chrome trace (as written by serve-bench \
-            --trace-out) into a per-phase time breakdown.")
-      Term.(ret (const run $ trace_file_arg $ min_coverage))
+            --trace-out, or a flight-recorder dump) into a per-phase \
+            time breakdown; --scaling attributes sharded drain wall to \
+            execute/journal/sort/gather/barrier per shard.")
+      Term.(ret (const run $ trace_file_arg $ min_coverage $ scaling))
   in
   let prom_lint_cmd =
     let run file =
@@ -1155,14 +1252,22 @@ let trace_cmd =
       | text -> (
           match Prom.parse text with
           | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
-          | Ok samples ->
-              Printf.printf "%s: %d samples, exposition parses cleanly\n" file
-                (List.length samples);
-              `Ok ())
+          | Ok samples -> (
+              match Prom.lint samples with
+              | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+              | Ok l ->
+                  Printf.printf
+                    "%s: %d samples, %d histogram families, exposition \
+                     conforms\n"
+                    file l.Prom.l_samples l.Prom.l_histograms;
+                  `Ok ()))
     in
     Cmd.v
       (Cmd.info "prom-lint"
-         ~doc:"Check that a Prometheus text exposition file parses.")
+         ~doc:
+           "Check that a Prometheus text exposition file parses and that \
+            every histogram family conforms: cumulative buckets, a closing \
+            le=\"+Inf\", and matching _count/_sum series.")
       Term.(ret (const run $ trace_file_arg))
   in
   Cmd.group

@@ -1,0 +1,125 @@
+module Json = Cdw_util.Json
+module Prom = Cdw_obs.Prom
+
+type t = {
+  busy_us : int Atomic.t;
+  idle_us : int Atomic.t;
+  barrier_us : int Atomic.t;
+  sort_us : int Atomic.t;
+  journal_us : int Atomic.t;
+  execute_us : int Atomic.t;
+  gather_us : int Atomic.t;
+  journal_lag_us : int Atomic.t;
+  journal_lag_peak_us : int Atomic.t;
+  drains : int Atomic.t;
+  items : int Atomic.t;
+  inbox_depth_last : int Atomic.t;
+  inbox_depth_peak : int Atomic.t;
+}
+
+let create () =
+  {
+    busy_us = Atomic.make 0;
+    idle_us = Atomic.make 0;
+    barrier_us = Atomic.make 0;
+    sort_us = Atomic.make 0;
+    journal_us = Atomic.make 0;
+    execute_us = Atomic.make 0;
+    gather_us = Atomic.make 0;
+    journal_lag_us = Atomic.make 0;
+    journal_lag_peak_us = Atomic.make 0;
+    drains = Atomic.make 0;
+    items = Atomic.make 0;
+    inbox_depth_last = Atomic.make 0;
+    inbox_depth_peak = Atomic.make 0;
+  }
+
+let bump counter us =
+  if us > 0.0 then ignore (Atomic.fetch_and_add counter (int_of_float us))
+
+(* Max-update without CAS: every counter here has a single writer (the
+   shard's pinned domain, or the one thread holding the group drain
+   lock), so read-then-set cannot lose a larger concurrent value. *)
+let set_max counter v = if v > Atomic.get counter then Atomic.set counter v
+
+type stats = {
+  s_shard : int;
+  s_busy_us : int;
+  s_idle_us : int;
+  s_barrier_us : int;
+  s_sort_us : int;
+  s_journal_us : int;
+  s_execute_us : int;
+  s_gather_us : int;
+  s_journal_lag_us : int;
+  s_journal_lag_peak_us : int;
+  s_drains : int;
+  s_items : int;
+  s_inbox_depth_last : int;
+  s_inbox_depth_peak : int;
+}
+
+let stats ~shard t =
+  {
+    s_shard = shard;
+    s_busy_us = Atomic.get t.busy_us;
+    s_idle_us = Atomic.get t.idle_us;
+    s_barrier_us = Atomic.get t.barrier_us;
+    s_sort_us = Atomic.get t.sort_us;
+    s_journal_us = Atomic.get t.journal_us;
+    s_execute_us = Atomic.get t.execute_us;
+    s_gather_us = Atomic.get t.gather_us;
+    s_journal_lag_us = Atomic.get t.journal_lag_us;
+    s_journal_lag_peak_us = Atomic.get t.journal_lag_peak_us;
+    s_drains = Atomic.get t.drains;
+    s_items = Atomic.get t.items;
+    s_inbox_depth_last = Atomic.get t.inbox_depth_last;
+    s_inbox_depth_peak = Atomic.get t.inbox_depth_peak;
+  }
+
+let fields s =
+  [
+    ("busy_us", s.s_busy_us);
+    ("idle_us", s.s_idle_us);
+    ("barrier_us", s.s_barrier_us);
+    ("sort_us", s.s_sort_us);
+    ("journal_us", s.s_journal_us);
+    ("execute_us", s.s_execute_us);
+    ("gather_us", s.s_gather_us);
+    ("journal_lag_us", s.s_journal_lag_us);
+    ("journal_lag_peak_us", s.s_journal_lag_peak_us);
+    ("drains", s.s_drains);
+    ("items", s.s_items);
+    ("inbox_depth_last", s.s_inbox_depth_last);
+    ("inbox_depth_peak", s.s_inbox_depth_peak);
+  ]
+
+let stats_json s =
+  Json.Object
+    (("shard", Json.Number (float_of_int s.s_shard))
+    :: List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) (fields s))
+
+let prometheus stats_list =
+  match stats_list with
+  | [] -> ""
+  | _ ->
+      Prom.render_sets
+        (List.map
+           (fun s ->
+             {
+               Prom.s_labels = [ ("shard", string_of_int s.s_shard) ];
+               s_counters =
+                 List.map (fun (k, v) -> ("domain_" ^ k, v)) (fields s);
+               s_histograms = [];
+             })
+           stats_list)
+
+let barrier_fraction stats_list =
+  let busy =
+    List.fold_left (fun acc s -> acc + s.s_busy_us) 0 stats_list
+  in
+  let barrier =
+    List.fold_left (fun acc s -> acc + s.s_barrier_us) 0 stats_list
+  in
+  if busy + barrier = 0 then 0.0
+  else float_of_int barrier /. float_of_int (busy + barrier)

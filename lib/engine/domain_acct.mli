@@ -1,0 +1,84 @@
+(** Per-drain-domain stall accounting: monotonic atomic counters every
+    pinned shard domain updates as it drains, answering "where did this
+    domain's wall time go" without tracing enabled.
+
+    The update path is single-writer per counter (the shard's pinned
+    domain for busy/idle/phase counters; the thread holding the group
+    drain lock for barrier), so writes are plain atomic adds and a
+    max-update needs no CAS. Readers ({!stats}) may run from any
+    thread, any time — including signal handlers: the flight recorder's
+    context thunk dumps these.
+
+    Semantics (all µs, all monotonic):
+    - [busy]: wall time inside the shard's drain, end to end;
+    - [idle]: time the pinned domain spent waiting for a command;
+    - [barrier]: after this shard finished a scattered drain, how long
+      it waited for the {e slowest} shard of the same group drain — the
+      scatter/gather synchronization cost;
+    - [sort]/[journal]/[execute]/[gather]: the drain's phases — inbox
+      seq-sort, WAL-inclusive ingest, engine drain, reply regroup
+      (they tile [busy] almost exactly; the remainder is bookkeeping);
+    - [journal_lag]: Σ over ingested items of (ingest time − submit
+      time) — how far write-behind journaling runs behind the submit
+      stream ([journal_lag_peak] is the worst single item);
+    - [inbox_depth_last]/[_peak]: the MPSC inbox depth sampled at each
+      drain (the inbox only grows between drains, so the drain-boundary
+      sample {e is} the interval peak). *)
+
+type t = {
+  busy_us : int Atomic.t;
+  idle_us : int Atomic.t;
+  barrier_us : int Atomic.t;
+  sort_us : int Atomic.t;
+  journal_us : int Atomic.t;
+  execute_us : int Atomic.t;
+  gather_us : int Atomic.t;
+  journal_lag_us : int Atomic.t;
+  journal_lag_peak_us : int Atomic.t;
+  drains : int Atomic.t;
+  items : int Atomic.t;
+  inbox_depth_last : int Atomic.t;
+  inbox_depth_peak : int Atomic.t;
+}
+
+val create : unit -> t
+
+val bump : int Atomic.t -> float -> unit
+(** Add a (non-negative) µs duration to a counter. *)
+
+val set_max : int Atomic.t -> int -> unit
+(** Raise a single-writer gauge to [v] if larger. *)
+
+(** An immutable snapshot of one domain's counters. *)
+type stats = {
+  s_shard : int;
+  s_busy_us : int;
+  s_idle_us : int;
+  s_barrier_us : int;
+  s_sort_us : int;
+  s_journal_us : int;
+  s_execute_us : int;
+  s_gather_us : int;
+  s_journal_lag_us : int;
+  s_journal_lag_peak_us : int;
+  s_drains : int;
+  s_items : int;
+  s_inbox_depth_last : int;
+  s_inbox_depth_peak : int;
+}
+
+val stats : shard:int -> t -> stats
+
+val stats_json : stats -> Cdw_util.Json.t
+(** One flat object: [{"shard": i, "busy_us": ..., ...}] — the element
+    shape of the serving metrics' ["domains"] array. *)
+
+val prometheus : stats list -> string
+(** The counters as a Prometheus exposition fragment
+    ([cdw_domain_busy_us{shard="i"} ...]); empty string for an empty
+    list. Appended to the serving exposition. *)
+
+val barrier_fraction : stats list -> float
+(** [Σ barrier / (Σ busy + Σ barrier)] across the domains — the share
+    of drain-related wall time lost to the scatter/gather barrier. 0
+    when nothing has drained. *)

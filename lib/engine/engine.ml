@@ -61,6 +61,10 @@ let create ?(algorithm = Algorithms.Remove_min_mc)
 let index t = t.index
 let metrics t = Shared_index.metrics t.index
 let prometheus t = Metrics.prometheus (metrics t)
+
+(* A single engine drains on the caller (or a transient pool) — there
+   are no pinned domains to account for. *)
+let domain_stats _ = ([] : Domain_acct.stats list)
 let base t = Shared_index.base t.index
 let algorithm t = t.algorithm
 let seed t = t.seed

@@ -200,3 +200,7 @@ val metrics_json : t -> Cdw_util.Json.t
     count plus the pool-wide sums of the per-session
     {!Cdw_core.Incremental.stats} (solver runs, free hits, full
     resolves). *)
+
+val domain_stats : t -> Domain_acct.stats list
+(** Always [[]]: a single engine has no pinned drain domains to
+    account for ({!Serving.S.domain_stats}). *)

@@ -32,6 +32,7 @@ module type S = sig
   val metrics : t -> Metrics.t
   val metrics_json : t -> Cdw_util.Json.t
   val prometheus : t -> string
+  val domain_stats : t -> Domain_acct.stats list
   val set_journal : t -> (Engine.event -> unit) option -> unit
 end
 

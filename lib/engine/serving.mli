@@ -72,6 +72,12 @@ module type S = sig
   val metrics_json : t -> Cdw_util.Json.t
   val prometheus : t -> string
 
+  val domain_stats : t -> Domain_acct.stats list
+  (** Per-drain-domain stall accounting ({!Domain_acct}), one entry per
+      pinned shard domain. Empty for implementations that drain on the
+      caller (the single engine). Safe to call from any thread at any
+      time — the counters are single-writer atomics. *)
+
   val set_journal : t -> (Engine.event -> unit) option -> unit
   (** Install (or remove) the journal callback on every underlying
       engine. Sharded implementations may invoke it concurrently from

@@ -1,7 +1,9 @@
 module Engine = Cdw_engine.Engine
+module Trace = Cdw_obs.Trace
 
 type t = {
   fd : Unix.file_descr;
+  version : int;  (* the payload version this client speaks *)
   mutable outstanding : int;  (* pipelined submits awaiting their ack *)
 }
 
@@ -25,13 +27,15 @@ let rec connect_retry addr tries =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
 
-let connect ?(retries = 100) addr =
+let connect ?(retries = 100) ?(version = Wire.version) addr =
+  if version < Wire.min_version || version > Wire.version then
+    invalid_arg (Printf.sprintf "Client.connect: unknown version 0x%02x" version);
   (* A submit written to a server that died must surface as EPIPE (an
      exception the caller can handle), not as a process-killing
      SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  { fd = connect_retry addr retries; outstanding = 0 }
+  { fd = connect_retry addr retries; version; outstanding = 0 }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -56,9 +60,17 @@ let flush t =
     | _ -> failwith "protocol desync: expected a submit ack"
   done
 
+(* Every outgoing request carries the caller's current span id (0 when
+   tracing is off or the connection speaks 0x01) — the server parents
+   its own request span under it, stitching the two processes' traces
+   together. *)
+let send t request =
+  let trace = if t.version >= 0x02 then Trace.current_span () else 0 in
+  Wire.send_request ~version:t.version ~trace t.fd request
+
 let rpc t request =
   flush t;
-  Wire.send_request t.fd request;
+  send t request;
   read_reply t
 
 (* Pipelining must be bounded. Every unread ack occupies a whole skb
@@ -72,19 +84,25 @@ let max_outstanding = 128
 
 let submit t ~user request =
   if t.outstanding >= max_outstanding then flush t;
-  Wire.send_request t.fd (Wire.Submit { user; request });
+  Trace.span "client.submit"
+    ~args:[ ("user", user) ]
+    (fun () -> send t (Wire.Submit { user; request }));
   t.outstanding <- t.outstanding + 1
 
+(* The drain span covers send-to-last-reply, so the server's drain
+   (parented under it via the wire trace id) nests inside it on the
+   merged timeline. *)
 let drain t =
-  match rpc t Wire.Drain with
-  | Wire.Drain_r n ->
-      List.init n (fun _ ->
-          match read_reply t with
-          | Wire.Reply_r r -> r
-          | Wire.Error_r msg -> failwith msg
-          | _ -> failwith "protocol desync: expected a drain reply")
-  | Wire.Error_r msg -> failwith msg
-  | _ -> failwith "protocol desync: expected a drain header"
+  Trace.span "client.drain" (fun () ->
+      match rpc t Wire.Drain with
+      | Wire.Drain_r n ->
+          List.init n (fun _ ->
+              match read_reply t with
+              | Wire.Reply_r r -> r
+              | Wire.Error_r msg -> failwith msg
+              | _ -> failwith "protocol desync: expected a drain reply")
+      | Wire.Error_r msg -> failwith msg
+      | _ -> failwith "protocol desync: expected a drain header")
 
 let hello t =
   match rpc t Wire.Hello with
@@ -115,3 +133,9 @@ let ping t =
   | Wire.Pong -> ()
   | Wire.Error_r msg -> failwith msg
   | _ -> failwith "protocol desync: expected a pong"
+
+let server_trace t =
+  match rpc t Wire.Trace_req with
+  | Wire.Trace_r s -> s
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected a trace dump"

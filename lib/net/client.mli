@@ -14,11 +14,19 @@
 
 type t
 
-val connect : ?retries:int -> Unix.sockaddr -> t
+val connect : ?retries:int -> ?version:int -> Unix.sockaddr -> t
 (** Connect, retrying [ECONNREFUSED]/[ENOENT]/[ECONNRESET] every 50 ms
     up to [retries] (default 100) times — enough to race a server that
     is still binding its socket. Raises the last [Unix.Unix_error] if
-    the server never appears. *)
+    the server never appears.
+
+    [version] (default {!Wire.version}, 0x02) selects the payload
+    layout this client speaks; pass [0x01] to act as a legacy client.
+    On 0x02, every request carries the calling thread's current
+    {!Cdw_obs.Trace} span id (0 when tracing is off), and {!submit} /
+    {!drain} wrap themselves in ["client.submit"]/["client.drain"]
+    spans — so a traced run stitches client → server → shard into one
+    timeline (see {!server_trace}). *)
 
 val submit : t -> user:string -> Cdw_engine.Engine.request -> unit
 (** Pipeline one submit. The ack (or rejection) is read later — see
@@ -45,6 +53,11 @@ val metrics : t -> string
 
 val prometheus : t -> string
 val ping : t -> unit
+
+val server_trace : t -> string
+(** The server's own {!Cdw_obs.Trace.export} JSON text, [""] when
+    server-side tracing is off ([cdw serve] without [--trace]). Merge
+    it with the local export via {!Cdw_obs.Trace.merge_exports}. *)
 
 val close : t -> unit
 (** Close the socket. Pipelined-but-unflushed submits may or may not

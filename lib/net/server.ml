@@ -5,6 +5,7 @@ module Metrics = Cdw_engine.Metrics
 module Serialize = Cdw_core.Serialize
 module Serving = Cdw_shard.Serving
 module Trace = Cdw_obs.Trace
+module Flight = Cdw_obs.Flight
 
 type t = {
   serving : Serving.t;
@@ -38,6 +39,7 @@ let op_name = function
   | Wire.Metrics -> "metrics"
   | Wire.Prom -> "prom"
   | Wire.Ping -> "ping"
+  | Wire.Trace_req -> "trace"
 
 let hello_reply t =
   Wire.Hello_r
@@ -52,12 +54,29 @@ let hello_reply t =
    rejections — journal refusing an oversized record, unknown
    algorithm states — come back as framed errors; they never tear the
    connection down. *)
-let serve_one t fd request =
+let serve_one t fd ~trace request =
   Metrics.incr t.metrics "net.requests";
+  match request with
+  | Wire.Trace_req ->
+      (* Answered outside any span: the export must not carry an
+         unbalanced begin event for the very request that fetched it.
+         Best-effort under load — the contract asks callers to fetch
+         after their traced work quiesced. *)
+      let text =
+        if Trace.enabled () then
+          Json.to_string ~pretty:false (Trace.export ())
+        else ""
+      in
+      Wire.send_reply fd (Wire.Trace_r text)
+  | request ->
+  (* A non-zero wire trace id is the client's span: parenting this
+     request's span under it stitches the two processes' traces. *)
   Trace.span "net.request"
+    ?parent:(if trace = 0 then None else Some trace)
     ~args:[ ("op", op_name request) ]
     (fun () ->
       match request with
+      | Wire.Trace_req -> assert false (* handled above *)
       | Wire.Hello -> Wire.send_reply fd (hello_reply t)
       | Wire.Submit { user; request } -> (
           match Serving.submit t.serving ~user request with
@@ -129,15 +148,18 @@ let rec conn_loop t fd =
       (match Wire.send_reply fd (Wire.Error_r msg) with
       | () -> conn_loop t fd
       | exception (Unix.Unix_error _ | Sys_error _) -> drop_conn t fd)
-  | Ok (Ok request) -> (
-      match serve_one t fd request with
+  | Ok (Ok (request, trace)) -> (
+      match serve_one t fd ~trace request with
       | () -> conn_loop t fd
       | exception (Unix.Unix_error _ | Sys_error _) ->
           (* The peer vanished mid-reply. *)
           drop_conn t fd
       | exception exn ->
           (* A serving bug must not kill the server: report it on this
-             connection and keep the connection alive. *)
+             connection and keep the connection alive. The flight
+             recorder dumps its rings first — the post-mortem record of
+             what the domains were doing when the bug fired. *)
+          Flight.fatal_dump ();
           Metrics.incr t.metrics "net.errors";
           (match
              Wire.send_reply fd

@@ -1,7 +1,8 @@
 module Engine = Cdw_engine.Engine
 module Frame = Cdw_store.Frame
 
-let version = 0x01
+let version = 0x02
+let min_version = 0x01
 
 type hello = {
   h_algorithm : string;
@@ -18,6 +19,7 @@ type request =
   | Metrics
   | Prom
   | Ping
+  | Trace_req
 
 type reply =
   | Hello_r of hello
@@ -27,6 +29,7 @@ type reply =
   | Metrics_r of string
   | Prom_r of string
   | Pong
+  | Trace_r of string
   | Error_r of string
 
 (* ---------------------------------------------------------------- *)
@@ -134,16 +137,29 @@ let rengine_reply buf pos =
   { Engine.user; request; result; time_ms }
 
 (* ---------------------------------------------------------------- *)
-(* Payload = [version u8][opcode u8][body]                           *)
+(* Payload. Version 0x01: [0x01][opcode u8][body].
+   Version 0x02:          [0x02][opcode u8][trace i64][body] —
+   identical except for the 64-bit trace/span id between opcode and
+   body (0 = untraced). Replies never carry a trace id, so they are
+   always emitted in the 0x01 layout — which is also what keeps a
+   0x01-speaking client working against a 0x02 server unchanged. *)
 
-let payload opcode body_writer =
+let payload ~version:v ~trace opcode body_writer =
   let b = Buffer.create 64 in
-  u8 b version;
+  u8 b v;
   u8 b opcode;
+  if v >= 0x02 then i64 b trace;
   body_writer b;
   Buffer.contents b
 
-let encode_request = function
+let encode_request ?(version = version) ?(trace = 0) request =
+  if version < min_version || version > 0x02 then
+    invalid_arg
+      (Printf.sprintf "Wire.encode_request: unknown version 0x%02x" version);
+  if trace <> 0 && version < 0x02 then
+    invalid_arg "Wire.encode_request: trace ids require version 0x02";
+  let payload opcode w = payload ~version ~trace opcode w in
+  match request with
   | Hello -> payload 0x01 ignore
   | Submit { user; request } ->
       payload 0x02 (fun b ->
@@ -154,8 +170,11 @@ let encode_request = function
   | Metrics -> payload 0x05 ignore
   | Prom -> payload 0x06 ignore
   | Ping -> payload 0x07 ignore
+  | Trace_req -> payload 0x08 ignore
 
-let encode_reply = function
+let encode_reply reply =
+  let payload opcode w = payload ~version:0x01 ~trace:0 opcode w in
+  match reply with
   | Hello_r h ->
       payload 0x81 (fun b ->
           str b h.h_algorithm;
@@ -168,10 +187,11 @@ let encode_reply = function
   | Metrics_r s -> payload 0x85 (fun b -> str b s)
   | Prom_r s -> payload 0x86 (fun b -> str b s)
   | Pong -> payload 0x87 ignore
+  | Trace_r s -> payload 0x88 (fun b -> str b s)
   | Error_r msg -> payload 0xEF (fun b -> str b msg)
 
-let with_body buf f =
-  let pos = ref 2 in
+let with_body buf pos0 f =
+  let pos = ref pos0 in
   match f buf pos with
   | v ->
       if !pos <> String.length buf then Error "trailing bytes after body"
@@ -180,52 +200,68 @@ let with_body buf f =
 
 let check_header buf =
   if String.length buf < 2 then Error "payload shorter than its header"
-  else if Char.code buf.[0] <> version then
-    Error
-      (Printf.sprintf "unsupported protocol version 0x%02x"
-         (Char.code buf.[0]))
-  else Ok (Char.code buf.[1])
+  else
+    let v = Char.code buf.[0] in
+    if v < min_version || v > version then
+      Error (Printf.sprintf "unsupported protocol version 0x%02x" v)
+    else Ok (v, Char.code buf.[1])
 
 let decode_request buf =
   match check_header buf with
-  | Error _ as e -> e
-  | Ok opcode -> (
+  | Error msg -> Error msg
+  | Ok (v, opcode) -> (
       (* Body-less opcodes still go through [with_body] so trailing
          bytes are rejected uniformly. *)
-      match opcode with
-      | 0x01 -> with_body buf (fun _ _ -> Hello)
-      | 0x02 ->
-          with_body buf (fun buf pos ->
-              let user = rstr buf pos in
-              let request = rengine_request buf pos in
-              Submit { user; request })
-      | 0x03 -> with_body buf (fun _ _ -> Drain)
-      | 0x04 -> with_body buf (fun buf pos -> Forget (rstr buf pos))
-      | 0x05 -> with_body buf (fun _ _ -> Metrics)
-      | 0x06 -> with_body buf (fun _ _ -> Prom)
-      | 0x07 -> with_body buf (fun _ _ -> Ping)
-      | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op))
+      let body pos0 =
+        match opcode with
+        | 0x01 -> with_body buf pos0 (fun _ _ -> Hello)
+        | 0x02 ->
+            with_body buf pos0 (fun buf pos ->
+                let user = rstr buf pos in
+                let request = rengine_request buf pos in
+                Submit { user; request })
+        | 0x03 -> with_body buf pos0 (fun _ _ -> Drain)
+        | 0x04 -> with_body buf pos0 (fun buf pos -> Forget (rstr buf pos))
+        | 0x05 -> with_body buf pos0 (fun _ _ -> Metrics)
+        | 0x06 -> with_body buf pos0 (fun _ _ -> Prom)
+        | 0x07 -> with_body buf pos0 (fun _ _ -> Ping)
+        | 0x08 -> with_body buf pos0 (fun _ _ -> Trace_req)
+        | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
+      in
+      if v = 0x01 then Result.map (fun r -> (r, 0)) (body 2)
+      else
+        let pos = ref 2 in
+        match ri64 buf pos with
+        | exception Malformed msg -> Error msg
+        | trace -> Result.map (fun r -> (r, trace)) (body !pos))
 
 let decode_reply buf =
   match check_header buf with
-  | Error _ as e -> e
-  | Ok opcode -> (
-      match opcode with
-      | 0x81 ->
-          with_body buf (fun buf pos ->
-              let h_algorithm = rstr buf pos in
-              let h_seed = ri64 buf pos in
-              let h_shards = ri64 buf pos in
-              let h_workflow = rstr buf pos in
-              Hello_r { h_algorithm; h_seed; h_shards; h_workflow })
-      | 0x82 -> with_body buf (fun _ _ -> Ack)
-      | 0x83 -> with_body buf (fun buf pos -> Drain_r (ri64 buf pos))
-      | 0x84 -> with_body buf (fun buf pos -> Reply_r (rengine_reply buf pos))
-      | 0x85 -> with_body buf (fun buf pos -> Metrics_r (rstr buf pos))
-      | 0x86 -> with_body buf (fun buf pos -> Prom_r (rstr buf pos))
-      | 0x87 -> with_body buf (fun _ _ -> Pong)
-      | 0xEF -> with_body buf (fun buf pos -> Error_r (rstr buf pos))
-      | op -> Error (Printf.sprintf "unknown reply opcode 0x%02x" op))
+  | Error msg -> Error msg
+  | Ok (v, opcode) ->
+      (* Tolerant on the read side: a 0x02 reply would carry a trace id
+         we skip (our own servers always reply in the 0x01 layout). *)
+      let pos0 = if v = 0x01 then 2 else 10 in
+      if String.length buf < pos0 then Error "truncated body"
+      else (
+        match opcode with
+        | 0x81 ->
+            with_body buf pos0 (fun buf pos ->
+                let h_algorithm = rstr buf pos in
+                let h_seed = ri64 buf pos in
+                let h_shards = ri64 buf pos in
+                let h_workflow = rstr buf pos in
+                Hello_r { h_algorithm; h_seed; h_shards; h_workflow })
+        | 0x82 -> with_body buf pos0 (fun _ _ -> Ack)
+        | 0x83 -> with_body buf pos0 (fun buf pos -> Drain_r (ri64 buf pos))
+        | 0x84 ->
+            with_body buf pos0 (fun buf pos -> Reply_r (rengine_reply buf pos))
+        | 0x85 -> with_body buf pos0 (fun buf pos -> Metrics_r (rstr buf pos))
+        | 0x86 -> with_body buf pos0 (fun buf pos -> Prom_r (rstr buf pos))
+        | 0x87 -> with_body buf pos0 (fun _ _ -> Pong)
+        | 0x88 -> with_body buf pos0 (fun buf pos -> Trace_r (rstr buf pos))
+        | 0xEF -> with_body buf pos0 (fun buf pos -> Error_r (rstr buf pos))
+        | op -> Error (Printf.sprintf "unknown reply opcode 0x%02x" op))
 
 (* ---------------------------------------------------------------- *)
 (* Socket framing: the WAL's [length u32][crc32 u32][payload] frame,
@@ -292,7 +328,9 @@ let read_frame fd =
           | Error (`Corrupt _ as e) | Error (`Torn _ as e) -> Error e
           | Error `Eof -> Error (`Torn "empty frame"))
 
-let send_request fd request = write_frame fd (encode_request request)
+let send_request ?version ?trace fd request =
+  write_frame fd (encode_request ?version ?trace request)
+
 let send_reply fd reply = write_frame fd (encode_reply reply)
 
 let read_request fd =

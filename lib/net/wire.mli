@@ -7,11 +7,20 @@
     length is {e corrupt}, and a read that starts on a frame boundary
     and gets zero bytes is a clean EOF.
 
-    The payload is [[version u8][opcode u8][body]], all integers
-    little-endian. Version is {!version} (0x01); a peer speaking any
-    other version gets a framed [Error_r] naming the byte. Request
-    opcodes are [0x01]–[0x07], reply opcodes [0x81]–[0x87] plus
-    [0xEF] ([Error_r]).
+    The payload layout depends on the leading version byte:
+    - [0x01]: [[0x01][opcode u8][body]];
+    - [0x02]: [[0x02][opcode u8][trace i64][body]] — identical except
+      for a 64-bit trace/span id between opcode and body. [0] means
+      untraced; anything else is the sender's {!Cdw_obs.Trace} span id,
+      which the server passes as the [?parent] of its own request span
+      so one Perfetto timeline stitches client → server → shard.
+
+    Both versions are accepted on decode; a peer speaking any other
+    version gets a framed [Error_r] naming the byte. {e Replies} never
+    carry a trace id, so they are always emitted in the [0x01] layout —
+    which is also why a 0x01 client against a 0x02 server round-trips
+    unchanged (and untraced). Request opcodes are [0x01]–[0x08], reply
+    opcodes [0x81]–[0x88] plus [0xEF] ([Error_r]).
 
     Every request draws exactly one reply frame, except [Drain]: its
     [Drain_r n] header frame is followed by exactly [n] [Reply_r]
@@ -19,7 +28,11 @@
     without ever outgrowing {!Cdw_store.Frame.max_payload}). *)
 
 val version : int
-(** 0x01 — the protocol version byte every payload leads with. *)
+(** 0x02 — the newest protocol version, and the default for encoding
+    requests. *)
+
+val min_version : int
+(** 0x01 — the oldest version still accepted. *)
 
 type hello = {
   h_algorithm : string;  (** {!Cdw_core.Algorithms.to_string} name *)
@@ -41,6 +54,11 @@ type request =
   | Metrics  (** one JSON object: serving + net registries *)
   | Prom  (** Prometheus text exposition *)
   | Ping
+  | Trace_req
+      (** the server's {!Cdw_obs.Trace.export} JSON text (empty when
+          server-side tracing is off) — what lets a traced
+          [serve-bench --connect] run merge both processes' spans into
+          one timeline *)
 
 type reply =
   | Hello_r of hello
@@ -50,19 +68,26 @@ type reply =
   | Metrics_r of string
   | Prom_r of string
   | Pong
+  | Trace_r of string
   | Error_r of string
 
 (** {1 Payload codec} (exposed for tests; servers and clients use the
     fd helpers below) *)
 
-val encode_request : request -> string
+val encode_request : ?version:int -> ?trace:int -> request -> string
+(** [version] defaults to {!version} (0x02). [trace] (default 0 =
+    untraced) is the sender's span id; raises [Invalid_argument] if a
+    non-zero [trace] is combined with version 0x01, which has no field
+    to carry it. *)
+
 val encode_reply : reply -> string
 
-val decode_request : string -> (request, string) result
-(** [Error] describes the malformation (bad version, unknown opcode,
-    truncated or trailing body bytes) — the server answers it with a
-    framed [Error_r] and keeps the connection: the {e frame} was
-    intact, so the stream is still in sync. *)
+val decode_request : string -> (request * int, string) result
+(** The decoded request and its trace id (0 for untraced or version
+    0x01 payloads). [Error] describes the malformation (bad version,
+    unknown opcode, truncated or trailing body bytes) — the server
+    answers it with a framed [Error_r] and keeps the connection: the
+    {e frame} was intact, so the stream is still in sync. *)
 
 val decode_reply : string -> (reply, string) result
 
@@ -83,12 +108,14 @@ val read_frame :
     connection must be closed, exactly like a damaged WAL tail ends
     replay. *)
 
-val send_request : Unix.file_descr -> request -> unit
+val send_request :
+  ?version:int -> ?trace:int -> Unix.file_descr -> request -> unit
+
 val send_reply : Unix.file_descr -> reply -> unit
 
 val read_request :
   Unix.file_descr ->
-  ((request, string) result,
+  ((request * int, string) result,
    [ `Eof | `Torn of string | `Corrupt of string ])
   result
 (** The outer [result] is frame transport (see {!read_frame}); the

@@ -193,3 +193,103 @@ let parse text =
           loop (sample :: acc) next rest
   in
   loop [] 1 lines
+
+type lint = { l_samples : int; l_histograms : int }
+
+(* Conformance checks over a parsed exposition: every histogram family
+   must have cumulative buckets (non-decreasing by ascending [le]), a
+   closing [le="+Inf"] bucket, and matching [_count] / [_sum] series
+   under the same label set, with [_count] equal to the +Inf bucket.
+   Scrapers (and recording rules like histogram_quantile) silently
+   misbehave on any of these, so the lint fails loudly instead. *)
+let lint samples =
+  let ( let* ) = Result.bind in
+  let norm labels =
+    List.sort compare (List.filter (fun (k, _) -> k <> "le") labels)
+  in
+  let key metric labels =
+    metric ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) (norm labels))
+    ^ "}"
+  in
+  (* Every sample, for _count/_sum lookups. *)
+  let values = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace values (key s.metric s.labels) s.value)
+    samples;
+  (* Bucket samples grouped into histogram families, first-seen order. *)
+  let strip_bucket name =
+    let n = String.length name in
+    if n > 7 && String.sub name (n - 7) 7 = "_bucket" then
+      Some (String.sub name 0 (n - 7))
+    else None
+  in
+  let families = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match strip_bucket s.metric with
+      | None -> ()
+      | Some base ->
+          let k = key base s.labels in
+          (match Hashtbl.find_opt families k with
+          | Some buckets -> Hashtbl.replace families k (s :: buckets)
+          | None ->
+              order := (k, base, norm s.labels) :: !order;
+              Hashtbl.replace families k [ s ]))
+    samples;
+  let check_family (k, base, labels) =
+    let buckets = List.rev (Hashtbl.find families k) in
+    let* parsed =
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          match List.assoc_opt "le" s.labels with
+          | None -> Error (Printf.sprintf "%s: _bucket sample without le" k)
+          | Some "+Inf" -> Ok ((infinity, s.value) :: acc)
+          | Some le -> (
+              match float_of_string_opt le with
+              | Some f -> Ok ((f, s.value) :: acc)
+              | None ->
+                  Error (Printf.sprintf "%s: unparseable le=%S" k le)))
+        (Ok []) buckets
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) parsed in
+    let rec cumulative = function
+      | (le1, v1) :: ((_, v2) :: _ as rest) ->
+          if v2 < v1 then
+            Error
+              (Printf.sprintf
+                 "%s: buckets not cumulative (value drops after le=%g)" k le1)
+          else cumulative rest
+      | _ -> Ok ()
+    in
+    let* () = cumulative sorted in
+    let* inf_v =
+      match List.find_opt (fun (le, _) -> le = infinity) sorted with
+      | Some (_, v) -> Ok v
+      | None -> Error (Printf.sprintf "%s: no le=\"+Inf\" bucket" k)
+    in
+    let* count =
+      match Hashtbl.find_opt values (key (base ^ "_count") labels) with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "%s: missing %s_count" k base)
+    in
+    let* () =
+      if count = inf_v then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: _count (%g) <> le=\"+Inf\" bucket (%g)" k
+             count inf_v)
+    in
+    match Hashtbl.find_opt values (key (base ^ "_sum") labels) with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "%s: missing %s_sum" k base)
+  in
+  let* () =
+    List.fold_left
+      (fun acc fam ->
+        let* () = acc in
+        check_family fam)
+      (Ok ()) (List.rev !order)
+  in
+  Ok { l_samples = List.length samples; l_histograms = Hashtbl.length families }

@@ -53,3 +53,17 @@ type sample = {
 val parse : string -> (sample list, string) result
 (** Samples in exposition order. [Error] carries the 1-based line
     number and reason of the first malformed line. *)
+
+type lint = {
+  l_samples : int;  (** samples checked *)
+  l_histograms : int;  (** histogram families (base name × label set) *)
+}
+
+val lint : sample list -> (lint, string) result
+(** Histogram exposition conformance over parsed samples: every
+    [_bucket] family (grouped by base name and labels minus [le]) must
+    have parseable [le] values, cumulative bucket counts
+    (non-decreasing by ascending [le]), a closing [le="+Inf"] bucket,
+    and sibling [_count] (equal to the +Inf bucket) and [_sum] series
+    under the same label set. [Error] names the first offending family
+    and defect. *)

@@ -26,7 +26,13 @@ type buffer = {
 let enabled_flag = Atomic.make false
 let capacity = Atomic.make 262_144
 let epoch = Atomic.make 0.0
-let next_sid = Atomic.make 1
+
+(* Span ids must stay unique across *processes*: a wire client sends its
+   current span id to the server, whose own spans parent under it, and
+   the two exports are later merged into one timeline. Seeding the
+   counter with the pid keeps the two id streams disjoint (2^40 spans
+   per process before wrap — far past any buffer capacity). *)
+let next_sid = Atomic.make (((Unix.getpid () land 0xFFFF) lsl 40) lor 1)
 let registry : buffer list ref = ref []
 let registry_lock = Mutex.create ()
 
@@ -118,6 +124,8 @@ let current_span () =
   else
     match (Domain.DLS.get key).stack with (sid, _) :: _ -> sid | [] -> 0
 
+let prewarm () = ignore (Domain.DLS.get key : buffer)
+
 let buffers () =
   Mutex.lock registry_lock;
   let bs = !registry in
@@ -129,6 +137,8 @@ let recorded_events () =
 
 let dropped () = List.fold_left (fun acc b -> acc + b.dropped) 0 (buffers ())
 
+let pid = float_of_int (Unix.getpid ())
+
 let event_json ~tid ev =
   let base =
     [
@@ -136,7 +146,7 @@ let event_json ~tid ev =
       ("cat", Json.String "cdw");
       ("ph", Json.String (String.make 1 ev.ph));
       ("ts", Json.Number ev.ts);
-      ("pid", Json.Number 1.0);
+      ("pid", Json.Number pid);
       ("tid", Json.Number (float_of_int tid));
     ]
   in
@@ -154,19 +164,35 @@ let thread_name_json tid =
     [
       ("name", Json.String "thread_name");
       ("ph", Json.String "M");
-      ("pid", Json.Number 1.0);
+      ("pid", Json.Number pid);
       ("tid", Json.Number (float_of_int tid));
       ( "args",
         Json.Object [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ]
       );
     ]
 
+let process_name_json label =
+  Json.Object
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Number pid);
+      ("tid", Json.Number 0.0);
+      ("args", Json.Object [ ("name", Json.String label) ]);
+    ]
+
+let process_label = Atomic.make "cdw"
+let set_process_label l = Atomic.set process_label l
+
 let export () =
   let bs =
     List.sort (fun a b -> compare a.tid b.tid) (buffers ())
     |> List.filter (fun b -> b.len > 0)
   in
-  let metadata = List.map (fun b -> thread_name_json b.tid) bs in
+  let metadata =
+    process_name_json (Atomic.get process_label)
+    :: List.map (fun b -> thread_name_json b.tid) bs
+  in
   let events =
     List.concat_map
       (fun b ->
@@ -177,6 +203,46 @@ let export () =
     [
       ("traceEvents", Json.Array (metadata @ events));
       ("displayTimeUnit", Json.String "ms");
+      (* Absolute anchor of ts = 0 (µs since the Unix epoch): what lets
+         two processes' exports be shifted onto one clock. *)
+      ("traceEpochUs", Json.Number (Atomic.get epoch *. 1e6));
+    ]
+
+(* Merge another process's export into ours: its timestamps are
+   relative to *its* trace epoch, so shift them by the epoch delta onto
+   our clock, then concatenate. Events without a [ts] (metadata) pass
+   through unshifted. Distinct pids keep the two processes as separate
+   tracks in Perfetto. *)
+let merge_exports ours theirs =
+  let epoch_us j =
+    match Option.bind (Json.member "traceEpochUs" j) Json.to_float with
+    | Some e -> e
+    | None -> 0.0
+  in
+  let events j =
+    match Option.bind (Json.member "traceEvents" j) Json.to_list with
+    | Some evs -> evs
+    | None -> []
+  in
+  let shift = epoch_us theirs -. epoch_us ours in
+  let shifted =
+    List.map
+      (fun ev ->
+        match (ev, Option.bind (Json.member "ts" ev) Json.to_float) with
+        | Json.Object fields, Some ts ->
+            Json.Object
+              (List.map
+                 (fun (k, v) ->
+                   if k = "ts" then (k, Json.Number (ts +. shift)) else (k, v))
+                 fields)
+        | _ -> ev)
+      (events theirs)
+  in
+  Json.Object
+    [
+      ("traceEvents", Json.Array (events ours @ shifted));
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEpochUs", Json.Number (epoch_us ours));
     ]
 
 let write path =

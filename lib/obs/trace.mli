@@ -41,7 +41,18 @@ val span :
 
 val current_span : unit -> int
 (** Id of the innermost open span on this domain, 0 if none. Non-zero
-    only while tracing is enabled. *)
+    only while tracing is enabled. Ids are unique across processes
+    (the counter is seeded from the pid), so a span id can travel over
+    a wire protocol and parent spans in another process. *)
+
+val prewarm : unit -> unit
+(** Allocate the calling domain's event buffer now instead of lazily
+    inside its first {!span}. Long-lived worker domains call this at
+    spawn so the one-time allocation never inflates a measured span. *)
+
+val set_process_label : string -> unit
+(** Name this process's track in the exported timeline (the Perfetto
+    [process_name] metadata; default ["cdw"]). *)
 
 (** {1 Introspection} *)
 
@@ -55,11 +66,21 @@ val dropped : unit -> int
 
 val export : unit -> Cdw_util.Json.t
 (** The whole trace as a Chrome trace-event JSON object:
-    [{ "traceEvents": [...], "displayTimeUnit": "ms" }]. Each span
-    contributes a ["B"]/["E"] pair carrying [pid]/[tid] (the domain),
-    and begin events carry ["id"]/["parent"] span-id args. Thread-name
-    metadata events label each domain. Call after the traced work has
-    quiesced. *)
+    [{ "traceEvents": [...], "displayTimeUnit": "ms",
+       "traceEpochUs": ... }]. Each span contributes a ["B"]/["E"]
+    pair carrying [pid] (the process) and [tid] (the domain), and
+    begin events carry ["id"]/["parent"] span-id args. Thread-name and
+    process-name metadata events label the tracks. [traceEpochUs]
+    anchors [ts = 0] in absolute time (µs since the Unix epoch) so
+    exports from different processes can be aligned — see
+    {!merge_exports}. Call after the traced work has quiesced. *)
+
+val merge_exports : Cdw_util.Json.t -> Cdw_util.Json.t -> Cdw_util.Json.t
+(** [merge_exports ours theirs] shifts [theirs]'s timestamps by the
+    two exports' [traceEpochUs] delta onto [ours]'s clock and
+    concatenates the event streams — one Perfetto timeline spanning
+    both processes (wall clocks permitting: the alignment is as good
+    as the two hosts' clock agreement; on one host it is exact). *)
 
 val write : string -> unit
 (** {!export} serialized (compact) into a file. *)

@@ -55,6 +55,7 @@ module Single = struct
   let metrics t = Engine.metrics t.engine
   let metrics_json t = Engine.metrics_json t.engine
   let prometheus t = Engine.prometheus t.engine
+  let domain_stats t = Engine.domain_stats t.engine
   let set_journal t cb = Engine.set_journal t.engine cb
   let shards _ = 1
 
@@ -116,6 +117,7 @@ let session_states (Packed ((module M), v)) = M.session_states v
 let metrics (Packed ((module M), v)) = M.metrics v
 let metrics_json (Packed ((module M), v)) = M.metrics_json v
 let prometheus (Packed ((module M), v)) = M.prometheus v
+let domain_stats (Packed ((module M), v)) = M.domain_stats v
 let set_journal (Packed ((module M), v)) cb = M.set_journal v cb
 let shards (Packed ((module M), v)) = M.shards v
 

@@ -106,6 +106,11 @@ val session_states : t -> (string * (int * int) list * int list) list
 val metrics : t -> Cdw_engine.Metrics.t
 val metrics_json : t -> Cdw_util.Json.t
 val prometheus : t -> string
+
+val domain_stats : t -> Cdw_engine.Domain_acct.stats list
+(** Per-drain-domain accounting, one entry per shard. Empty for a
+    single-engine serving value (no pinned domains to account). *)
+
 val set_journal : t -> (Cdw_engine.Engine.event -> unit) option -> unit
 val shards : t -> int
 

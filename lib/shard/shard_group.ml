@@ -1,6 +1,8 @@
 module Algorithms = Cdw_core.Algorithms
+module Domain_acct = Cdw_engine.Domain_acct
 module Domain_pool = Cdw_engine.Domain_pool
 module Engine = Cdw_engine.Engine
+module Flight = Cdw_obs.Flight
 module Incremental = Cdw_core.Incremental
 module Json = Cdw_util.Json
 module Metrics = Cdw_engine.Metrics
@@ -36,10 +38,13 @@ type shard = {
   engine : Engine.t;
   inbox : item Mpsc.t;
   depth : int Atomic.t;  (* items in [inbox], racy but convergent *)
+  acct : Domain_acct.t;  (* busy/idle/barrier/phase stall accounting *)
   m : Mutex.t;  (* guards [cmd], [outcome] *)
   cv : Condition.t;
   mutable cmd : command option;
-  mutable outcome : (int * (gather list, exn) result) option;
+  mutable outcome : (int * (gather list, exn) result * float) option;
+      (* (ticket, result, finish time µs) — the finish time is what the
+         gather uses to charge each shard's barrier wait *)
   mutable domain : unit Domain.t option;  (* the pinned drain domain *)
 }
 
@@ -68,6 +73,7 @@ let group_of_engines engines =
             engine;
             inbox = Mpsc.create ();
             depth = Atomic.make 0;
+            acct = Domain_acct.create ();
             m = Mutex.create ();
             cv = Condition.create ();
             cmd = None;
@@ -119,87 +125,141 @@ let pending t =
 (* Per-shard drain (runs on the shard's pinned domain, or on the
    caller in [`Sequential] mode)                                     *)
 
+(* One drain phase: a child trace span, a flight-recorder entry, and a
+   [Domain_acct] counter bump — the three observability surfaces record
+   the same interval, so a trace, a post-mortem flight dump and the
+   Prometheus counters all tell one story. *)
+let phase shard counter name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      Domain_acct.bump counter dur_us;
+      Flight.record ~shard:shard.position name ~t0_us:(t0 *. 1e6) ~dur_us)
+    (fun () ->
+      Trace.span name ~args:[ ("shard", string_of_int shard.position) ] f)
+
 (* Take the shard's whole inbox, restore the global submission order
    (CAS order under racing producers can differ from seq order), feed
    the engine — journal hooks fire inside [Engine.submit], so the WAL
    records land in seq order — and drain. A submit the journal rejects
    (e.g. an oversized record) answers with a framed error reply instead
-   of killing the shard domain. *)
+   of killing the shard domain.
+
+   The body is tiled by four phases — sort, journal (ingest), execute,
+   gather — so `trace summarize --scaling` can attribute essentially
+   all of a shard's drain wall time (the residue between [shard.drain]
+   and the four children is span bookkeeping alone). *)
 let drain_shard shard ~parent =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      Domain_acct.bump shard.acct.Domain_acct.busy_us dur_us;
+      Atomic.incr shard.acct.Domain_acct.drains;
+      Flight.record ~shard:shard.position "shard.drain" ~t0_us:(t0 *. 1e6)
+        ~dur_us)
+    (fun () ->
   Trace.span "shard.drain" ~parent
     ~args:[ ("shard", string_of_int shard.position) ]
     (fun () ->
-      let items =
-        List.sort
-          (fun (a : item) (b : item) -> compare a.seq b.seq)
-          (Mpsc.take_all shard.inbox)
-      in
-      let n = List.length items in
-      if n > 0 then ignore (Atomic.fetch_and_add shard.depth (-n));
+      let acct = shard.acct in
       let m = Engine.metrics shard.engine in
-      Metrics.record_ms m "queue_depth" (float_of_int n);
+      let items =
+        phase shard acct.Domain_acct.sort_us "shard.sort" (fun () ->
+            let items =
+              List.sort
+                (fun (a : item) (b : item) -> compare a.seq b.seq)
+                (Mpsc.take_all shard.inbox)
+            in
+            let n = List.length items in
+            if n > 0 then ignore (Atomic.fetch_and_add shard.depth (-n));
+            (* The inbox only grows between drains (a drain takes it
+               whole), so the batch size *is* the inter-drain depth
+               peak. *)
+            Atomic.set acct.Domain_acct.inbox_depth_last n;
+            Domain_acct.set_max acct.Domain_acct.inbox_depth_peak n;
+            ignore (Atomic.fetch_and_add acct.Domain_acct.items n);
+            Metrics.record_ms m "queue_depth" (float_of_int n);
+            items)
+      in
       let first : (string, int) Hashtbl.t = Hashtbl.create 16 in
       let rejected = ref [] in
-      List.iter
-        (fun it ->
-          if not (Hashtbl.mem first it.i_user) then
-            Hashtbl.add first it.i_user it.seq;
-          match
-            Engine.submit ~submitted_ms:it.at_ms shard.engine ~user:it.i_user
-              it.i_request
-          with
-          | () -> ()
-          | exception exn ->
-              let msg =
-                match exn with
-                | Invalid_argument m | Failure m -> m
-                | e -> Printexc.to_string e
-              in
-              Metrics.incr m "shard.submit.rejected";
-              rejected :=
-                {
-                  Engine.user = it.i_user;
-                  request = it.i_request;
-                  result = Error msg;
-                  time_ms = 0.0;
-                }
-                :: !rejected)
-        items;
-      let replies = Engine.drain ~mode:`Sequential shard.engine in
-      (* Engine replies come back grouped by user: cut them into
-         per-user runs, then append any rejected submits to their
-         user's run (or open one) so no request goes unanswered. *)
-      let runs =
-        List.fold_left
-          (fun acc (r : Engine.reply) ->
-            match acc with
-            | (u, rs) :: rest when u = r.Engine.user -> (u, r :: rs) :: rest
-            | _ -> (r.Engine.user, [ r ]) :: acc)
-          [] replies
-        |> List.rev_map (fun (u, rs) -> (u, List.rev rs))
+      phase shard acct.Domain_acct.journal_us "shard.journal" (fun () ->
+          let ingest_ms = Timing.now_ms () in
+          let lag = ref 0.0 and lag_peak = ref 0.0 in
+          List.iter
+            (fun it ->
+              let l = Float.max 0.0 (ingest_ms -. it.at_ms) in
+              lag := !lag +. l;
+              if l > !lag_peak then lag_peak := l;
+              if not (Hashtbl.mem first it.i_user) then
+                Hashtbl.add first it.i_user it.seq;
+              match
+                Engine.submit ~submitted_ms:it.at_ms shard.engine
+                  ~user:it.i_user it.i_request
+              with
+              | () -> ()
+              | exception exn ->
+                  let msg =
+                    match exn with
+                    | Invalid_argument m | Failure m -> m
+                    | e -> Printexc.to_string e
+                  in
+                  Metrics.incr m "shard.submit.rejected";
+                  rejected :=
+                    {
+                      Engine.user = it.i_user;
+                      request = it.i_request;
+                      result = Error msg;
+                      time_ms = 0.0;
+                    }
+                    :: !rejected)
+            items;
+          (* Write-behind journal lag: how far ingest (where the WAL
+             record is written) ran behind the submit stream. ms → µs. *)
+          Domain_acct.bump acct.Domain_acct.journal_lag_us (!lag *. 1000.0);
+          Domain_acct.set_max acct.Domain_acct.journal_lag_peak_us
+            (int_of_float (!lag_peak *. 1000.0)));
+      let replies =
+        phase shard acct.Domain_acct.execute_us "shard.execute" (fun () ->
+            Engine.drain ~mode:`Sequential shard.engine)
       in
-      let runs =
-        List.fold_left
-          (fun runs (rej : Engine.reply) ->
-            let rec add = function
-              | [] -> [ (rej.Engine.user, [ rej ]) ]
-              | (u, rs) :: rest when u = rej.Engine.user ->
-                  (u, rs @ [ rej ]) :: rest
-              | g :: rest -> g :: add rest
-            in
-            add runs)
-          runs (List.rev !rejected)
-      in
-      List.map
-        (fun (u, rs) ->
-          {
-            g_seq =
-              (match Hashtbl.find_opt first u with
-              | Some s -> s
-              | None -> max_int);
-            g_replies = rs;
-          })
-        runs)
+      phase shard acct.Domain_acct.gather_us "shard.gather" (fun () ->
+          (* Engine replies come back grouped by user: cut them into
+             per-user runs, then append any rejected submits to their
+             user's run (or open one) so no request goes unanswered. *)
+          let runs =
+            List.fold_left
+              (fun acc (r : Engine.reply) ->
+                match acc with
+                | (u, rs) :: rest when u = r.Engine.user -> (u, r :: rs) :: rest
+                | _ -> (r.Engine.user, [ r ]) :: acc)
+              [] replies
+            |> List.rev_map (fun (u, rs) -> (u, List.rev rs))
+          in
+          let runs =
+            List.fold_left
+              (fun runs (rej : Engine.reply) ->
+                let rec add = function
+                  | [] -> [ (rej.Engine.user, [ rej ]) ]
+                  | (u, rs) :: rest when u = rej.Engine.user ->
+                      (u, rs @ [ rej ]) :: rest
+                  | g :: rest -> g :: add rest
+                in
+                add runs)
+              runs (List.rev !rejected)
+          in
+          List.map
+            (fun (u, rs) ->
+              {
+                g_seq =
+                  (match Hashtbl.find_opt first u with
+                  | Some s -> s
+                  | None -> max_int);
+                g_replies = rs;
+              })
+            runs)))
 
 (* ---------------------------------------------------------------- *)
 (* Pinned drain domains                                              *)
@@ -210,8 +270,17 @@ let send shard cmd =
   Condition.broadcast shard.cv;
   Mutex.unlock shard.m
 
+(* Runs once per pinned domain, before the first drain: allocating the
+   flight ring and trace buffer here keeps the (one-time, ~ms) lazy DLS
+   setup out of the first shard.drain span, which would otherwise show
+   up as unattributed wall in [trace summarize --scaling]. *)
+let worker_prewarm () =
+  Flight.prewarm ();
+  Trace.prewarm ()
+
 let rec worker shard =
   let cmd =
+    let idle0 = Unix.gettimeofday () in
     Mutex.lock shard.m;
     let rec wait () =
       match shard.cmd with
@@ -224,6 +293,8 @@ let rec worker shard =
     in
     let c = wait () in
     Mutex.unlock shard.m;
+    Domain_acct.bump shard.acct.Domain_acct.idle_us
+      ((Unix.gettimeofday () -. idle0) *. 1e6);
     c
   in
   match cmd with
@@ -234,26 +305,30 @@ let rec worker shard =
         | g -> Ok g
         | exception e -> Error e
       in
+      let finished_us = Unix.gettimeofday () *. 1e6 in
       Mutex.lock shard.m;
-      shard.outcome <- Some (ticket, outcome);
+      shard.outcome <- Some (ticket, outcome, finished_us);
       Condition.broadcast shard.cv;
       Mutex.unlock shard.m;
       worker shard
 
+(* Returns the gathers and the shard's drain finish time (µs): the
+   group drain charges [finish of slowest shard − finish of this one]
+   to this shard's barrier counter — the scatter/gather stall. *)
 let await shard ticket =
   Mutex.lock shard.m;
   let rec wait () =
     match shard.outcome with
-    | Some (tk, outcome) when tk = ticket ->
+    | Some (tk, outcome, finished_us) when tk = ticket ->
         shard.outcome <- None;
-        outcome
+        (outcome, finished_us)
     | _ ->
         Condition.wait shard.cv shard.m;
         wait ()
   in
-  let outcome = wait () in
+  let outcome, finished_us = wait () in
   Mutex.unlock shard.m;
-  match outcome with Ok g -> g | Error e -> raise e
+  match outcome with Ok g -> (g, finished_us) | Error e -> raise e
 
 (* Called under [drain_lock]. Domains are spawned on first need and
    live until [close] — each shard's drains all run on its own pinned
@@ -261,7 +336,12 @@ let await shard ticket =
 let ensure_workers t =
   Array.iter
     (fun s ->
-      if s.domain = None then s.domain <- Some (Domain.spawn (fun () -> worker s)))
+      if s.domain = None then
+        s.domain <-
+          Some
+            (Domain.spawn (fun () ->
+                 worker_prewarm ();
+                 worker s)))
     t.members
 
 (* ---------------------------------------------------------------- *)
@@ -272,8 +352,23 @@ let merge gathers =
     (fun g -> g.g_replies)
     (List.sort (fun a b -> compare a.g_seq b.g_seq) gathers)
 
+(* Caller-side twin of [phase]: flight entry + trace span, no shard. *)
+let observed name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.record name ~t0_us:(t0 *. 1e6)
+        ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6))
+    (fun () -> Trace.span name f)
+
 let drain ?mode t =
   with_lock t.drain_lock (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Flight.record "group.drain" ~t0_us:(t0 *. 1e6)
+            ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6))
+        (fun () ->
       Trace.span "group.drain"
         ~args:[ ("shards", string_of_int t.shards) ]
         (fun () ->
@@ -283,7 +378,8 @@ let drain ?mode t =
             | Some `Sequential ->
                 (* Shard 0, 1, … on the calling domain — the replies
                    are identical (test_shard's determinism property),
-                   and nothing is spawned. *)
+                   and nothing is spawned. No barrier: the shards never
+                   wait on each other. *)
                 Array.to_list
                   (Array.map (fun s -> drain_shard s ~parent) t.members)
             | Some (`Parallel _) | None ->
@@ -291,9 +387,25 @@ let drain ?mode t =
                 let ticket = t.tickets in
                 t.tickets <- ticket + 1;
                 Array.iter (fun s -> send s (Drain (ticket, parent))) t.members;
-                Array.to_list (Array.map (fun s -> await s ticket) t.members)
+                let results = Array.map (fun s -> await s ticket) t.members in
+                (* Each shard's barrier wait: the gap between its own
+                   finish and the slowest shard's. Charged here (under
+                   the drain lock — a single writer), not on the
+                   domains, which cannot know who finished last. *)
+                let slowest =
+                  Array.fold_left
+                    (fun acc (_, fin) -> Float.max acc fin)
+                    neg_infinity results
+                in
+                Array.iteri
+                  (fun i (_, fin) ->
+                    Domain_acct.bump
+                      t.members.(i).acct.Domain_acct.barrier_us
+                      (slowest -. fin))
+                  results;
+                Array.to_list (Array.map fst results)
           in
-          merge (List.concat gathers)))
+          observed "group.merge" (fun () -> merge (List.concat gathers)))))
 
 let session t user = Engine.session t.members.(route t user).engine user
 let forget t user = Engine.forget t.members.(route t user).engine user
@@ -392,6 +504,10 @@ let metrics t =
     t.members;
   merged
 
+let domain_stats t =
+  Array.to_list
+    (Array.mapi (fun i s -> Domain_acct.stats ~shard:i s.acct) t.members)
+
 let metrics_json t =
   let all = sessions t in
   let sum f =
@@ -436,6 +552,8 @@ let metrics_json t =
     [
       ("sessions", sessions_json);
       ("shards", Json.Number (float_of_int t.shards));
+      ( "domains",
+        Json.Array (List.map Domain_acct.stats_json (domain_stats t)) );
     ]
     @ tier_json
   in
@@ -448,6 +566,7 @@ let prometheus t =
     (List.mapi
        (fun i s -> ([ ("shard", string_of_int i) ], Engine.metrics s.engine))
        (Array.to_list t.members))
+  ^ Domain_acct.prometheus (domain_stats t)
 
 (* ---------------------------------------------------------------- *)
 (* Durability                                                        *)

@@ -192,7 +192,16 @@ val metrics_json : t -> Cdw_util.Json.t
 
 val prometheus : t -> string
 (** All shards in one Prometheus exposition, each shard's series
-    labelled [shard="<i>"] ({!Cdw_engine.Metrics.prometheus_sets}). *)
+    labelled [shard="<i>"] ({!Cdw_engine.Metrics.prometheus_sets}),
+    followed by the per-domain accounting counters
+    ({!Cdw_engine.Domain_acct.prometheus}). *)
+
+val domain_stats : t -> Cdw_engine.Domain_acct.stats list
+(** One {!Cdw_engine.Domain_acct.stats} per shard (index = shard id):
+    busy/idle/barrier/phase µs, write-behind journal lag, inbox depth
+    gauges. Single-writer atomics — safe to read from any thread while
+    serving. Also embedded in {!metrics_json} as the ["domains"]
+    array. *)
 
 (** {1 Durability} *)
 

@@ -73,24 +73,57 @@ let check_alive server =
 (* ---------------------------------------------------------------- *)
 (* codec round-trips *)
 
+let roundtrip_requests =
+  [
+    Wire.Hello;
+    Wire.Submit { user = "alice"; request = Engine.Add [ (1, 2); (3, 4) ] };
+    Wire.Submit { user = ""; request = Engine.Withdraw [] };
+    Wire.Submit { user = "u\xffv"; request = Engine.Resolve };
+    Wire.Drain;
+    Wire.Forget "bob";
+    Wire.Metrics;
+    Wire.Prom;
+    Wire.Ping;
+    Wire.Trace_req;
+  ]
+
 let test_request_roundtrip () =
+  (* Default encoding (0x02), no trace id. *)
   List.iter
     (fun request ->
       match Wire.decode_request (Wire.encode_request request) with
-      | Ok decoded ->
-          Alcotest.(check bool) "request round-trips" true (decoded = request)
+      | Ok (decoded, trace) ->
+          Alcotest.(check bool) "request round-trips" true (decoded = request);
+          Alcotest.(check int) "no trace id" 0 trace
       | Error msg -> Alcotest.failf "decode failed: %s" msg)
-    [
-      Wire.Hello;
-      Wire.Submit { user = "alice"; request = Engine.Add [ (1, 2); (3, 4) ] };
-      Wire.Submit { user = ""; request = Engine.Withdraw [] };
-      Wire.Submit { user = "u\xffv"; request = Engine.Resolve };
-      Wire.Drain;
-      Wire.Forget "bob";
-      Wire.Metrics;
-      Wire.Prom;
-      Wire.Ping;
-    ]
+    roundtrip_requests;
+  (* 0x02 with a trace id: the id rides every opcode. *)
+  let id = 0x0123_4567_89AB in
+  List.iter
+    (fun request ->
+      match
+        Wire.decode_request (Wire.encode_request ~trace:id request)
+      with
+      | Ok (decoded, trace) ->
+          Alcotest.(check bool) "traced round-trips" true (decoded = request);
+          Alcotest.(check int) "trace id survives" id trace
+      | Error msg -> Alcotest.failf "traced decode failed: %s" msg)
+    roundtrip_requests;
+  (* Legacy 0x01 layout still decodes (trace id 0). *)
+  List.iter
+    (fun request ->
+      match
+        Wire.decode_request (Wire.encode_request ~version:0x01 request)
+      with
+      | Ok (decoded, trace) ->
+          Alcotest.(check bool) "v1 round-trips" true (decoded = request);
+          Alcotest.(check int) "v1 has no trace id" 0 trace
+      | Error msg -> Alcotest.failf "v1 decode failed: %s" msg)
+    roundtrip_requests;
+  (* A trace id cannot be expressed in the 0x01 layout. *)
+  match Wire.encode_request ~version:0x01 ~trace:id Wire.Ping with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "v1 + trace id should be rejected"
 
 let test_reply_roundtrip () =
   List.iter
@@ -138,8 +171,12 @@ let test_malformed_payloads () =
   in
   check "empty" "";
   check "header only half" "\x01";
-  check "wrong version" "\x02\x07";
+  check "wrong version" "\x03\x07";
   check "unknown opcode" "\x01\xaa";
+  check "unknown opcode v2" ("\x02\xaa" ^ String.make 8 '\x00');
+  (* A 0x02 header whose trace field is cut off. *)
+  check "truncated trace field" "\x02\x07";
+  check "truncated trace field (partial)" ("\x02\x07" ^ String.make 5 '\x00');
   check "trailing bytes" (Wire.encode_request Wire.Ping ^ "x");
   (* A submit whose body stops mid-string. *)
   let submit =
@@ -225,6 +262,190 @@ let test_differential_wire_vs_inprocess () =
                   (replies_signature replies = inproc)))
           [ 1; 2; 4 ]
   done
+
+(* The same differential with tracing live and 0x02 trace ids on every
+   frame: the ids must be observability-only — replies bit-identical
+   to the untraced in-process serve. (The trace itself is garbage here:
+   in-process client and server threads share domain 0's span stack,
+   so pipelined spans interleave — see the stitching test for the
+   disciplined variant.) *)
+let test_differential_traced () =
+  let module Trace = Cdw_obs.Trace in
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let checked = ref 0 in
+      let seed = ref 300 in
+      while !checked < 5 do
+        let config = { Workbench.quick with Workbench.seed = !seed } in
+        incr seed;
+        match Workbench.workload config with
+        | exception Invalid_argument _ -> ()
+        | wf, script ->
+            incr checked;
+            let inproc =
+              let s =
+                Serving.create ~algorithm:config.Workbench.algorithm
+                  ~seed:config.Workbench.seed wf
+              in
+              List.iter (fun (u, r) -> Serving.submit s ~user:u r) script;
+              let replies = Serving.drain s in
+              Serving.close s;
+              replies_signature replies
+            in
+            List.iter
+              (fun shards ->
+                with_server ~shards ~config (fun server script ->
+                    let client = Client.connect (Server.sockaddr server) in
+                    List.iter
+                      (fun (u, r) -> Client.submit client ~user:u r)
+                      script;
+                    let replies = Client.drain client in
+                    Client.close client;
+                    Alcotest.(check bool)
+                      (Printf.sprintf
+                         "seed %d, %d shard(s): traced wire == in-process"
+                         config.Workbench.seed shards)
+                      true
+                      (replies_signature replies = inproc)))
+              [ 1; 2; 4 ]
+      done)
+
+(* A 0x01 client against the 0x02 server: every op round-trips, no
+   trace ids anywhere — the compatibility contract for deployed
+   clients. *)
+let test_v1_client_compat () =
+  with_server ~shards:2 (fun server script ->
+      let client = Client.connect ~version:0x01 (Server.sockaddr server) in
+      let h = Client.hello client in
+      Alcotest.(check int) "v1 client sees shards" 2 h.Wire.h_shards;
+      Client.ping client;
+      List.iter (fun (u, r) -> Client.submit client ~user:u r) script;
+      let replies = Client.drain client in
+      Alcotest.(check int)
+        "v1 client: every submit answered" (List.length script)
+        (List.length replies);
+      List.iter
+        (fun (r : Engine.reply) ->
+          match r.Engine.result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "v1 reply rejected: %s" e)
+        replies;
+      Client.close client)
+
+(* The tentpole acceptance: one trace holds the whole causal chain
+   client.drain -> net.request (parent = the wire-carried id) ->
+   group.drain -> shard.drain per shard. Submits run untraced first:
+   the in-process client and the server's connection thread share
+   domain 0's span stack, so concurrent pipelined spans would
+   interleave; the drain round-trip is synchronous and safe. *)
+let test_trace_stitching () =
+  let module Trace = Cdw_obs.Trace in
+  let module Json = Cdw_util.Json in
+  with_server ~shards:2 (fun server script ->
+      let client = Client.connect (Server.sockaddr server) in
+      List.iter (fun (u, r) -> Client.submit client ~user:u r) script;
+      Client.flush client;
+      Trace.reset ();
+      Trace.set_enabled true;
+      let export =
+        Fun.protect
+          ~finally:(fun () -> Trace.set_enabled false)
+          (fun () ->
+            ignore (Client.drain client);
+            Trace.set_enabled false;
+            Trace.export ())
+      in
+      Client.close client;
+      Trace.reset ();
+      let events =
+        match Option.bind (Json.member "traceEvents" export) Json.to_list with
+        | Some evs -> evs
+        | None -> Alcotest.fail "export has no traceEvents"
+      in
+      (* (name, id, parent, op, shard) of every begin event. *)
+      let begins =
+        List.filter_map
+          (fun e ->
+            let text k = Option.bind (Json.member k e) Json.to_text in
+            let arg k =
+              Option.bind
+                (Option.bind (Json.member "args" e) (Json.member k))
+                Json.to_text
+            in
+            match (text "ph", text "name") with
+            | Some "B", Some name ->
+                Some (name, arg "id", arg "parent", arg "op", arg "shard")
+            | _ -> None)
+          events
+      in
+      let find_one what pred =
+        match
+          List.filter (fun (_, _, _, _, _ as b) -> pred b) begins
+        with
+        | [ (_, Some id, _, _, _) ] -> id
+        | [] -> Alcotest.failf "no %s span" what
+        | _ :: _ -> Alcotest.failf "ambiguous or id-less %s span" what
+      in
+      let client_drain =
+        find_one "client.drain" (fun (name, _, _, _, _) ->
+            name = "client.drain")
+      in
+      let net_request =
+        find_one "net.request[drain]" (fun (name, _, parent, op, _) ->
+            name = "net.request"
+            && parent = Some client_drain
+            && op = Some "drain")
+      in
+      let group_drain =
+        find_one "group.drain under net.request"
+          (fun (name, _, parent, _, _) ->
+            name = "group.drain" && parent = Some net_request)
+      in
+      let shard_drains =
+        List.filter_map
+          (fun (name, _, parent, _, shard) ->
+            if name = "shard.drain" && parent = Some group_drain then shard
+            else None)
+          begins
+      in
+      Alcotest.(check (list string))
+        "both shards drained under the stitched group drain"
+        [ "0"; "1" ]
+        (List.sort compare shard_drains))
+
+(* Trace_req over the wire: empty when the tracer is off, a parseable
+   export once it is on. *)
+let test_server_trace_fetch () =
+  let module Trace = Cdw_obs.Trace in
+  let module Json = Cdw_util.Json in
+  with_server (fun server _script ->
+      let client = Client.connect (Server.sockaddr server) in
+      Alcotest.(check string)
+        "tracer off: empty export" ""
+        (Client.server_trace client);
+      Trace.reset ();
+      Trace.set_enabled true;
+      let text =
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.set_enabled false;
+            Trace.reset ())
+          (fun () ->
+            Client.ping client;
+            Client.server_trace client)
+      in
+      Client.close client;
+      match Json.parse text with
+      | Error msg -> Alcotest.failf "server trace does not parse: %s" msg
+      | Ok json ->
+          Alcotest.(check bool)
+            "server trace has traceEvents" true
+            (Json.member "traceEvents" json <> None))
 
 (* ---------------------------------------------------------------- *)
 (* frame fuzzing against a live server *)
@@ -403,6 +624,14 @@ let suite =
       test_hello_and_ops;
     Alcotest.test_case "differential: wire == in-process, shards x seeds"
       `Quick test_differential_wire_vs_inprocess;
+    Alcotest.test_case "differential: traced 0x02 wire == in-process" `Quick
+      test_differential_traced;
+    Alcotest.test_case "0x01 client against the 0x02 server" `Quick
+      test_v1_client_compat;
+    Alcotest.test_case "trace stitching: client -> server -> shards" `Quick
+      test_trace_stitching;
+    Alcotest.test_case "Trace_req fetches the server export" `Quick
+      test_server_trace_fetch;
     Alcotest.test_case "torn frame: framed error, connection closed" `Quick
       test_torn_frame;
     Alcotest.test_case "bit-flipped frame: corrupt, connection closed" `Quick

@@ -4,6 +4,7 @@
    Prometheus exposition rendering/parsing, disabled-tracing overhead,
    and the store's dark counters. *)
 
+module Flight = Cdw_obs.Flight
 module Histogram = Cdw_obs.Histogram
 module Prom = Cdw_obs.Prom
 module Telemetry = Cdw_obs.Telemetry
@@ -367,6 +368,203 @@ let test_telemetry_survives_exceptions () =
   Alcotest.(check bool) "kept firing" true (Atomic.get fires >= 2);
   Alcotest.(check int) "errors counted" (Atomic.get fires) (Telemetry.errors t)
 
+(* The regression this pins: a run shorter than the emit interval must
+   still leave one sample behind — [stop] flushes a final one after
+   joining the emitter. Before that flush existed, a quick bench with
+   --stats-out produced an empty file. *)
+let test_telemetry_final_flush_on_stop () =
+  let fires = Atomic.make 0 in
+  let t = Telemetry.start ~interval_s:10.0 (fun () -> Atomic.incr fires) in
+  Telemetry.stop t;
+  Alcotest.(check bool) "stop flushed a final sample" true
+    (Atomic.get fires >= 1)
+
+(* ---------------------------------------------------------------- *)
+(* Flight recorder                                                    *)
+
+let test_flight_record_and_export () =
+  let before = Flight.recorded () in
+  Flight.record ~shard:0 "flight.test" ~t0_us:1_000.0 ~dur_us:250.0;
+  let v = Flight.time "flight.test.timed" (fun () -> 42) in
+  Alcotest.(check int) "time passes the value through" 42 v;
+  Alcotest.(check bool) "entries recorded" true
+    (Flight.recorded () >= before + 2);
+  Flight.set_context
+    (Some (fun () -> Json.Object [ ("answer", Json.Number 42.0) ]));
+  let json =
+    Fun.protect
+      ~finally:(fun () -> Flight.set_context None)
+      (fun () -> Flight.export ())
+  in
+  (* The dump is a trace-event document the summarizer aggregates. *)
+  (match Trace_summary.of_json json with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "X events aggregated" true
+        (r.Trace_summary.events > 0);
+      Alcotest.(check bool) "flight.test row present" true
+        (List.exists
+           (fun row -> row.Trace_summary.name = "flight.test")
+           r.Trace_summary.rows));
+  (* The context thunk's snapshot rides under "flight". *)
+  let flight = Option.get (Json.member "flight" json) in
+  Alcotest.(check bool) "context captured" true
+    (Option.bind (Json.member "context" flight) (Json.member "answer")
+    <> None)
+
+let test_flight_ring_is_bounded () =
+  let n = 5_000 in
+  let before = Flight.recorded () in
+  for i = 1 to n do
+    Flight.record "flight.wrap" ~t0_us:(float_of_int i) ~dur_us:1.0
+  done;
+  Alcotest.(check int) "every record counted" (before + n)
+    (Flight.recorded ());
+  let json = Flight.export () in
+  let events =
+    Option.get (Option.bind (Json.member "traceEvents" json) Json.to_list)
+  in
+  let wraps =
+    List.length
+      (List.filter
+         (fun e ->
+           Option.bind (Json.member "name" e) Json.to_text
+           = Some "flight.wrap")
+         events)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ring bounded: %d live entries out of %d recorded" wraps n)
+    true
+    (wraps >= 1 && wraps < n)
+
+(* ---------------------------------------------------------------- *)
+(* Prometheus histogram conformance lint                              *)
+
+let test_prom_lint_real_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 m "reqs";
+  for i = 1 to 50 do
+    Metrics.record_ms m "lat" (float_of_int i)
+  done;
+  let samples =
+    match Prom.parse (Metrics.prometheus m) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  match Prom.lint samples with
+  | Ok l ->
+      Alcotest.(check bool) "histogram family seen" true
+        (l.Prom.l_histograms >= 1);
+      Alcotest.(check bool) "samples counted" true (l.Prom.l_samples > 0)
+  | Error e -> Alcotest.failf "our own exposition fails the lint: %s" e
+
+let test_prom_lint_rejects_defects () =
+  let b le v =
+    { Prom.metric = "cdw_x_ms_bucket"; labels = [ ("le", le) ]; value = v }
+  in
+  let count v = { Prom.metric = "cdw_x_ms_count"; labels = []; value = v } in
+  let sum v = { Prom.metric = "cdw_x_ms_sum"; labels = []; value = v } in
+  let ok = [ b "1" 1.0; b "+Inf" 3.0; count 3.0; sum 4.2 ] in
+  (match Prom.lint ok with
+  | Ok l -> Alcotest.(check int) "conformant family" 1 l.Prom.l_histograms
+  | Error e -> Alcotest.failf "conformant family rejected: %s" e);
+  let expect_error what samples =
+    match Prom.lint samples with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s passed the lint" what
+  in
+  expect_error "missing +Inf" [ b "1" 1.0; b "2" 3.0; count 3.0; sum 4.2 ];
+  expect_error "non-cumulative buckets"
+    [ b "1" 5.0; b "2" 3.0; b "+Inf" 5.0; count 5.0; sum 4.2 ];
+  expect_error "count mismatch" [ b "1" 1.0; b "+Inf" 3.0; count 2.0; sum 4.2 ];
+  expect_error "missing _sum" [ b "1" 1.0; b "+Inf" 3.0; count 3.0 ];
+  expect_error "unparseable le"
+    [ b "fast" 1.0; b "+Inf" 3.0; count 3.0; sum 4.2 ]
+
+(* ---------------------------------------------------------------- *)
+(* Scaling report over a multi-shard trace                            *)
+
+(* One traced 2-shard drain; returns the scaling rows (live trace) and
+   asserts the flight recorder saw the same drain. Retried by the
+   caller: the quick drain is sub-millisecond, so one scheduler
+   preemption between spans can sink a coverage ratio. *)
+let scaling_attempt () =
+  let module Serving = Cdw_shard.Serving in
+  let wf, script = Workbench.workload Workbench.quick in
+  let serving =
+    Serving.create ~algorithm:Workbench.quick.Workbench.algorithm
+      ~seed:Workbench.quick.Workbench.seed ~shards:2 wf
+  in
+  (* Warm-up drain first: it forces the pinned-domain spawn (and its
+     prewarm of the flight ring and trace buffer) before the traced
+     window, so the report describes steady-state drains rather than
+     startup. *)
+  (match script with
+  | (u, r) :: _ -> Serving.submit serving ~user:u r
+  | [] -> ());
+  ignore (Serving.drain serving);
+  List.iter (fun (u, r) -> Serving.submit serving ~user:u r) script;
+  Trace.reset ();
+  Trace.set_enabled true;
+  let export =
+    Fun.protect
+      ~finally:(fun () -> Trace.set_enabled false)
+      (fun () ->
+        ignore (Serving.drain serving);
+        Trace.set_enabled false;
+        Trace.export ())
+  in
+  Serving.close serving;
+  Trace.reset ();
+  let live =
+    match Trace_summary.scaling_of_json export with
+    | Ok s -> s
+    | Error e -> Alcotest.fail ("live trace scaling: " ^ e)
+  in
+  (* The flight recorder ran through the same drain (always on): its
+     dump must yield a scaling report too. *)
+  (match Trace_summary.scaling_of_json (Flight.export ()) with
+  | Ok s ->
+      Alcotest.(check bool) "flight dump has group drains" true
+        (s.Trace_summary.sc_drains >= 1)
+  | Error e -> Alcotest.fail ("flight dump scaling: " ^ e));
+  live
+
+let test_scaling_report () =
+  let attempts = 5 in
+  let rec go n =
+    let s = scaling_attempt () in
+    Alcotest.(check int) "one group drain" 1 s.Trace_summary.sc_drains;
+    Alcotest.(check (list int)) "both shards reported" [ 0; 1 ]
+      (List.map
+         (fun r -> r.Trace_summary.sh_shard)
+         s.Trace_summary.sc_shards);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d drained" r.Trace_summary.sh_shard)
+          true
+          (r.Trace_summary.sh_drains >= 1
+          && r.Trace_summary.sh_drain_ms > 0.0))
+      s.Trace_summary.sc_shards;
+    let worst =
+      List.fold_left
+        (fun acc r -> Float.min acc r.Trace_summary.sh_coverage)
+        1.0 s.Trace_summary.sc_shards
+    in
+    if worst >= 0.9 then ()
+    else if n + 1 < attempts then go (n + 1)
+    else
+      Alcotest.failf "phase coverage %.3f < 0.9 after %d attempts" worst
+        attempts
+  in
+  go 0;
+  (* A single-engine trace has no group drains: the scaling report must
+     say so instead of fabricating rows. *)
+  match Trace_summary.scaling_of_json (Json.Object [ ("traceEvents", Json.Array []) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scaling report out of an empty trace"
+
 (* ---------------------------------------------------------------- *)
 (* Store dark counters                                                *)
 
@@ -445,6 +643,18 @@ let suite =
       test_telemetry_emits_and_stops;
     Alcotest.test_case "telemetry: callback exceptions counted" `Quick
       test_telemetry_survives_exceptions;
+    Alcotest.test_case "telemetry: stop flushes a final sample" `Quick
+      test_telemetry_final_flush_on_stop;
+    Alcotest.test_case "flight: record, export, summarize" `Quick
+      test_flight_record_and_export;
+    Alcotest.test_case "flight: ring stays bounded" `Quick
+      test_flight_ring_is_bounded;
+    Alcotest.test_case "prom lint: our exposition conforms" `Quick
+      test_prom_lint_real_exposition;
+    Alcotest.test_case "prom lint: defects rejected" `Quick
+      test_prom_lint_rejects_defects;
+    Alcotest.test_case "scaling report: 2-shard drain attribution" `Quick
+      test_scaling_report;
     Alcotest.test_case "store: dark counters reach engine metrics" `Quick
       test_store_counters;
   ]
