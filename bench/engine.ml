@@ -24,7 +24,7 @@ let usage () =
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
     \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
-    \              [--baseline FILE] [--shards] [--net] [--tiered]";
+    \              [--baseline FILE] [--shards] [--net] [--tiered] [--evolve]";
   exit 2
 
 (* The same workload served over a Unix-domain socket: server thread
@@ -152,6 +152,76 @@ let tiered config =
   | Json.Object fields -> Json.Object (extra @ fields)
   | json -> json
 
+(* Epoch-migration row: 100k warm sessions on the config's base, then
+   one evolve step (drop/add/reprice) installed as the next epoch —
+   affected-only migration (diff-intersecting sessions re-solved,
+   everyone else's cut ids remapped by edge name) against the naive
+   alternative of re-solving every session on the new base
+   (migrate ~force_all, which is what a restart would cost). Identical
+   fresh state for both sides; the served state after either is
+   bit-identical (the differential tests prove it), so the ratio is
+   pure migration-strategy speedup. *)
+let evolve base_config =
+  let module Serving = Cdw_shard.Serving in
+  let module Engine = Cdw_engine.Engine in
+  let module Evolve = Cdw_workload.Evolve in
+  let module Timing = Cdw_util.Timing in
+  let config =
+    {
+      base_config with
+      Workbench.n_sessions = 100_000;
+      batches_per_session = 1;
+      pairs_per_batch = 2;
+      withdrawals = false;
+    }
+  in
+  let wf, script = Workbench.workload config in
+  let prepare () =
+    let serving =
+      Serving.create ~algorithm:config.Workbench.algorithm
+        ~seed:config.Workbench.seed wf
+    in
+    List.iter
+      (fun (user, request) -> Serving.submit serving ~user request)
+      script;
+    List.iter
+      (fun (r : Engine.reply) ->
+        match r.Engine.result with
+        | Ok () -> ()
+        | Error msg -> failwith ("evolve bench: request failed: " ^ msg))
+      (Serving.drain ~mode:(`Parallel config.Workbench.domains) serving);
+    serving
+  in
+  let step =
+    { Evolve.default_step with Evolve.seed = config.Workbench.seed }
+  in
+  let next = Evolve.mutate step wf in
+  let a = prepare () in
+  let am, affected_ms = Timing.time_f (fun () -> Serving.migrate a next) in
+  Serving.close a;
+  let b = prepare () in
+  let nm, naive_ms =
+    Timing.time_f (fun () -> Serving.migrate ~force_all:true b next)
+  in
+  Serving.close b;
+  let speedup = if affected_ms > 0.0 then naive_ms /. affected_ms else infinity in
+  Printf.printf
+    "evolve (%d sessions): affected-only %.1f ms (%d re-solved, %d remapped) \
+     vs full re-solve %.1f ms (%d re-solved) — %.1fx\n"
+    config.Workbench.n_sessions affected_ms am.Engine.m_recomputed
+    am.Engine.m_remapped naive_ms nm.Engine.m_recomputed speedup;
+  Json.Object
+    [
+      ("sessions", Json.Number (float_of_int config.Workbench.n_sessions));
+      ("step", Json.String (Evolve.spec_to_string [ step ]));
+      ("affected_ms", Json.Number affected_ms);
+      ("affected_recomputed", Json.Number (float_of_int am.Engine.m_recomputed));
+      ("affected_remapped", Json.Number (float_of_int am.Engine.m_remapped));
+      ("naive_ms", Json.Number naive_ms);
+      ("naive_recomputed", Json.Number (float_of_int nm.Engine.m_recomputed));
+      ("speedup", Json.Number speedup);
+    ]
+
 (* Regression guard: compare this run's engine_rps against a previously
    committed result file. Only meaningful when the configs match — a
    --quick baseline says nothing about the acceptance workload — so a
@@ -199,6 +269,7 @@ let () =
   let shards = ref false in
   let net = ref false in
   let tier = ref false in
+  let evolve_row = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -257,6 +328,9 @@ let () =
         parse rest
     | "--tiered" :: rest ->
         tier := true;
+        parse rest
+    | "--evolve" :: rest ->
+        evolve_row := true;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
@@ -377,6 +451,10 @@ let () =
      of sessions cold (see [tiered]) — sustained rps and p999 with
      eviction/rehydration live on the serving path. *)
   let tiered_row = if !tier then Some (tiered !config) else None in
+  (* Evolve row: one mid-life epoch install at 100k sessions —
+     affected-only migration vs re-solving the world. Extra field only;
+     the baseline guard's config is untouched. *)
+  let evolve_json = if !evolve_row then Some (evolve !config) else None in
   let result_json =
     match Workbench.result_json result with
     | Json.Object fields ->
@@ -409,6 +487,11 @@ let () =
         let fields =
           match tiered_row with
           | Some row -> fields @ [ ("tiered", row) ]
+          | None -> fields
+        in
+        let fields =
+          match evolve_json with
+          | Some row -> fields @ [ ("evolve", row) ]
           | None -> fields
         in
         Json.Object fields

@@ -28,8 +28,10 @@ dune exec test/main.exe -- test 'graph/frozen-view' > /dev/null
 # appends the million-user Zipf row: 200k requests over a 1M-user
 # population under a memory cap that keeps >=90% of sessions cold,
 # recording sustained rps, p999, and the eviction/hydration counters
-# (sessions_resident_peak, resident_bytes_peak included).
-dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards --net --tiered
+# (sessions_resident_peak, resident_bytes_peak included). --evolve
+# appends the epoch-migration row: one mid-life base mutation at 100k
+# sessions, affected-only migration vs re-solving every session.
+dune exec bench/engine.exe -- --baseline BENCH_engine.json --out BENCH_engine.json --shards --net --tiered --evolve
 
 # Crash-recovery smoke: journal a serving run, tear the last append,
 # prove the ledger recovers and compacts back to a clean state.
@@ -158,5 +160,35 @@ wait "$SERVER_PID" 2> /dev/null || true
 "$CDW" store replay "$NET_DIR/ledger"        # torn tail confined + replayed
 "$CDW" store compact "$NET_DIR/ledger"
 "$CDW" store verify "$NET_DIR/ledger" --strict
+
+# Epoch-evolution network smoke: a journaled 2-shard server serves an
+# open-loop traffic stream while the client installs two new base
+# epochs over the wire mid-stream (--evolve). The server is then
+# kill -9'd under a second stream, and the ledgers it left — epoch
+# installs journaled among the submits, torn tail and all — must
+# replay, compact, and verify strict-clean with BOTH shards landing on
+# the post-migration epoch (2): a migration is as durable as consent.
+EPOCH_DIR=$(mktemp -d)
+CLEANUP_DIRS="$CLEANUP_DIRS $EPOCH_DIR"
+ESOCK="$EPOCH_DIR/cdw.sock"
+CDW=./_build/default/bin/cdw.exe   # direct binary: kill -9 must hit the
+                                   # server itself, not a dune wrapper
+"$CDW" serve --listen "$ESOCK" --shards 2 \
+  --journal "$EPOCH_DIR/ledger" --fsync never > /dev/null &
+EPOCH_SERVER=$!
+"$CDW" serve-bench --traffic requests:20000,users:2000 --connect "$ESOCK" \
+  --evolve 'at:100,drop:1,add:2,reprice:2,seed:7;at:250,purposes:1,seed:8' \
+  | grep -q '2 epoch install(s)'               # installs happened mid-stream
+"$CDW" serve-bench --traffic requests:400000,users:2000 --connect "$ESOCK" \
+  > /dev/null 2>&1 &
+EPOCH_CLIENT=$!
+sleep 0.3
+kill -9 "$EPOCH_SERVER"
+wait "$EPOCH_CLIENT" || true                 # fails fast on EPIPE; must not hang
+wait "$EPOCH_SERVER" 2> /dev/null || true
+"$CDW" shard replay "$EPOCH_DIR/ledger"      # torn tail confined + replayed
+"$CDW" shard compact "$EPOCH_DIR/ledger"
+test "$("$CDW" shard verify "$EPOCH_DIR/ledger" --strict \
+  | grep -c '^epoch  *2$')" -eq 2            # both shards on epoch 2
 
 echo "check.sh: ok"

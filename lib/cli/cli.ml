@@ -365,7 +365,7 @@ let serve_bench_connect config ~addr ~prefix ~trials ~out ~trace_out =
    pipelined, and drains happen at synthetic-time window boundaries —
    the same cadence the in-process driver uses, so the two transports
    serve the identical stream. *)
-let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
+let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~evolve ~out =
   let module Client = Cdw_net.Client in
   let module Wire = Cdw_net.Wire in
   let module Engine = Cdw_engine.Engine in
@@ -392,6 +392,29 @@ let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
             in
             let pairs = Workbench.connected_pairs wf in
             let gen = Traffic.create spec ~pairs in
+            (* The evolve schedule over the wire: same synthetic clock
+               as the drain cadence, each step mutating the base the
+               previous install shipped — the client is the keeper of
+               the chain, the server just installs what it is sent. *)
+            let cur_wf = ref wf in
+            let steps = ref evolve in
+            let installs = ref 0 in
+            let fire_due now =
+              let rec go () =
+                match !steps with
+                | (s : Cdw_workload.Evolve.step) :: rest
+                  when s.Cdw_workload.Evolve.at_ms <= now ->
+                    steps := rest;
+                    let next = Cdw_workload.Evolve.mutate s !cur_wf in
+                    ignore
+                      (Client.install_epoch client (Serialize.to_string next));
+                    cur_wf := next;
+                    incr installs;
+                    go ()
+                | _ -> ()
+              in
+              go ()
+            in
             let rename u = if prefix = "user" then u else prefix ^ "." ^ u in
             let ours u =
               prefix = "user" || String.starts_with ~prefix:(prefix ^ ".") u
@@ -417,6 +440,7 @@ let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
                     let window_end =
                       if at_ms >= window_end then begin
                         count (Client.drain client);
+                        fire_due window_end;
                         let skipped =
                           float_of_int
                             (int_of_float ((at_ms -. window_end) /. window_ms))
@@ -430,7 +454,8 @@ let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
                     pump window_end
               in
               pump window_ms;
-              count (Client.drain client)
+              count (Client.drain client);
+              fire_due infinity
             in
             let (), ms = Timing.time_f run in
             let n = Traffic.generated gen in
@@ -442,18 +467,20 @@ let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
                   let a = Array.of_list sorted in
                   a.(int_of_float (0.999 *. float_of_int (Array.length a - 1)))
             in
-            (h.Wire.h_shards, n, users, !errors, ms, p999))
+            (h.Wire.h_shards, n, users, !errors, ms, p999, !installs))
       with
-      | shards, n_requests, users, errors, ms, p999 ->
+      | shards, n_requests, users, errors, ms, p999, epochs ->
           let rps =
             if ms > 0.0 then float_of_int n_requests /. (ms /. 1000.0)
             else infinity
           in
           Printf.printf
             "networked traffic: %s (%d shard(s) server-side), %d requests, %d \
-             users, %.1f ms, %.0f req/s, p999 %.3f ms, %d error(s)\n"
+             users, %.1f ms, %.0f req/s, p999 %.3f ms, %d error(s)%s\n"
             (string_of_sockaddr addr) shards n_requests users ms rps p999
-            errors;
+            errors
+            (if epochs > 0 then Printf.sprintf ", %d epoch install(s)" epochs
+             else "");
           (match out with
           | None -> ()
           | Some file ->
@@ -471,6 +498,7 @@ let serve_bench_connect_traffic spec ~addr ~prefix ~window_ms ~out =
                      ("engine_ms", Json.Number ms);
                      ("engine_rps", Json.Number rps);
                      ("p999_ms", Json.Number p999);
+                     ("epochs_installed", Json.Number (float_of_int epochs));
                    ]));
           `Ok ()
       | exception Failure msg -> `Error (false, msg)
@@ -552,10 +580,13 @@ let serve_bench_cmd =
   let mem_cap =
     Arg.(value & opt (some int) None & info [ "mem-cap-bytes" ] ~docv:"BYTES" ~doc:"Bound resident-session memory: beyond the cap the coldest idle sessions are evicted to a compact parked record at drain boundaries and rehydrated on demand (tier.evictions / tier.hydrations counters). In-process only; with --connect set the cap server-side on `cdw serve'.")
   in
+  let evolve =
+    Arg.(value & opt (some string) None & info [ "evolve" ] ~docv:"SPEC" ~doc:"Mutate the base workflow mid-run (live epoch installs, DESIGN.md \\$(b,16)): a semicolon-separated schedule of steps, each comma-separated key:value items — at:MS (synthetic-stream milliseconds, non-decreasing), add:N/drop:N (structural edge churn), reprice:N (user-edge revaluations), purposes:N (new purpose vertices), seed:N. E.g. --evolve 'at:200,drop:2,seed:7;at:600,add:3,purposes:1,seed:8'. Steps fire at drain boundaries of the synthetic clock; each mutates the base the previous step installed. Requires --traffic; with --connect the mutants ship over the wire as epoch installs.")
+  in
   let run quick vertices stages density sessions batches pairs no_withdrawals
       seed domains shards algo trials connect user_prefix out metrics_out
       journal fsync trace_out prom_out stats_out stats_interval traffic mem_cap
-      =
+      evolve =
     let module Serving = Cdw_shard.Serving in
     let module Shard_bench = Cdw_shard.Shard_bench in
     let module Trace = Cdw_obs.Trace in
@@ -583,15 +614,23 @@ let serve_bench_cmd =
       | Some s ->
           Result.map Option.some (Cdw_workload.Traffic.spec_of_string s)
     in
-    match traffic_spec with
-    | Error msg -> `Error (false, "--traffic: " ^ msg)
-    | Ok traffic_spec -> (
+    let evolve_steps =
+      match evolve with
+      | None -> Ok []
+      | Some s -> Cdw_workload.Evolve.spec_of_string s
+    in
+    match (traffic_spec, evolve_steps) with
+    | Error msg, _ -> `Error (false, "--traffic: " ^ msg)
+    | _, Error msg -> `Error (false, "--evolve: " ^ msg)
+    | Ok None, Ok (_ :: _) ->
+        `Error (false, "--evolve requires --traffic (the schedule runs on the stream's synthetic clock)")
+    | Ok traffic_spec, Ok evolve_steps -> (
     match connect with
     | Some addr -> (
         match traffic_spec with
         | Some spec ->
             serve_bench_connect_traffic spec ~addr ~prefix:user_prefix
-              ~window_ms:50.0 ~out
+              ~window_ms:50.0 ~evolve:evolve_steps ~out
         | None ->
             serve_bench_connect config ~addr ~prefix:user_prefix ~trials ~out
               ~trace_out)
@@ -714,8 +753,8 @@ let serve_bench_cmd =
               let pairs = Workbench.connected_pairs wf in
               let trun =
                 Shard_bench.serve_traffic
-                  ~mode:(`Parallel config.Workbench.domains) serving spec
-                  ~pairs
+                  ~mode:(`Parallel config.Workbench.domains)
+                  ~evolve:evolve_steps serving spec ~pairs
               in
               (trun, serving)
             with
@@ -801,7 +840,7 @@ let serve_bench_cmd =
        $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials
        $ connect $ user_prefix $ out $ metrics_out $ journal $ fsync
        $ trace_out $ prom_out $ stats_out $ stats_interval $ traffic
-       $ mem_cap))
+       $ mem_cap $ evolve))
 
 (* ---------------------------------------------------------------- *)
 (* serve                                                              *)
@@ -954,15 +993,54 @@ let serve_cmd =
               | Some dir -> ", journal " ^ dir
               | None -> ", no journal");
             let stop = ref false in
+            let reload = ref false in
             let handler = Sys.Signal_handle (fun _ -> stop := true) in
             let previous_int = Sys.signal Sys.sigint handler in
             let previous_term = Sys.signal Sys.sigterm handler in
+            (* SIGHUP re-reads the workflow FILE and installs it as the
+               next base epoch, live — config reload, daemon style. The
+               handler only sets the flag; the install runs here on the
+               main thread at the next tick (Server.install_epoch
+               serializes it against streaming drains). *)
+            let previous_hup =
+              try Some (Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> reload := true)))
+              with Invalid_argument _ | Sys_error _ -> None
+            in
+            let do_reload () =
+              reload := false;
+              match file with
+              | None ->
+                  prerr_endline
+                    "cdw serve: SIGHUP ignored — no workflow FILE to reload \
+                     (epoch installs still work over the wire)"
+              | Some path -> (
+                  match Serialize.load path with
+                  | Error msg ->
+                      Printf.eprintf "cdw serve: reload %s: %s\n%!" path msg
+                  | exception Sys_error msg ->
+                      Printf.eprintf "cdw serve: reload: %s\n%!" msg
+                  | Ok (wf, _) -> (
+                      match Server.install_epoch server wf with
+                      | Ok m ->
+                          Printf.printf
+                            "cdw serve: installed epoch %d from %s (%d \
+                             recomputed, %d remapped, %d pair(s) dropped)\n%!"
+                            m.Cdw_engine.Engine.m_epoch path
+                            m.Cdw_engine.Engine.m_recomputed
+                            m.Cdw_engine.Engine.m_remapped
+                            m.Cdw_engine.Engine.m_dropped_pairs
+                      | Error msg ->
+                          Printf.eprintf "cdw serve: reload %s rejected: %s\n%!"
+                            path msg))
+            in
             while not !stop do
-              try Unix.sleepf 0.2
-              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              (try Unix.sleepf 0.2
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              if !reload && not !stop then do_reload ()
             done;
             Sys.set_signal Sys.sigint previous_int;
             Sys.set_signal Sys.sigterm previous_term;
+            Option.iter (Sys.set_signal Sys.sighup) previous_hup;
             prerr_endline "cdw serve: shutting down";
             Server.stop server;
             (* The final flight dump covers the rings as the server
@@ -978,7 +1056,9 @@ let serve_cmd =
        ~doc:
          "Serve consent over a socket: submits, drains, withdrawals and \
           metrics through the CRC-framed wire protocol, optionally \
-          journaled to a durable (resumable) ledger.")
+          journaled to a durable (resumable) ledger. The base workflow \
+          evolves live: the wire's epoch-install opcode, or SIGHUP to \
+          re-read FILE and migrate every session onto it.")
     Term.(
       ret
         (const run $ listen $ file $ vertices $ stages $ density $ seed $ algo
@@ -1198,6 +1278,11 @@ let trace_cmd =
             Format.printf "%a@." Trace_summary.pp_scaling report;
             match min_coverage with
             | None -> `Ok ()
+            | Some _ when report.Trace_summary.sc_shards = [] ->
+                `Error
+                  ( false,
+                    "no drains: the trace has group drains but no per-shard \
+                     spans — coverage cannot be measured" )
             | Some want -> (
                 match
                   List.find_opt
@@ -1221,6 +1306,11 @@ let trace_cmd =
             Format.printf "%a@." Trace_summary.pp report;
             match min_coverage with
             | None -> `Ok ()
+            | Some _ when report.Trace_summary.drain_wall_ms <= 0.0 ->
+                `Error
+                  ( false,
+                    "no drains: the trace has no engine.drain wall time — \
+                     coverage cannot be measured" )
             | Some want ->
                 let got = Trace_summary.coverage report in
                 if got >= want then `Ok ()

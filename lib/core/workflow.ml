@@ -127,15 +127,20 @@ let is_frozen t = Digraph.is_view t.graph
 (* Freezing deep-copies the metadata: the result is the private base of
    a shared index, and must not alias vectors the caller might keep
    growing through the original builder workflow. *)
-let freeze t =
+let freeze ?epoch t =
   {
-    graph = Digraph.view (Digraph.freeze t.graph);
+    graph = Digraph.view (Digraph.freeze ?epoch t.graph);
     kinds = Vec.copy t.kinds;
     names = Vec.copy t.names;
     name_index = Hashtbl.copy t.name_index;
     weights = Vec.copy t.weights;
     init_values = Vec.copy t.init_values;
   }
+
+let epoch t =
+  match Digraph.frozen_base t.graph with
+  | Some f -> Cdw_graph.Digraph.Frozen.epoch f
+  | None -> 0
 
 let thaw t =
   {

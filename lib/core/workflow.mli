@@ -66,7 +66,7 @@ val copy : t -> t
     workflow it shares the immutable base and metadata and copies only
     the O(E/8) removal mask. *)
 
-val freeze : t -> t
+val freeze : ?epoch:int -> t -> t
 (** Compile the workflow into a frozen representation: the graph becomes
     a fresh view over an immutable CSR snapshot
     ({!Cdw_graph.Digraph.freeze}), and the metadata is deep-copied so
@@ -74,7 +74,12 @@ val freeze : t -> t
     {!copy} calls on the result (and its copies) share the snapshot.
     Structure-changing builders ([add_user], [connect], ...) raise
     [Invalid_argument] on frozen workflows; [remove]/[restore] of edges
-    still work. *)
+    still work. [epoch] stamps the snapshot's position in a base
+    evolution chain (default: carried over from a view-backed input, 0
+    from a builder). *)
+
+val epoch : t -> int
+(** The frozen base's epoch; 0 for builder-backed workflows. *)
 
 val thaw : t -> t
 (** Materialise an independent mutable (builder-backed) workflow with

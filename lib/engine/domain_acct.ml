@@ -110,6 +110,7 @@ let prometheus stats_list =
                Prom.s_labels = [ ("shard", string_of_int s.s_shard) ];
                s_counters =
                  List.map (fun (k, v) -> ("domain_" ^ k, v)) (fields s);
+               s_gauges = [];
                s_histograms = [];
              })
            stats_list)

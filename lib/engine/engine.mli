@@ -55,9 +55,31 @@ type event =
   | Drain_settled of { seq : int }
       (** drain [seq]'s batch has been fully applied to its sessions.
           Emitted outside the engine lock, once per [Drained]. *)
+  | Epoch_installed of { epoch : int; workflow : string }
+      (** a new base was installed by {!migrate}; [workflow] is its
+          {!Cdw_core.Serialize} text — replaying the event
+          ([migrate ~epoch (parse workflow)]) re-freezes a bit-identical
+          base. Emitted under the engine lock, before any state
+          changes: a journal that rejects it leaves the engine on the
+          old epoch. *)
 (** The journaled lifecycle of an engine — what a durable consent
     ledger ({!Cdw_store.Store}) persists to reconstruct the engine
     after a crash. *)
+
+type migration = {
+  m_epoch : int;  (** the epoch just installed *)
+  m_recomputed : int;
+      (** users whose cut-relevant region intersected the diff:
+          re-solved from a freshly seeded session *)
+  m_remapped : int;
+      (** untouched users: cut ids remapped by edge identity, rng
+          stream carried over, zero solver runs *)
+  m_dropped_pairs : int;
+      (** constraint pairs dropped because an endpoint vanished from
+          the new base (an implicit withdrawal) *)
+  m_diff : Cdw_core.Evolution.t;  (** the structural diff installed *)
+}
+(** What one {!migrate} did — the serving layer's migration report. *)
 
 type t
 
@@ -86,6 +108,41 @@ val prometheus : t -> string
 
 val base : t -> Cdw_core.Workflow.t
 (** The engine's frozen base workflow ({!Shared_index.base}). *)
+
+val epoch : t -> int
+(** The current base's epoch: 0 at creation, bumped by each
+    {!migrate}. *)
+
+val migrate :
+  ?force_all:bool -> ?epoch:int -> t -> Cdw_core.Workflow.t -> migration
+(** Install [wf] as the next base epoch and migrate every session —
+    warm, parked, and queued — onto it, live. Must be called at a drain
+    boundary (no {!drain} in flight); submitters block for the
+    duration. The workflow is normalized through its
+    {!Cdw_core.Serialize} text form (which the [Epoch_installed] event
+    carries), so live migration and crash replay freeze bit-identical
+    bases.
+
+    Only users whose cut-relevant region intersects the structural
+    diff are re-solved — from a freshly seeded session, producing
+    exactly the state a fresh serving of their constraint set on the
+    new base would. The touch test is downstream-closure intersection
+    (a changed edge [(u, v)] perturbs valuations, in-degrees and
+    starvation cascades throughout [closure(v)], so a constraint
+    source whose cone meets that closure cannot keep its cuts), which
+    is conservative: path membership implies it, never the reverse. Untouched users keep their cuts (ids
+    remapped by (src-name, dst-name) edge identity) and their rng
+    stream, at zero solver runs. Queued requests are remapped by name;
+    a request pair whose endpoint vanished fails validation at its
+    drain with a clean error reply. [force_all] disables the
+    affected-only optimisation (every user re-solves — the naive
+    migration, kept for benchmarking and differential testing);
+    [epoch] pins the installed epoch number (replay), default current
+    + 1.
+
+    Counters: [epoch.migrations], [epoch.users_recomputed],
+    [epoch.users_remapped], [epoch.pairs_dropped]; gauge [epoch];
+    latency key + trace span [epoch.migrate]. *)
 
 val algorithm : t -> Cdw_core.Algorithms.name
 (** The solver every session of this engine runs. *)

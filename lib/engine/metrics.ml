@@ -29,6 +29,9 @@ type t = {
   lock : Mutex.t;
   max_samples : int;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+      (* last-value-wins instruments (e.g. the current base epoch), as
+         opposed to the monotone [counters] *)
   samples : (string, series) Hashtbl.t;
 }
 
@@ -40,6 +43,7 @@ let create ?(max_samples = default_max_samples) () =
     lock = Mutex.create ();
     max_samples;
     counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
     samples = Hashtbl.create 16;
   }
 
@@ -71,6 +75,19 @@ let counter t name =
 let counters t =
   with_lock t (fun () ->
       Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters [])
+  |> List.sort compare
+
+let set_gauge t name v =
+  with_lock t (fun () ->
+      let c = cell t.gauges name (fun () -> ref 0.0) in
+      c := v)
+
+let gauge t name =
+  with_lock t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+let gauges t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.gauges [])
   |> List.sort compare
 
 let fresh_series t key () =
@@ -217,6 +234,9 @@ let to_json t =
           (List.map
              (fun (name, n) -> (name, Json.Number (float_of_int n)))
              (counters t)) );
+      ( "gauges",
+        Json.Object
+          (List.map (fun (name, v) -> (name, Json.Number v)) (gauges t)) );
       ("latency_ms", Json.Object latencies);
     ]
 
@@ -232,6 +252,10 @@ let snapshot t =
         Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
         |> List.sort compare
       in
+      let gauges =
+        Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.gauges []
+        |> List.sort compare
+      in
       let series =
         Hashtbl.fold
           (fun key s acc ->
@@ -244,7 +268,7 @@ let snapshot t =
           t.samples []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
-      (counters, series))
+      (counters, gauges, series))
 
 (* Fold [src] into [into]: counters add; per-key count/sum/min/max stay
    exact and the histograms merge bucket-exactly, so merged percentiles
@@ -255,8 +279,17 @@ let snapshot t =
    Locks are taken one at a time (snapshot src, then update into), so
    any merge order between live registries is deadlock-free. *)
 let merge_into ~into src =
-  let counters, series = snapshot src in
+  let counters, gauges, series = snapshot src in
   List.iter (fun (name, n) -> incr ~by:n into name) counters;
+  (* Gauges are level instruments, not sums: the group view keeps the
+     maximum (for the epoch gauge, "the newest base any shard serves" —
+     shards of one group agree outside a migration window anyway). *)
+  List.iter
+    (fun (name, v) ->
+      match gauge into name with
+      | Some v' when v' >= v -> ()
+      | _ -> set_gauge into name v)
+    gauges;
   List.iter
     (fun (key, (count, sum, minv, maxv, samples, hist)) ->
       with_lock into (fun () ->
@@ -284,11 +317,15 @@ let prometheus t =
         Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.counters []
         |> List.sort compare
       in
+      let gauges =
+        Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.gauges []
+        |> List.sort compare
+      in
       let histograms =
         Hashtbl.fold (fun key s acc -> (key, s.hist) :: acc) t.samples []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
-      Prom.render ~counters ~histograms ())
+      Prom.render ~gauges ~counters ~histograms ())
 
 (* Shard-labelled exposition: one set per (labels, registry) pair, all
    series of a metric name grouped under one TYPE block. Each registry
@@ -297,10 +334,11 @@ let prometheus_sets sets =
   Prom.render_sets
     (List.map
        (fun (labels, t) ->
-         let counters, series = snapshot t in
+         let counters, gauges, series = snapshot t in
          {
            Prom.s_labels = labels;
            s_counters = counters;
+           s_gauges = gauges;
            s_histograms = List.map (fun (k, (_, _, _, _, _, h)) -> (k, h)) series;
          })
        sets)

@@ -38,6 +38,18 @@ val counter : t -> string -> int
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a last-value-wins instrument (e.g. the current base epoch) —
+    unlike {!incr}ed counters, a gauge may move in either direction. *)
+
+val gauge : t -> string -> float option
+(** [None] for never-set gauges. *)
+
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name. *)
+
 (** {1 Latencies} *)
 
 val record_ms : t -> string -> float -> unit
@@ -77,7 +89,9 @@ val summaries : t -> (string * Cdw_util.Stats.summary) list
 
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] folds [src]'s contents into [into] — the
-    sharded serving group's merged view. Counters add; per-key [n],
+    sharded serving group's merged view. Counters add; gauges keep the
+    maximum of the two sides (the group view of a level instrument like
+    the epoch gauge is "the newest any shard reports"); per-key [n],
     [mean], [min], [max] stay exact and histograms merge bucket-exactly
     (so merged percentiles keep the single-registry error bound);
     [into]'s reservoir absorbs [src]'s retained samples only up to its
@@ -90,6 +104,7 @@ val merge_into : into:t -> t -> unit
 
 val to_json : t -> Cdw_util.Json.t
 (** [{ "counters": { name: count, … },
+       "gauges": { name: value, … },
        "latency_ms": { key: { "n", "mean", "std", "se", "min", "max",
                               "p50", "p90", "p99", "p999" }, … } }] *)
 

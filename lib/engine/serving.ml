@@ -9,6 +9,11 @@ module type S = sig
   val algorithm : t -> Cdw_core.Algorithms.name
   val seed : t -> int
   val base : t -> Cdw_core.Workflow.t
+  val epoch : t -> int
+
+  val migrate :
+    ?force_all:bool -> ?epoch:int -> t -> Cdw_core.Workflow.t ->
+    Engine.migration
   val submit : ?submitted_ms:float -> t -> user:string -> Engine.request -> unit
   val pending : t -> int
 

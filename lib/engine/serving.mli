@@ -28,6 +28,19 @@ module type S = sig
   val base : t -> Cdw_core.Workflow.t
   (** The frozen base workflow requests are resolved against. *)
 
+  val epoch : t -> int
+  (** The current base's epoch ({!Engine.epoch}); sharded
+      implementations report their shards' common epoch. *)
+
+  val migrate :
+    ?force_all:bool -> ?epoch:int -> t -> Cdw_core.Workflow.t ->
+    Engine.migration
+  (** Install a new base epoch live and migrate every session onto it
+      ({!Engine.migrate} semantics). Sharded implementations take the
+      group drain lock, first ingest every queued submit (journaling
+      it), then migrate shard by shard and report the summed
+      migration. *)
+
   val submit : ?submitted_ms:float -> t -> user:string -> Engine.request -> unit
   (** Queue one request ({!Engine.submit} semantics; [submitted_ms]
       backdates the queue timestamp for upstream front ends). *)

@@ -1,4 +1,5 @@
 module Digraph = Cdw_graph.Digraph
+module Evolution = Cdw_core.Evolution
 module Paths = Cdw_graph.Paths
 module Reach = Cdw_graph.Reach
 module Topo = Cdw_graph.Topo
@@ -9,20 +10,29 @@ type path_entry =
   | Cached of int list list  (* edge ids, in base DFS order *)
   | Overflow  (* more than [max_paths] paths: never cache, enumerate *)
 
-type t = {
+(* The epoch-dependent slice of the index: everything derived from one
+   frozen base. Installing a new epoch swaps the whole record at once,
+   so a reader holding a [derived] value sees one consistent epoch. *)
+type derived = {
   base : Workflow.t;
   topo : int array;
   snapshot : Reach.Snapshot.t;
   mutable base_utility : float option;  (* lazy; guarded by [lock] *)
   paths : (int * int, path_entry) Hashtbl.t;
+}
+
+type t = {
+  mutable d : derived;
+  mutable chain : (int * Evolution.t) list;
+      (* (epoch, diff vs the previous epoch), newest first; epoch 0 has
+         no diff and no entry *)
   lock : Mutex.t;
   max_cached_pairs : int;
   max_paths : int;
   metrics : Metrics.t;
 }
 
-let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
-  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+let derive wf =
   (* Freezing compiles the workflow into an immutable CSR base; the
      frozen arrays are shared (not copied) by every session view and are
      safe to read from parallel drain domains. *)
@@ -37,45 +47,76 @@ let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
         (fun () -> Reach.Snapshot.create g);
     base_utility = None;
     paths = Hashtbl.create 256;
+  }
+
+let create ?(max_cached_pairs = 4096) ?(max_paths = 200_000) ?metrics wf =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    d = derive wf;
+    chain = [];
     lock = Mutex.create ();
     max_cached_pairs;
     max_paths;
     metrics;
   }
 
-let base t = t.base
+let base t = t.d.base
 let metrics t = t.metrics
-let topo_order t = t.topo
-let snapshot t = t.snapshot
+let topo_order t = t.d.topo
+let snapshot t = t.d.snapshot
+let epoch t = Workflow.epoch t.d.base
+let chain t = t.chain
+
+(* Swap in a new base at a drain boundary. The caller (the engine's
+   migrate, under its own lock, with no drain in flight) owns the
+   quiescence argument; the index lock only protects its own cache
+   state. The workflow is frozen with the next epoch number unless the
+   caller pins one (replay installs the journaled epoch verbatim). *)
+let install ?epoch:e t wf =
+  let old_base = t.d.base in
+  let next = match e with Some e -> e | None -> Workflow.epoch old_base + 1 in
+  let frozen = Workflow.freeze ~epoch:next wf in
+  let diff = Evolution.compute ~old_base ~new_base:frozen in
+  Mutex.lock t.lock;
+  t.d <- derive frozen;
+  t.chain <- (next, diff) :: t.chain;
+  Mutex.unlock t.lock;
+  Metrics.incr t.metrics "index.installs";
+  diff
 
 let connected t ~source ~target =
   Metrics.incr t.metrics "index.connected";
-  Reach.Snapshot.reaches t.snapshot source target
+  Reach.Snapshot.reaches t.d.snapshot source target
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let cached_pairs t = with_lock t (fun () -> Hashtbl.length t.paths)
+let cached_pairs t = with_lock t (fun () -> Hashtbl.length t.d.paths)
 
-(* The base never changes, so its utility is a constant of the index:
-   sessions solving from the pristine base reuse it instead of paying a
-   full [Utility.total] sweep before every solve. *)
+(* The base never changes within an epoch, so its utility is a constant
+   of the derived record: sessions solving from the pristine base reuse
+   it instead of paying a full [Utility.total] sweep before every
+   solve. *)
 let base_utility t =
   with_lock t (fun () ->
-      match t.base_utility with
+      let d = t.d in
+      match d.base_utility with
       | Some u -> u
       | None ->
-          let u = Cdw_core.Utility.total t.base in
-          t.base_utility <- Some u;
+          let u = Cdw_core.Utility.total d.base in
+          d.base_utility <- Some u;
           u)
 
 (* The base path set of a pair, memoizing on first use. Enumeration runs
    outside the lock: two domains racing on the same cold pair duplicate
-   a little work instead of serialising every other pair behind it. *)
+   a little work instead of serialising every other pair behind it. The
+   derived record is captured once, so a path set is always enumerated
+   and cached against one consistent epoch. *)
 let base_entry t ~source ~target =
+  let d = t.d in
   let key = (source, target) in
-  match with_lock t (fun () -> Hashtbl.find_opt t.paths key) with
+  match with_lock t (fun () -> Hashtbl.find_opt d.paths key) with
   | Some entry ->
       Metrics.incr t.metrics "index.paths.hit";
       entry
@@ -83,10 +124,10 @@ let base_entry t ~source ~target =
       Metrics.incr t.metrics "index.paths.miss";
       let entry =
         Trace.span "index.enumerate"
-          ~args:[ ("repr", Digraph.repr_name (Workflow.graph t.base)) ]
+          ~args:[ ("repr", Digraph.repr_name (Workflow.graph d.base)) ]
           (fun () ->
             match
-              Paths.all_paths ~max_paths:t.max_paths (Workflow.graph t.base)
+              Paths.all_paths ~max_paths:t.max_paths (Workflow.graph d.base)
                 ~src:source ~dst:target
             with
             | paths -> Cached (List.map (List.map Digraph.edge_id) paths)
@@ -94,9 +135,9 @@ let base_entry t ~source ~target =
       in
       with_lock t (fun () ->
           if
-            Hashtbl.length t.paths < t.max_cached_pairs
-            && not (Hashtbl.mem t.paths key)
-          then Hashtbl.add t.paths key entry);
+            Hashtbl.length d.paths < t.max_cached_pairs
+            && not (Hashtbl.mem d.paths key)
+          then Hashtbl.add d.paths key entry);
       entry
 
 let live_paths t wf ~source ~target =

@@ -45,8 +45,24 @@ val create :
     enumeration on the live workflow. *)
 
 val base : t -> Cdw_core.Workflow.t
-(** The immutable base. Never mutate it — every session of the pool
-    shares it. *)
+(** The immutable base of the {e current} epoch. Never mutate it —
+    every session of the pool shares it. *)
+
+val epoch : t -> int
+(** The current base's epoch (0 until an {!install}). *)
+
+val chain : t -> (int * Cdw_core.Evolution.t) list
+(** The epoch chain: (epoch, structural diff vs the previous epoch),
+    newest first. Empty until the first {!install}. *)
+
+val install : ?epoch:int -> t -> Cdw_core.Workflow.t -> Cdw_core.Evolution.t
+(** Swap in a new base: freeze the workflow as epoch [epoch] (default:
+    current epoch + 1), recompute topo order, reachability snapshot and
+    an empty path cache, and return the name-space structural diff
+    against the previous base. Must only be called at a drain boundary
+    with no solver running — the engine's migrate owns that argument;
+    sessions created before the install keep referencing the old base
+    and must be migrated by the caller. *)
 
 val metrics : t -> Metrics.t
 

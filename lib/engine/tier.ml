@@ -116,6 +116,10 @@ let park t user state =
   Hashtbl.replace t.parked_tbl user state;
   t.n_evictions <- t.n_evictions + 1
 
+(* Replace a record in place without counting an eviction — epoch
+   migration rewriting parked state, not a cache decision. *)
+let repark t user state = Hashtbl.replace t.parked_tbl user state
+
 let take_parked t user =
   match Hashtbl.find_opt t.parked_tbl user with
   | Some p ->

@@ -69,6 +69,11 @@ val park : t -> string -> parked -> unit
 (** Record the evicted user's parked state (and count the eviction).
     The user must already be out of the LRU ({!pop_coldest}). *)
 
+val repark : t -> string -> parked -> unit
+(** Replace a user's parked record in place {e without} counting an
+    eviction — epoch migration rewriting cold-tier state onto a new
+    base, not a cache decision. *)
+
 val take_parked : t -> string -> parked option
 (** Remove and return the user's parked record — the hydration read
     path (counts a hydration when present). *)

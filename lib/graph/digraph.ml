@@ -60,6 +60,10 @@ module Frozen = struct
     in_eid : int array;
     base_removed : Bytes.t; (* removal mask at freeze time; never mutated *)
     base_live : int;
+    epoch : int;
+        (* position in the base's evolution chain: 0 for a process's
+           first freeze, bumped by each live re-freeze (see
+           [Workflow.freeze] and the engine's epoch installation) *)
     topo_hint : int array option;
         (* a topological order of the freeze-time live graph, or [None]
            if it was cyclic. Valid for any view that has only removed
@@ -71,6 +75,7 @@ module Frozen = struct
   let n_vertices t = t.fn
   let n_edges_total t = Array.length t.fedges
   let n_edges t = t.base_live
+  let epoch t = t.epoch
 end
 
 (* A view: one frozen base plus a private removal mask. O(E/8) to
@@ -326,15 +331,17 @@ let topo_hint_of g =
   done;
   if !filled = n then Some order else None
 
-let freeze g =
+let freeze ?epoch g =
   match g with
   | View v ->
       (* Rebase: same CSR structure, the view's current mask becomes the
-         new base. O(E/8). *)
+         new base. O(E/8). The epoch carries over unless the caller is
+         installing a new one. *)
       {
         v.frozen with
         Frozen.base_removed = Bytes.copy v.vremoved;
         base_live = v.vlive;
+        epoch = Option.value epoch ~default:v.frozen.Frozen.epoch;
         topo_hint =
           (if v.base_restored then topo_hint_of g else v.frozen.Frozen.topo_hint);
       }
@@ -377,6 +384,7 @@ let freeze g =
         in_eid;
         base_removed;
         base_live = b.live;
+        epoch = Option.value epoch ~default:0;
         topo_hint = topo_hint_of g;
       }
 

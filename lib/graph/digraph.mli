@@ -132,13 +132,19 @@ module Frozen : sig
 
   val n_edges : t -> int
   (** Live edges at freeze time. *)
+
+  val epoch : t -> int
+  (** Position of this base in its evolution chain: 0 for a first
+      freeze, bumped by each live re-freeze (base-graph epochs). *)
 end
 
-val freeze : t -> Frozen.t
+val freeze : ?epoch:int -> t -> Frozen.t
 (** Compile the graph's current state (structure and removal mask) into
     an immutable snapshot. Freezing a view is O(E/8): the CSR arrays are
     reused and only the mask is re-based. Also records a topological
-    order of the freeze-time live graph (when acyclic) that views reuse. *)
+    order of the freeze-time live graph (when acyclic) that views reuse.
+    [epoch] stamps the snapshot's position in its evolution chain
+    (default: the view's current epoch, or 0 for a builder). *)
 
 val view : Frozen.t -> t
 (** A fresh view of [f] with a private removal mask initialised from the

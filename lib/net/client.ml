@@ -134,6 +134,18 @@ let ping t =
   | Wire.Error_r msg -> failwith msg
   | _ -> failwith "protocol desync: expected a pong"
 
+let install_epoch t workflow_text =
+  match rpc t (Wire.Epoch_install workflow_text) with
+  | Wire.Epoch_installed_r e -> e
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected an epoch-install reply"
+
+let epoch t =
+  match rpc t Wire.Epoch_query with
+  | Wire.Epoch_r e -> e
+  | Wire.Error_r msg -> failwith msg
+  | _ -> failwith "protocol desync: expected an epoch"
+
 let server_trace t =
   match rpc t Wire.Trace_req with
   | Wire.Trace_r s -> s

@@ -54,6 +54,16 @@ val metrics : t -> string
 val prometheus : t -> string
 val ping : t -> unit
 
+val install_epoch : t -> string -> Wire.epoch_installed
+(** Flush, then install a new base epoch from its
+    {!Cdw_core.Serialize.to_string} text — the server migrates every
+    session live ({!Cdw_shard.Serving.migrate}) and reports what the
+    migration did. Raises [Failure] with the server's message if the
+    text does not parse or the install is rejected. *)
+
+val epoch : t -> int
+(** The server's current base epoch. *)
+
 val server_trace : t -> string
 (** The server's own {!Cdw_obs.Trace.export} JSON text, [""] when
     server-side tracing is off ([cdw serve] without [--trace]). Merge

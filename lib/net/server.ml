@@ -40,6 +40,26 @@ let op_name = function
   | Wire.Prom -> "prom"
   | Wire.Ping -> "ping"
   | Wire.Trace_req -> "trace"
+  | Wire.Epoch_install _ -> "epoch-install"
+  | Wire.Epoch_query -> "epoch"
+
+(* One path for every live epoch install — the wire opcode and the
+   SIGHUP file reload in [cdw serve] both land here. Under the drain
+   mutex, like Drain itself: a migration is a drain-boundary
+   operation, and interleaving one with a streaming drain would
+   migrate half a batch. *)
+let install_epoch t wf =
+  Mutex.lock t.drain_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.drain_m)
+    (fun () ->
+      match Serving.migrate t.serving wf with
+      | m ->
+          Metrics.incr t.metrics "net.epoch.installs";
+          Ok m
+      | exception (Invalid_argument msg | Failure msg) ->
+          Metrics.incr t.metrics "net.epoch.rejected";
+          Error msg)
 
 let hello_reply t =
   Wire.Hello_r
@@ -108,7 +128,26 @@ let serve_one t fd ~trace request =
           Wire.send_reply fd
             (Wire.Prom_r
                (Serving.prometheus t.serving ^ Metrics.prometheus t.metrics))
-      | Wire.Ping -> Wire.send_reply fd Wire.Pong)
+      | Wire.Ping -> Wire.send_reply fd Wire.Pong
+      | Wire.Epoch_install text -> (
+          match Serialize.parse text with
+          | Error msg ->
+              Metrics.incr t.metrics "net.epoch.rejected";
+              Wire.send_reply fd (Wire.Error_r msg)
+          | Ok (wf, _) -> (
+              match install_epoch t wf with
+              | Ok m ->
+                  Wire.send_reply fd
+                    (Wire.Epoch_installed_r
+                       {
+                         Wire.e_epoch = m.Engine.m_epoch;
+                         e_recomputed = m.Engine.m_recomputed;
+                         e_remapped = m.Engine.m_remapped;
+                         e_dropped = m.Engine.m_dropped_pairs;
+                       })
+              | Error msg -> Wire.send_reply fd (Wire.Error_r msg)))
+      | Wire.Epoch_query ->
+          Wire.send_reply fd (Wire.Epoch_r (Serving.epoch t.serving)))
 
 (* Whoever removes an fd from [t.conns] owns closing it — the conn
    thread on a normal or damaged exit, [stop] during shutdown. The

@@ -48,6 +48,15 @@ val metrics : t -> Cdw_engine.Metrics.t
 (** The live net.* registry (thread-safe, shared with the serving
     threads). *)
 
+val install_epoch :
+  t -> Cdw_core.Workflow.t -> (Cdw_engine.Engine.migration, string) result
+(** Install [wf] as the next base epoch, live — the same path the
+    wire's [Epoch_install] opcode takes: under the server's drain
+    mutex (a migration is a drain-boundary operation), counted in
+    [net.epoch.installs] / [net.epoch.rejected]. This is the hook for
+    out-of-band installs — [cdw serve] calls it from its SIGHUP
+    file-reload handler. Safe to call from any thread. *)
+
 val stop : t -> unit
 (** Close the listening socket, shut down every open connection, join
     every thread. Idempotent. In-flight requests finish their reply

@@ -20,6 +20,15 @@ type request =
   | Prom
   | Ping
   | Trace_req
+  | Epoch_install of string
+  | Epoch_query
+
+type epoch_installed = {
+  e_epoch : int;
+  e_recomputed : int;
+  e_remapped : int;
+  e_dropped : int;
+}
 
 type reply =
   | Hello_r of hello
@@ -30,6 +39,8 @@ type reply =
   | Prom_r of string
   | Pong
   | Trace_r of string
+  | Epoch_installed_r of epoch_installed
+  | Epoch_r of int
   | Error_r of string
 
 (* ---------------------------------------------------------------- *)
@@ -171,6 +182,8 @@ let encode_request ?(version = version) ?(trace = 0) request =
   | Prom -> payload 0x06 ignore
   | Ping -> payload 0x07 ignore
   | Trace_req -> payload 0x08 ignore
+  | Epoch_install text -> payload 0x09 (fun b -> str b text)
+  | Epoch_query -> payload 0x0A ignore
 
 let encode_reply reply =
   let payload opcode w = payload ~version:0x01 ~trace:0 opcode w in
@@ -188,6 +201,13 @@ let encode_reply reply =
   | Prom_r s -> payload 0x86 (fun b -> str b s)
   | Pong -> payload 0x87 ignore
   | Trace_r s -> payload 0x88 (fun b -> str b s)
+  | Epoch_installed_r e ->
+      payload 0x89 (fun b ->
+          i64 b e.e_epoch;
+          i64 b e.e_recomputed;
+          i64 b e.e_remapped;
+          i64 b e.e_dropped)
+  | Epoch_r epoch -> payload 0x8A (fun b -> i64 b epoch)
   | Error_r msg -> payload 0xEF (fun b -> str b msg)
 
 let with_body buf pos0 f =
@@ -226,6 +246,9 @@ let decode_request buf =
         | 0x06 -> with_body buf pos0 (fun _ _ -> Prom)
         | 0x07 -> with_body buf pos0 (fun _ _ -> Ping)
         | 0x08 -> with_body buf pos0 (fun _ _ -> Trace_req)
+        | 0x09 ->
+            with_body buf pos0 (fun buf pos -> Epoch_install (rstr buf pos))
+        | 0x0A -> with_body buf pos0 (fun _ _ -> Epoch_query)
         | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
       in
       if v = 0x01 then Result.map (fun r -> (r, 0)) (body 2)
@@ -260,6 +283,14 @@ let decode_reply buf =
         | 0x86 -> with_body buf pos0 (fun buf pos -> Prom_r (rstr buf pos))
         | 0x87 -> with_body buf pos0 (fun _ _ -> Pong)
         | 0x88 -> with_body buf pos0 (fun buf pos -> Trace_r (rstr buf pos))
+        | 0x89 ->
+            with_body buf pos0 (fun buf pos ->
+                let e_epoch = ri64 buf pos in
+                let e_recomputed = ri64 buf pos in
+                let e_remapped = ri64 buf pos in
+                let e_dropped = ri64 buf pos in
+                Epoch_installed_r { e_epoch; e_recomputed; e_remapped; e_dropped })
+        | 0x8A -> with_body buf pos0 (fun buf pos -> Epoch_r (ri64 buf pos))
         | 0xEF -> with_body buf pos0 (fun buf pos -> Error_r (rstr buf pos))
         | op -> Error (Printf.sprintf "unknown reply opcode 0x%02x" op))
 

@@ -19,8 +19,13 @@
     version gets a framed [Error_r] naming the byte. {e Replies} never
     carry a trace id, so they are always emitted in the [0x01] layout —
     which is also why a 0x01 client against a 0x02 server round-trips
-    unchanged (and untraced). Request opcodes are [0x01]–[0x08], reply
-    opcodes [0x81]–[0x88] plus [0xEF] ([Error_r]).
+    unchanged (and untraced). Request opcodes are [0x01]–[0x0A], reply
+    opcodes [0x81]–[0x8A] plus [0xEF] ([Error_r]). The epoch opcodes
+    ([0x09]/[0x0A], added with base-graph epochs) exist in both payload
+    versions — version bytes gate the {e layout}, not the opcode set; a
+    pre-epoch peer answers them with a framed "unknown opcode" error
+    and stays in sync, which is the interop discipline for extending
+    the protocol.
 
     Every request draws exactly one reply frame, except [Drain]: its
     [Drain_r n] header frame is followed by exactly [n] [Reply_r]
@@ -59,6 +64,21 @@ type request =
           server-side tracing is off) — what lets a traced
           [serve-bench --connect] run merge both processes' spans into
           one timeline *)
+  | Epoch_install of string
+      (** install a new base epoch live: the body is the new workflow's
+          {!Cdw_core.Serialize.to_string} text. The server migrates
+          every session at a drain boundary
+          ({!Cdw_shard.Serving.migrate}) and answers
+          [Epoch_installed_r] — or [Error_r] if the text does not
+          parse or the migration is rejected *)
+  | Epoch_query  (** the server's current base epoch *)
+
+type epoch_installed = {
+  e_epoch : int;  (** the epoch now serving *)
+  e_recomputed : int;  (** sessions re-solved (diff-affected) *)
+  e_remapped : int;  (** sessions kept, cut ids remapped *)
+  e_dropped : int;  (** constraint pairs dropped (vanished endpoints) *)
+}
 
 type reply =
   | Hello_r of hello
@@ -69,6 +89,8 @@ type reply =
   | Prom_r of string
   | Pong
   | Trace_r of string
+  | Epoch_installed_r of epoch_installed
+  | Epoch_r of int
   | Error_r of string
 
 (** {1 Payload codec} (exposed for tests; servers and clients use the

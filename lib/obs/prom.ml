@@ -17,6 +17,7 @@ let number f =
 type series_set = {
   s_labels : (string * string) list;
   s_counters : (string * int) list;
+  s_gauges : (string * float) list;
   s_histograms : (string * Histogram.t) list;
 }
 
@@ -60,6 +61,21 @@ let render_sets ?(namespace = "cdw") sets =
     (names (fun s -> s.s_counters));
   List.iter
     (fun name ->
+      let n = full name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      List.iter
+        (fun set ->
+          match List.assoc_opt name set.s_gauges with
+          | None -> ()
+          | Some v ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" n
+                   (label_str set.s_labels [])
+                   (number v)))
+        sets)
+    (names (fun s -> s.s_gauges));
+  List.iter
+    (fun name ->
       let n = full name ^ "_ms" in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
       List.iter
@@ -100,9 +116,16 @@ let render_sets ?(namespace = "cdw") sets =
     (names (fun s -> s.s_histograms));
   Buffer.contents buf
 
-let render ?namespace ~counters ~histograms () =
+let render ?namespace ?(gauges = []) ~counters ~histograms () =
   render_sets ?namespace
-    [ { s_labels = []; s_counters = counters; s_histograms = histograms } ]
+    [
+      {
+        s_labels = [];
+        s_counters = counters;
+        s_gauges = gauges;
+        s_histograms = histograms;
+      };
+    ]
 
 type sample = {
   metric : string;

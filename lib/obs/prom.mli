@@ -21,6 +21,7 @@ type series_set = {
       (** labels attached to every sample of the set (e.g.
           [("shard", "3")]); may be empty *)
   s_counters : (string * int) list;
+  s_gauges : (string * float) list;
   s_histograms : (string * Histogram.t) list;
 }
 
@@ -36,6 +37,7 @@ val render_sets : ?namespace:string -> series_set list -> string
 
 val render :
   ?namespace:string ->
+  ?gauges:(string * float) list ->
   counters:(string * int) list ->
   histograms:(string * Histogram.t) list ->
   unit ->

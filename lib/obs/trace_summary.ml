@@ -332,8 +332,17 @@ let scaling_of_events events =
     spans;
   if !drains = 0 then
     Error
-      "no group.drain spans — not a sharded trace (single-engine runs are \
-       covered by the plain summary)"
+      "no drains: no group.drain spans — not a sharded trace (single-engine \
+       runs are covered by the plain summary)"
+  else if !wall <= 0.0 then
+    (* Zero-duration drains (a trace cut mid-run, or a recorder that
+       captured only begin events) have no wall to attribute — every
+       percentage below would be 0/0. *)
+    Error
+      (Printf.sprintf
+         "no drains: %d group.drain span(s) carry zero total duration — \
+          nothing to attribute"
+         !drains)
   else begin
     let us_to_ms v = v /. 1000.0 in
     let rows =

@@ -33,6 +33,8 @@ module Single = struct
   let algorithm t = Engine.algorithm t.engine
   let seed t = Engine.seed t.engine
   let base t = Engine.base t.engine
+  let epoch t = Engine.epoch t.engine
+  let migrate ?force_all ?epoch t wf = Engine.migrate ?force_all ?epoch t.engine wf
 
   let submit ?submitted_ms t ~user request =
     Engine.submit ?submitted_ms t.engine ~user request
@@ -95,6 +97,10 @@ let create ?algorithm ?options ?seed ?max_cached_pairs ?max_paths ?shards wf =
 let algorithm (Packed ((module M), v)) = M.algorithm v
 let seed (Packed ((module M), v)) = M.seed v
 let base (Packed ((module M), v)) = M.base v
+let epoch (Packed ((module M), v)) = M.epoch v
+
+let migrate ?force_all ?epoch (Packed ((module M), v)) wf =
+  M.migrate ?force_all ?epoch v wf
 
 let submit ?submitted_ms (Packed ((module M), v)) ~user request =
   M.submit ?submitted_ms v ~user request

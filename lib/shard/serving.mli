@@ -80,6 +80,16 @@ val create :
 val algorithm : t -> Cdw_core.Algorithms.name
 val seed : t -> int
 val base : t -> Cdw_core.Workflow.t
+val epoch : t -> int
+
+val migrate :
+  ?force_all:bool ->
+  ?epoch:int ->
+  t ->
+  Cdw_core.Workflow.t ->
+  Cdw_engine.Engine.migration
+(** Install a new base epoch live ({!Cdw_engine.Engine.migrate} on a
+    single engine, {!Shard_group.migrate} on a group). *)
 
 val submit :
   ?submitted_ms:float -> t -> user:string -> Cdw_engine.Engine.request -> unit

@@ -4,6 +4,7 @@ module Metrics = Cdw_engine.Metrics
 module Tier = Cdw_engine.Tier
 module Timing = Cdw_util.Timing
 module Traffic = Cdw_workload.Traffic
+module Evolve = Cdw_workload.Evolve
 module Workbench = Cdw_engine.Workbench
 
 type run = { shards : int; n_requests : int; ms : float; rps : float }
@@ -78,6 +79,7 @@ type traffic_run = {
   t_rps : float;
   t_p999_ms : float;
   t_drains : int;
+  t_epochs : int;  (* --evolve steps that fired (base migrations) *)
   t_tier : Tier.stats option;
 }
 
@@ -90,7 +92,7 @@ let request_of_op = function
   | Traffic.Query -> Engine.Add []
 
 let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
-    serving spec ~pairs =
+    ?(evolve = []) serving spec ~pairs =
   if window_ms <= 0.0 then
     invalid_arg "Shard_bench.serve_traffic: window_ms must be > 0";
   (match mem_cap_bytes with
@@ -99,6 +101,26 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
   let gen = Traffic.create spec ~pairs in
   let errors = ref 0 in
   let drains = ref 0 in
+  (* The evolve schedule runs on the stream's synthetic clock, like the
+     drain cadence: a step fires at the first drain boundary at or past
+     its at_ms, i.e. always between windows — a migration is a
+     drain-boundary operation. Steps chain: each mutates the base the
+     previous one installed. *)
+  let steps = ref evolve in
+  let epochs = ref 0 in
+  let fire_due now =
+    let rec go () =
+      match !steps with
+      | (s : Evolve.step) :: rest when s.Evolve.at_ms <= now ->
+          steps := rest;
+          let next = Evolve.mutate s (Serving.base serving) in
+          ignore (Serving.migrate serving next);
+          incr epochs;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
   let count_errors replies =
     List.iter
       (fun (r : Engine.reply) ->
@@ -118,6 +140,7 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
             if at_ms >= window_end then begin
               count_errors (Serving.drain ?mode serving);
               incr drains;
+              fire_due window_end;
               let skipped =
                 Float.of_int
                   (int_of_float ((at_ms -. window_end) /. window_ms))
@@ -131,7 +154,11 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
     in
     pump window_ms;
     count_errors (Serving.drain ?mode serving);
-    incr drains
+    incr drains;
+    (* Steps scheduled past the stream's end still fire — the schedule
+       is a contract, and the post-run state must be on its last
+       epoch. *)
+    fire_due infinity
   in
   let (), ms = Timing.time_f run in
   let n = Traffic.generated gen in
@@ -148,6 +175,7 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
       | Some p -> p
       | None -> 0.0);
     t_drains = !drains;
+    t_epochs = !epochs;
     t_tier = Serving.tier_stats serving;
   }
 
@@ -178,13 +206,16 @@ let traffic_run_json r =
        ("p999_ms", Json.Number r.t_p999_ms);
        n "drains" r.t_drains;
      ]
+    @ (if r.t_epochs > 0 then [ n "epochs_installed" r.t_epochs ] else [])
     @ tier)
 
 let pp_traffic ppf r =
   Format.fprintf ppf
     "@[<v>traffic: %d requests, %d users, %d shards@,\
-     \  %10.1f ms  %8.0f req/s  p999 %.3f ms  (%d drains)@]" r.t_requests
-    r.t_users r.t_shards r.t_ms r.t_rps r.t_p999_ms r.t_drains;
+     \  %10.1f ms  %8.0f req/s  p999 %.3f ms  (%d drains%s)@]" r.t_requests
+    r.t_users r.t_shards r.t_ms r.t_rps r.t_p999_ms r.t_drains
+    (if r.t_epochs > 0 then Printf.sprintf ", %d epoch installs" r.t_epochs
+     else "");
   match r.t_tier with
   | None -> ()
   | Some (st : Tier.stats) ->

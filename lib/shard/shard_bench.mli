@@ -54,6 +54,7 @@ type traffic_run = {
   t_rps : float;  (** sustained requests per second *)
   t_p999_ms : float;  (** p999 of per-request service time *)
   t_drains : int;
+  t_epochs : int;  (** [evolve] steps that fired (base migrations) *)
   t_tier : Cdw_engine.Tier.stats option;  (** when run under a memory cap *)
 }
 
@@ -67,6 +68,7 @@ val serve_traffic :
   ?window_ms:float ->
   ?mem_cap_bytes:int ->
   ?session_bytes:int ->
+  ?evolve:Cdw_workload.Evolve.step list ->
   Serving.t ->
   Cdw_workload.Traffic.spec ->
   pairs:(int * int) array ->
@@ -76,8 +78,13 @@ val serve_traffic :
     {e synthetic} timestamps — the drain cadence is a function of the
     stream alone, so runs are reproducible whatever the host's speed.
     [mem_cap_bytes] turns on session tiering ({!Serving.set_mem_cap})
-    before the first submit. The caller owns the serving value
-    (creation is not timed, nor is {!Serving.close}). *)
+    before the first submit. [evolve] is a mutation schedule on the
+    same synthetic clock: each step fires at the first drain boundary
+    at or past its [at_ms] — {!Cdw_workload.Evolve.mutate} of the
+    current base, installed live via {!Serving.migrate}; steps left
+    when the stream ends fire at the final drain, so the run always
+    lands on the schedule's last epoch. The caller owns the serving
+    value (creation is not timed, nor is {!Serving.close}). *)
 
 val traffic_run_json : traffic_run -> Cdw_util.Json.t
 (** The [BENCH_engine.json] ["tiered"] payload core: request/user

@@ -46,6 +46,13 @@ type shard = {
       (* (ticket, result, finish time µs) — the finish time is what the
          gather uses to charge each shard's barrier wait *)
   mutable domain : unit Domain.t option;  (* the pinned drain domain *)
+  pre_seq : (string, int) Hashtbl.t;
+      (* first-submission seqs of items a migration ingested out of the
+         inbox ahead of the next drain — the gather consults these so
+         the merged reply order stays the single-engine order *)
+  mutable pre_rejected : Engine.reply list;
+      (* submits a migration's ingest saw the journal reject, newest
+         first; answered by the next drain so no request goes silent *)
 }
 
 type t = {
@@ -79,6 +86,8 @@ let group_of_engines engines =
             cmd = None;
             outcome = None;
             domain = None;
+            pre_seq = Hashtbl.create 16;
+            pre_rejected = [];
           })
         engines;
     seq = Atomic.make 0;
@@ -184,7 +193,14 @@ let drain_shard shard ~parent =
             items)
       in
       let first : (string, int) Hashtbl.t = Hashtbl.create 16 in
-      let rejected = ref [] in
+      (* Items a migration already ingested keep their original seqs
+         (and their rejection replies) via the carry-over fields. Both
+         are written under [drain_lock] and read here on the pinned
+         domain — the ticket handoff through [shard.m] orders them. *)
+      Hashtbl.iter (Hashtbl.replace first) shard.pre_seq;
+      Hashtbl.reset shard.pre_seq;
+      let rejected = ref shard.pre_rejected in
+      shard.pre_rejected <- [];
       phase shard acct.Domain_acct.journal_us "shard.journal" (fun () ->
           let ingest_ms = Timing.now_ms () in
           let lag = ref 0.0 and lag_peak = ref 0.0 in
@@ -406,6 +422,78 @@ let drain ?mode t =
                 Array.to_list (Array.map fst results)
           in
           observed "group.merge" (fun () -> merge (List.concat gathers)))))
+
+(* ---------------------------------------------------------------- *)
+(* Epoch migration                                                   *)
+
+let epoch t = Engine.epoch t.members.(0).engine
+
+(* Take a shard's whole inbox and feed it to the engine queue —
+   journal + enqueue, no execute. Called under [drain_lock] before an
+   epoch install so (a) the WAL orders every outstanding submit before
+   the [Epoch_installed] record and (b) the queued pairs, which carry
+   old-base ids, are inside the engine when [Engine.migrate] remaps
+   them. Seqs and rejections carry over to the next drain. *)
+let ingest_inbox shard =
+  let items =
+    List.sort
+      (fun (a : item) (b : item) -> compare a.seq b.seq)
+      (Mpsc.take_all shard.inbox)
+  in
+  let n = List.length items in
+  if n > 0 then ignore (Atomic.fetch_and_add shard.depth (-n));
+  List.iter
+    (fun it ->
+      if not (Hashtbl.mem shard.pre_seq it.i_user) then
+        Hashtbl.add shard.pre_seq it.i_user it.seq;
+      match
+        Engine.submit ~submitted_ms:it.at_ms shard.engine ~user:it.i_user
+          it.i_request
+      with
+      | () -> ()
+      | exception exn ->
+          let msg =
+            match exn with
+            | Invalid_argument m | Failure m -> m
+            | e -> Printexc.to_string e
+          in
+          Metrics.incr (Engine.metrics shard.engine) "shard.submit.rejected";
+          shard.pre_rejected <-
+            {
+              Engine.user = it.i_user;
+              request = it.i_request;
+              result = Error msg;
+              time_ms = 0.0;
+            }
+            :: shard.pre_rejected)
+    items
+
+let migrate ?force_all ?epoch:e t wf =
+  with_lock t.drain_lock (fun () ->
+      let next = match e with Some e -> e | None -> epoch t + 1 in
+      observed "group.migrate" (fun () ->
+          Array.iter ingest_inbox t.members;
+          (* Every shard installs the same pinned epoch; each engine
+             normalizes [wf] through the identical serialized text, so
+             the shards' new bases are bit-identical views of the same
+             structure (ids assigned by the same deterministic parse). *)
+          let total =
+            Array.fold_left
+              (fun acc s ->
+                let m = Engine.migrate ?force_all ~epoch:next s.engine wf in
+                match acc with
+                | None -> Some m
+                | Some (a : Engine.migration) ->
+                    Some
+                      {
+                        a with
+                        Engine.m_recomputed = a.m_recomputed + m.m_recomputed;
+                        m_remapped = a.m_remapped + m.m_remapped;
+                        m_dropped_pairs = a.m_dropped_pairs + m.m_dropped_pairs;
+                      })
+              None t.members
+          in
+          Option.get total))
 
 let session t user = Engine.session t.members.(route t user).engine user
 let forget t user = Engine.forget t.members.(route t user).engine user

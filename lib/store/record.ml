@@ -7,6 +7,7 @@ type t =
   | Session_open of { user : string }
   | Session_close of { user : string }
   | Drain of { seq : int }
+  | Epoch_installed of { epoch : int; workflow : string }
 
 let pairs_json pairs =
   Json.Array
@@ -32,6 +33,10 @@ let to_json = function
   | Drain { seq } ->
       Json.Object
         [ ("t", Json.String "drain"); ("n", Json.Number (float_of_int seq)) ]
+  | Epoch_installed { epoch; workflow } ->
+      Json.Object
+        [ ("t", Json.String "epoch"); ("n", Json.Number (float_of_int epoch));
+          ("w", Json.String workflow) ]
 
 let encode t = Json.to_string ~pretty:false (to_json t)
 
@@ -76,6 +81,10 @@ let of_json json =
   | "drain" ->
       let* seq = field json "n" Json.to_float in
       Ok (Drain { seq = int_of_float seq })
+  | "epoch" ->
+      let* epoch = field json "n" Json.to_float in
+      let* workflow = field json "w" Json.to_text in
+      Ok (Epoch_installed { epoch = int_of_float epoch; workflow })
   | other -> Error (Printf.sprintf "unknown record tag %S" other)
 
 let decode s =
@@ -95,3 +104,6 @@ let pp ppf t =
   | Session_open { user } -> Format.fprintf ppf "open %s" user
   | Session_close { user } -> Format.fprintf ppf "close %s" user
   | Drain { seq } -> Format.fprintf ppf "drain #%d" seq
+  | Epoch_installed { epoch; workflow } ->
+      Format.fprintf ppf "epoch #%d installed (%d bytes of workflow)" epoch
+        (String.length workflow)

@@ -21,6 +21,12 @@ type t =
   | Session_open of { user : string }
   | Session_close of { user : string }
   | Drain of { seq : int }  (** a drain boundary: everything before is served *)
+  | Epoch_installed of { epoch : int; workflow : string }
+      (** a new base epoch went live; [workflow] is its
+          {!Cdw_core.Serialize} text — replay parses it and re-freezes
+          deterministically. The workflow text is newline-heavy, which
+          JSON string escaping flattens to the one-frame-per-line WAL
+          discipline. *)
 
 val encode : t -> string
 (** Compact (non-pretty) JSON, newline-free. *)

@@ -143,6 +143,12 @@ type snapshot_user = {
 type snapshot = {
   s_generation : int;
   s_offset : int;
+  s_epoch : int;
+      (* base epoch the per-user state is relative to; 0 for snapshots
+         written before format 3.0 (which predate epochs entirely) *)
+  s_workflow : string option;
+      (* the epoch's base workflow text (format 3.0); [None] for
+         legacy snapshots, whose base is the manifest's workflow *)
   s_users : snapshot_user list;
 }
 
@@ -181,14 +187,19 @@ let snapshot_state_json engine =
   in
   Json.Object [ ("users", Json.Array users) ]
 
-(* Version 2 added per-user "cuts"; version-1 snapshots (no cuts field)
-   still read fine and recover through the re-solve path. *)
-let snapshot_json ~generation ~offset state =
+(* Version 2 added per-user "cuts"; version 3 adds the base epoch and
+   its workflow text (live base evolution). Version-1 snapshots (no
+   cuts field) still read fine and recover through the re-solve path;
+   1.x/2.0 snapshots have no epoch field and recover as the implicit
+   epoch 0 on the manifest's workflow. *)
+let snapshot_json ~generation ~offset ~epoch ~workflow state =
   Json.Object
     [
-      ("version", Json.Number 2.0);
+      ("version", Json.Number 3.0);
       ("generation", Json.Number (float_of_int generation));
       ("wal_offset", Json.Number (float_of_int offset));
+      ("epoch", Json.Number (float_of_int epoch));
+      ("workflow", Json.String workflow);
       ("state", state);
     ]
 
@@ -201,6 +212,14 @@ let read_snapshot dir =
     in
     let* generation = json_field json "generation" Json.to_float in
     let* offset = json_field json "wal_offset" Json.to_float in
+    (* Absent before format 3.0: such state is implicitly epoch 0 on
+       the manifest's workflow. *)
+    let epoch =
+      match Option.bind (Json.member "epoch" json) Json.to_float with
+      | Some e -> int_of_float e
+      | None -> 0
+    in
+    let workflow = Option.bind (Json.member "workflow" json) Json.to_text in
     let* state =
       match Json.member "state" json with
       | Some s -> Ok s
@@ -242,6 +261,8 @@ let read_snapshot dir =
          {
            s_generation = int_of_float generation;
            s_offset = int_of_float offset;
+           s_epoch = epoch;
+           s_workflow = workflow;
            s_users = List.rev users;
          })
 
@@ -360,13 +381,24 @@ let open_existing ?fsync ?(snapshot_every_bytes = default_snapshot_every) dir =
 (* Publish a snapshot of pre-captured [state] keyed to [offset]
    (store lock held). [offset] must be a boundary: all state-bearing
    records at or before it applied, none after. *)
-let publish_snapshot_locked t ~offset state =
+let publish_snapshot_locked t ~offset ~epoch ~workflow state =
   Trace.span "store.snapshot" (fun () ->
       write_atomic (snapshot_path t.t_dir)
-        (Json.to_string (snapshot_json ~generation:t.gen ~offset state) ^ "\n"));
+        (Json.to_string
+           (snapshot_json ~generation:t.gen ~offset ~epoch ~workflow state)
+         ^ "\n"));
   count t "store.snapshots";
   t.last_snapshot_len <- offset;
   t.boundary <- max t.boundary offset
+
+(* The snapshot's base identity, captured together with the per-user
+   state (same lock-order rule: engine reads happen before the store
+   lock). The workflow text re-freezes to a bit-identical base on
+   recovery, so 3.0 snapshots are self-contained whatever epoch the
+   engine reached. *)
+let snapshot_base_info engine =
+  let base = Shared_index.base (Engine.index engine) in
+  (Workflow.epoch base, Serialize.to_string base)
 
 let write_snapshot t engine =
   (* Engine state is captured before the store lock (lock order); the
@@ -375,13 +407,16 @@ let write_snapshot t engine =
   if Engine.pending engine > 0 then
     invalid_arg "Store.write_snapshot: requests pending (drain first)";
   let state = snapshot_state_json engine in
+  let epoch, workflow = snapshot_base_info engine in
   with_lock t (fun () ->
-      publish_snapshot_locked t ~offset:(Wal.length t.wal) state)
+      publish_snapshot_locked t ~offset:(Wal.length t.wal) ~epoch ~workflow
+        state)
 
 let compact t engine =
   if Engine.pending engine > 0 then
     invalid_arg "Store.compact: requests pending (drain first)";
   let state = snapshot_state_json engine in
+  let epoch, workflow = snapshot_base_info engine in
   Trace.span "store.compact" (fun () ->
   with_lock t (fun () ->
       let old_gen = t.gen in
@@ -392,7 +427,8 @@ let compact t engine =
       let new_wal = Wal.create ~fsync:t.fsync (wal_path t.t_dir ~generation:new_gen) in
       Wal.sync new_wal;
       write_atomic (snapshot_path t.t_dir)
-        (Json.to_string (snapshot_json ~generation:new_gen ~offset:0 state)
+        (Json.to_string
+           (snapshot_json ~generation:new_gen ~offset:0 ~epoch ~workflow state)
          ^ "\n");
       Wal.close t.wal;
       t.wal <- new_wal;
@@ -428,14 +464,21 @@ let maybe_auto_snapshot t engine =
       (* Lock order engine → store: read the sessions first, lock the
          store second. *)
       let state = snapshot_state_json engine in
+      let epoch, workflow = snapshot_base_info engine in
       with_lock t (fun () ->
           if t.gen = gen && t.boundary = boundary then
-            publish_snapshot_locked t ~offset:boundary state)
+            publish_snapshot_locked t ~offset:boundary ~epoch ~workflow state)
 
 let attach t engine =
   wire_metrics t (Engine.metrics engine);
-  let wf = Shared_index.base (Engine.index engine) in
-  let hook = function
+  let hook event =
+    (* The encoding base is looked up per event, not captured at
+       attach: an epoch migration swaps the base, and records journaled
+       after it must name vertices of the new base. ([Epoch_installed]
+       itself is emitted before the swap and touches no vertex
+       names.) *)
+    let wf = Shared_index.base (Engine.index engine) in
+    match event with
     | Engine.Submitted { user; request } -> (
         match request with
         | Engine.Add pairs ->
@@ -453,6 +496,8 @@ let attach t engine =
             Wal.append t.wal (Record.encode (Record.Drain { seq }));
             t.boundary <- Wal.length t.wal)
     | Engine.Drain_settled _ -> maybe_auto_snapshot t engine
+    | Engine.Epoch_installed { epoch; workflow } ->
+        log t (Record.Epoch_installed { epoch; workflow })
   in
   Engine.set_journal engine (Some hook)
 
@@ -490,15 +535,18 @@ let drain_now engine = ignore (Engine.drain ~mode:`Sequential engine)
 (* Resolve a cut's (src, dst) names back to the base edge id. Cut edges
    are removed only in session views, never in the base, so a live-edge
    lookup on the engine's base workflow finds them. *)
-let decode_cut engine wf (s, t) =
+let decode_cut wf (s, t) =
   let* s_id = decode_vertex wf s in
   let* t_id = decode_vertex wf t in
-  let g = Workflow.graph (Shared_index.base (Engine.index engine)) in
-  match Cdw_graph.Digraph.find_edge g s_id t_id with
+  match Cdw_graph.Digraph.find_edge (Workflow.graph wf) s_id t_id with
   | Some e -> Ok (Cdw_graph.Digraph.edge_id e)
   | None -> Error (Printf.sprintf "unknown cut edge %s -> %s" s t)
 
-let restore_snapshot engine wf snapshot =
+let restore_snapshot engine snapshot =
+  (* State decodes against the engine's *current* base — for a 3.0
+     snapshot the caller has already installed the snapshot's epoch, so
+     names resolve in the base the state was captured on. *)
+  let wf = Shared_index.base (Engine.index engine) in
   match snapshot with
   | None -> Ok 0
   | Some s ->
@@ -520,7 +568,7 @@ let restore_snapshot engine wf snapshot =
                       let* acc = acc in
                       let* id =
                         Result.map_error (fun e -> "snapshot: " ^ e)
-                          (decode_cut engine wf cut)
+                          (decode_cut wf cut)
                       in
                       Ok (id :: acc))
                     (Ok []) cuts
@@ -546,7 +594,7 @@ let restore_snapshot engine wf snapshot =
    tail as corruption at that offset and stops the replay there —
    everything before it is already applied, which is exactly
    prefix-consistency. *)
-let replay engine wf entries ~valid_end ~tail =
+let replay engine entries ~valid_end ~tail =
   Trace.span "store.replay"
     ~args:[ ("frames", string_of_int (List.length entries)) ]
   @@ fun () ->
@@ -560,6 +608,10 @@ let replay engine wf entries ~valid_end ~tail =
             Result.map_error (fun e -> "undecodable record: " ^ e)
               (Record.decode payload)
           in
+          (* Names resolve against the base of the moment: an
+             [Epoch_installed] record swaps it mid-replay exactly where
+             the live migration did. *)
+          let wf = Shared_index.base (Engine.index engine) in
           match record with
           | Record.Grant { user; pairs } ->
               let* ids = decode_pairs wf pairs in
@@ -580,6 +632,13 @@ let replay engine wf entries ~valid_end ~tail =
               Ok ()
           | Record.Drain _ ->
               drain_now engine;
+              Ok ()
+          | Record.Epoch_installed { epoch; workflow } ->
+              let* ewf, _ =
+                Result.map_error (fun e -> "epoch workflow: " ^ e)
+                  (Serialize.parse workflow)
+              in
+              ignore (Engine.migrate ~epoch engine ewf);
               Ok ()
         in
         match applied with
@@ -605,9 +664,28 @@ let recover dir =
   let engine =
     Engine.create ~algorithm:manifest.m_algorithm ~seed:manifest.m_seed wf
   in
-  let* snapshot_users = restore_snapshot engine wf snapshot in
+  (* A 3.0 snapshot carries its own base: re-install that epoch before
+     restoring per-user state, so cut names resolve where they were
+     captured. The engine has no sessions yet, so the migrate is a pure
+     install. 1.x/2.0 snapshots are the implicit epoch 0 — nothing to
+     do. *)
+  let* () =
+    match snapshot with
+    | Some s when s.s_epoch > 0 -> (
+        match s.s_workflow with
+        | None -> Error "snapshot: epoch set but workflow text missing"
+        | Some text ->
+            let* swf, _ =
+              Result.map_error (fun e -> "snapshot workflow: " ^ e)
+                (Serialize.parse text)
+            in
+            ignore (Engine.migrate ~epoch:s.s_epoch engine swf);
+            Ok ())
+    | _ -> Ok ()
+  in
+  let* snapshot_users = restore_snapshot engine snapshot in
   let replayed, valid_end, tail =
-    replay engine wf scan.Wal.entries ~valid_end:scan.Wal.valid_end
+    replay engine scan.Wal.entries ~valid_end:scan.Wal.valid_end
       ~tail:scan.Wal.tail
   in
   (* Dark counters for what recovery saw: surfaced through the recovered
@@ -661,6 +739,7 @@ type report = {
   r_valid_end : int;
   r_records : int;
   r_drains : int;
+  r_epoch : int;
   r_tail : Wal.tail;
 }
 
@@ -682,23 +761,29 @@ let verify dir =
   let wal_bytes =
     if Sys.file_exists wal_file then (Unix.stat wal_file).Unix.st_size else 0
   in
-  (* Decode every frame: CRC protects bytes, not meaning. *)
-  let records, drains, valid_end, tail =
+  (* Decode every frame: CRC protects bytes, not meaning. The ledger's
+     final epoch is the snapshot's, advanced by every [Epoch_installed]
+     record in the valid prefix (epochs are monotone). *)
+  let snapshot_epoch = match snapshot with Some s -> s.s_epoch | None -> 0 in
+  let records, drains, epoch, valid_end, tail =
     List.fold_left
-      (fun (records, drains, valid_end, tail) (offset, payload) ->
+      (fun (records, drains, epoch, valid_end, tail) (offset, payload) ->
         match tail with
-        | Wal.Corrupt _ | Wal.Torn _ -> (records, drains, valid_end, tail)
+        | Wal.Corrupt _ | Wal.Torn _ -> (records, drains, epoch, valid_end, tail)
         | Wal.Clean -> (
             match Record.decode payload with
             | Ok (Record.Drain _) ->
-                (records + 1, drains + 1, valid_end, tail)
-            | Ok _ -> (records + 1, drains, valid_end, tail)
+                (records + 1, drains + 1, epoch, valid_end, tail)
+            | Ok (Record.Epoch_installed { epoch = e; _ }) ->
+                (records + 1, drains, max epoch e, valid_end, tail)
+            | Ok _ -> (records + 1, drains, epoch, valid_end, tail)
             | Error e ->
                 ( records,
                   drains,
+                  epoch,
                   offset,
                   Wal.Corrupt { offset; reason = "undecodable record: " ^ e } )))
-      (0, 0, scan.Wal.valid_end, Wal.Clean)
+      (0, 0, snapshot_epoch, scan.Wal.valid_end, Wal.Clean)
       scan.Wal.entries
   in
   let tail = match tail with Wal.Clean -> scan.Wal.tail | t -> t in
@@ -719,6 +804,7 @@ let verify dir =
       r_valid_end = valid_end;
       r_records = records;
       r_drains = drains;
+      r_epoch = epoch;
       r_tail = tail;
     }
 
@@ -730,6 +816,7 @@ let pp_report ppf r =
      workflow  %d vertices, %d edges; algorithm %s, seed %d@,\
      snapshot  %s@,\
      wal       generation %d, %d bytes (%d valid), %d records, %d drains@,\
+     epoch     %d@,\
      tail      %a@]"
     r.r_dir r.r_vertices r.r_edges
     (Algorithms.to_string r.r_algorithm)
@@ -739,4 +826,5 @@ let pp_report ppf r =
          r.r_snapshot_offset
      else "none")
     r.r_generation r.r_wal_bytes r.r_valid_end r.r_records r.r_drains
+    r.r_epoch
     Wal.pp_tail r.r_tail

@@ -15,11 +15,14 @@
       opens/closes ride along, and each drain's boundary mark is
       appended atomically with its queue swap, so the records
       preceding a mark are exactly the batch that drain consumed;
-    - a {b snapshot} ([snapshot.json]) of every session's accepted
-      constraint set, keyed to the log generation and the byte offset
-      of a drain boundary: every state-bearing record before the
-      offset is folded in, everything after is still queued and
-      replays on recovery. Written atomically (tmp + rename);
+    - a {b snapshot} ([snapshot.json], format 3.0) of every session's
+      accepted constraint set and cut edges plus the base epoch and
+      its workflow text, keyed to the log generation and the byte
+      offset of a drain boundary: every state-bearing record before
+      the offset is folded in, everything after is still queued and
+      replays on recovery. Written atomically (tmp + rename). Format
+      1.x/2.0 snapshots (no epoch) still recover, as the implicit
+      epoch 0 on the manifest's workflow;
     - {b recovery} ({!recover}): load the manifest, restore the latest
       snapshot into a fresh engine, replay the WAL tail, and stop
       cleanly at a torn or corrupted record — yielding exactly the
@@ -104,7 +107,11 @@ val attach : t -> Cdw_engine.Engine.t -> unit
     offset, so it tolerates submitters racing the drain (their records
     sit after the boundary and replay on recovery) and never raises.
     The engine's base workflow must be the manifest's workflow (names
-    resolve the journal's vertex references). *)
+    resolve the journal's vertex references) — or, after epoch
+    migrations, a descendant of it: records always encode against the
+    engine's base {e of the moment}, and [Epoch_installed] records
+    carry the full workflow text so replay re-freezes each base
+    deterministically before decoding the records that follow it. *)
 
 val create_for :
   ?fsync:Wal.fsync_policy ->
@@ -152,6 +159,9 @@ type report = {
   r_valid_end : int;  (** end of the decodable record prefix *)
   r_records : int;
   r_drains : int;
+  r_epoch : int;
+      (** the base epoch the ledger lands on: the snapshot's, advanced
+          by every [Epoch_installed] record in the valid prefix *)
   r_tail : Wal.tail;
 }
 

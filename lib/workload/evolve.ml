@@ -1,0 +1,291 @@
+(* Deterministic workflow evolution: the mutation schedules behind
+   serve-bench --evolve and bench/engine --evolve.
+
+   A step rebuilds the workflow from scratch — same vertices (by name,
+   kind and weight), same edges minus the drops, plus the adds, with
+   the repriced user-edges carrying new initial valuations — so the
+   result is a plain builder workflow the serving layer can install as
+   the next base epoch ([Engine.migrate] normalizes it through its
+   serialized text anyway). Every choice is drawn from a generator
+   seeded by the step alone, so the same step on the same base yields
+   the same mutant on every run and every process.
+
+   Mutations preserve the model invariants by construction:
+   - drops only take edges whose source keeps >= 1 out-edge and whose
+     target keeps >= 1 in-edge (users keep an out-edge, algorithms
+     keep both, purposes keep an in-edge);
+   - adds only connect u -> v with u before v in a topological order
+     of the old base (the DAG stays a DAG), u not a purpose and v not
+     a user (the kind rules [Workflow.connect] enforces);
+   - new purposes arrive with one in-edge from an existing
+     non-purpose vertex. *)
+
+module Splitmix = Cdw_util.Splitmix
+module Digraph = Cdw_graph.Digraph
+module Workflow = Cdw_core.Workflow
+
+type step = {
+  at_ms : float;
+  add_edges : int;
+  drop_edges : int;
+  reprice_edges : int;
+  add_purposes : int;
+  seed : int;
+}
+
+let default_step =
+  {
+    at_ms = 0.0;
+    add_edges = 2;
+    drop_edges = 1;
+    reprice_edges = 2;
+    add_purposes = 0;
+    seed = 42;
+  }
+
+let step_to_string s =
+  Printf.sprintf "at:%g,add:%d,drop:%d,reprice:%d,purposes:%d,seed:%d" s.at_ms
+    s.add_edges s.drop_edges s.reprice_edges s.add_purposes s.seed
+
+let spec_to_string steps = String.concat ";" (List.map step_to_string steps)
+
+let step_of_string text =
+  let ( let* ) = Result.bind in
+  let num conv key v =
+    match conv v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "%s: %S is not a number" key v)
+  in
+  let fold step item =
+    let* step = step in
+    match String.index_opt item ':' with
+    | None -> Error (Printf.sprintf "%S: expected key:value" item)
+    | Some i -> (
+        let key = String.sub item 0 i in
+        let v = String.sub item (i + 1) (String.length item - i - 1) in
+        match key with
+        | "at" ->
+            let* ms = num float_of_string_opt key v in
+            Ok { step with at_ms = ms }
+        | "add" ->
+            let* n = num int_of_string_opt key v in
+            Ok { step with add_edges = n }
+        | "drop" ->
+            let* n = num int_of_string_opt key v in
+            Ok { step with drop_edges = n }
+        | "reprice" ->
+            let* n = num int_of_string_opt key v in
+            Ok { step with reprice_edges = n }
+        | "purposes" ->
+            let* n = num int_of_string_opt key v in
+            Ok { step with add_purposes = n }
+        | "seed" ->
+            let* n = num int_of_string_opt key v in
+            Ok { step with seed = n }
+        | other -> Error (Printf.sprintf "unknown evolve key %S" other))
+  in
+  let* step =
+    List.fold_left fold (Ok default_step) (String.split_on_char ',' text)
+  in
+  if step.at_ms < 0.0 then Error "at: must be >= 0"
+  else if
+    step.add_edges < 0 || step.drop_edges < 0 || step.reprice_edges < 0
+    || step.add_purposes < 0
+  then Error "add/drop/reprice/purposes must be >= 0"
+  else Ok step
+
+let spec_of_string text =
+  let ( let* ) = Result.bind in
+  let* steps =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* step = step_of_string item in
+        Ok (step :: acc))
+      (Ok [])
+      (String.split_on_char ';' text)
+  in
+  (* The schedule fires in order; require it to be written in order. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.at_ms <= b.at_ms && sorted rest
+    | _ -> true
+  in
+  let steps = List.rev steps in
+  if sorted steps then Ok steps
+  else Error "steps must be in non-decreasing at: order"
+
+(* ---------------------------------------------------------------- *)
+(* One mutation step                                                 *)
+
+(* Kahn's topological order over the live edges — the order that makes
+   added edges DAG-safe (only ever u -> v with u earlier). *)
+let topo_order g =
+  let n = Digraph.n_vertices g in
+  let in_deg = Array.make n 0 in
+  Digraph.iter_edges
+    (fun e ->
+      if not (Digraph.edge_removed g e) then
+        in_deg.(Digraph.edge_dst e) <- in_deg.(Digraph.edge_dst e) + 1)
+    g;
+  let order = Array.make n 0 in
+  let pos = Array.make n 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if in_deg.(v) = 0 then Queue.add v queue
+  done;
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!k) <- v;
+    pos.(v) <- !k;
+    incr k;
+    Digraph.iter_out g v (fun e ->
+        if not (Digraph.edge_removed g e) then begin
+          let w = Digraph.edge_dst e in
+          in_deg.(w) <- in_deg.(w) - 1;
+          if in_deg.(w) = 0 then Queue.add w queue
+        end)
+  done;
+  pos
+
+let live_edges g =
+  List.rev
+    (Digraph.fold_edges
+       (fun acc e -> if Digraph.edge_removed g e then acc else e :: acc)
+       [] g)
+
+let mutate step wf =
+  let g = Workflow.graph wf in
+  let n = Digraph.n_vertices g in
+  let rng = Splitmix.create (step.seed lxor 0x3A0_17E) in
+  let pos = topo_order g in
+  let edges = Array.of_list (live_edges g) in
+  let n_edges = Array.length edges in
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      out_deg.(Digraph.edge_src e) <- out_deg.(Digraph.edge_src e) + 1;
+      in_deg.(Digraph.edge_dst e) <- in_deg.(Digraph.edge_dst e) + 1)
+    edges;
+  (* Drops: random live edges whose endpoints survive the loss. *)
+  let dropped = Hashtbl.create 8 in
+  let attempts = ref (20 * step.drop_edges) in
+  let taken = ref 0 in
+  while !taken < step.drop_edges && !attempts > 0 && n_edges > 0 do
+    decr attempts;
+    let e = edges.(Splitmix.int rng n_edges) in
+    let id = Digraph.edge_id e in
+    let u = Digraph.edge_src e and v = Digraph.edge_dst e in
+    if (not (Hashtbl.mem dropped id)) && out_deg.(u) > 1 && in_deg.(v) > 1
+    then begin
+      Hashtbl.add dropped id ();
+      out_deg.(u) <- out_deg.(u) - 1;
+      in_deg.(v) <- in_deg.(v) - 1;
+      incr taken
+    end
+  done;
+  (* Reprices: surviving user out-edges get a fresh initial valuation
+     (a x0.5..x2 factor, nudged if the draw lands exactly on 1). *)
+  let repriced = Hashtbl.create 8 in
+  let user_edges =
+    Array.of_list
+      (List.filter
+         (fun e ->
+           Workflow.kind wf (Digraph.edge_src e) = Workflow.User
+           && not (Hashtbl.mem dropped (Digraph.edge_id e)))
+         (Array.to_list edges))
+  in
+  let attempts = ref (20 * step.reprice_edges) in
+  let taken = ref 0 in
+  while
+    !taken < step.reprice_edges && !attempts > 0 && Array.length user_edges > 0
+  do
+    decr attempts;
+    let e = user_edges.(Splitmix.int rng (Array.length user_edges)) in
+    let id = Digraph.edge_id e in
+    if not (Hashtbl.mem repriced id) then begin
+      let old = Workflow.initial_value wf e in
+      let factor = 0.5 +. Splitmix.float rng 1.5 in
+      let fresh = old *. factor in
+      let fresh = if fresh = old then old +. 0.125 else fresh in
+      Hashtbl.add repriced id fresh;
+      incr taken
+    end
+  done;
+  (* Adds: DAG-safe kind-legal pairs not already connected. *)
+  let added = Hashtbl.create 8 in
+  let attempts = ref (40 * step.add_edges) in
+  let taken = ref 0 in
+  while !taken < step.add_edges && !attempts > 0 && n > 1 do
+    decr attempts;
+    let u = Splitmix.int rng n and v = Splitmix.int rng n in
+    if
+      u <> v && pos.(u) < pos.(v)
+      && Workflow.kind wf u <> Workflow.Purpose
+      && Workflow.kind wf v <> Workflow.User
+      && Digraph.find_edge g u v = None
+      && not (Hashtbl.mem added (u, v))
+    then begin
+      Hashtbl.add added (u, v) ();
+      incr taken
+    end
+  done;
+  (* Rebuild: same ids in, same ids out (vertices are re-added in id
+     order), which keeps the mutant readable next to its parent. *)
+  let wf' = Workflow.create () in
+  for v = 0 to n - 1 do
+    let name = Workflow.name wf v in
+    ignore
+      (match Workflow.kind wf v with
+      | Workflow.User -> Workflow.add_user ~name wf'
+      | Workflow.Algorithm -> Workflow.add_algorithm ~name wf'
+      | Workflow.Purpose ->
+          Workflow.add_purpose ~name
+            ~weight:(Workflow.purpose_weight wf v)
+            wf')
+  done;
+  Array.iter
+    (fun e ->
+      let id = Digraph.edge_id e in
+      if not (Hashtbl.mem dropped id) then begin
+        let u = Digraph.edge_src e and v = Digraph.edge_dst e in
+        let value =
+          match Hashtbl.find_opt repriced id with
+          | Some fresh -> fresh
+          | None -> Workflow.initial_value wf e
+        in
+        if Workflow.kind wf u = Workflow.User then
+          ignore (Workflow.connect ~value wf' u v)
+        else ignore (Workflow.connect wf' u v)
+      end)
+    edges;
+  Hashtbl.iter
+    (fun (u, v) () ->
+      if Workflow.kind wf u = Workflow.User then
+        ignore (Workflow.connect ~value:(0.5 +. Splitmix.float rng 1.5) wf' u v)
+      else ignore (Workflow.connect wf' u v))
+    added;
+  (* New purposes: a fresh name, a drawn weight, one in-edge from a
+     random non-purpose vertex (the invariant every purpose owes). *)
+  let fresh_purpose_name i =
+    let rec find j =
+      let name = Printf.sprintf "evolved.p%d" j in
+      if Workflow.vertex_of_name wf' name = None then name else find (j + 1)
+    in
+    find i
+  in
+  let non_purposes =
+    Array.of_list
+      (List.filter
+         (fun v -> Workflow.kind wf v <> Workflow.Purpose)
+         (List.init n Fun.id))
+  in
+  if Array.length non_purposes > 0 then
+    for i = 0 to step.add_purposes - 1 do
+      let name = fresh_purpose_name i in
+      let weight = 0.5 +. Splitmix.float rng 1.5 in
+      let p = Workflow.add_purpose ~name ~weight wf' in
+      let src = non_purposes.(Splitmix.int rng (Array.length non_purposes)) in
+      ignore (Workflow.connect wf' src p)
+    done;
+  wf'

@@ -85,6 +85,9 @@ let roundtrip_requests =
     Wire.Prom;
     Wire.Ping;
     Wire.Trace_req;
+    Wire.Epoch_install "user u\nalgorithm a\npurpose p 1.5\nedge u a 2.0\nedge a p\n";
+    Wire.Epoch_install "";
+    Wire.Epoch_query;
   ]
 
 let test_request_roundtrip () =
@@ -160,6 +163,12 @@ let test_reply_roundtrip () =
       Wire.Metrics_r "{}";
       Wire.Prom_r "# TYPE x counter\n";
       Wire.Pong;
+      Wire.Epoch_installed_r
+        { Wire.e_epoch = 3; e_recomputed = 17; e_remapped = 120; e_dropped = 2 };
+      Wire.Epoch_installed_r
+        { Wire.e_epoch = 0; e_recomputed = 0; e_remapped = 0; e_dropped = 0 };
+      Wire.Epoch_r 0;
+      Wire.Epoch_r 41;
       Wire.Error_r "something broke";
     ]
 
@@ -192,7 +201,13 @@ let test_malformed_payloads () =
   Buffer.add_char b 'u';
   Buffer.add_char b '\x00';
   Buffer.add_int32_le b 0x0FFF_FFFFl;
-  check "implausible pair count" (Buffer.contents b)
+  check "implausible pair count" (Buffer.contents b);
+  (* An epoch install whose workflow text stops mid-string. *)
+  let install = Wire.encode_request (Wire.Epoch_install "user u\n") in
+  check "truncated epoch install" (String.sub install 0 (String.length install - 3));
+  (* Epoch_query carries no body; trailing bytes are a malformation. *)
+  check "epoch query with trailing bytes"
+    (Wire.encode_request Wire.Epoch_query ^ "x")
 
 (* ---------------------------------------------------------------- *)
 (* the serving surface over a socket *)

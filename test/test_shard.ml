@@ -288,8 +288,11 @@ let vertex_of wf name =
 
 let apply_records ~algorithm ~seed wf records =
   let engine = Engine.create ~algorithm ~seed wf in
+  (* Names resolve against the engine's base *of the moment* — an
+     [Epoch_installed] record swaps it mid-stream, like store replay. *)
   let decode pairs =
-    List.map (fun (s, t) -> (vertex_of wf s, vertex_of wf t)) pairs
+    let base = Engine.base engine in
+    List.map (fun (s, t) -> (vertex_of base s, vertex_of base t)) pairs
   in
   List.iter
     (fun r ->
@@ -301,7 +304,11 @@ let apply_records ~algorithm ~seed wf records =
       | Record.Resolve { user } -> Engine.submit engine ~user Engine.Resolve
       | Record.Session_open { user } -> ignore (Engine.session engine user)
       | Record.Session_close { user } -> Engine.forget engine user
-      | Record.Drain _ -> ignore (Engine.drain ~mode:`Sequential engine))
+      | Record.Drain _ -> ignore (Engine.drain ~mode:`Sequential engine)
+      | Record.Epoch_installed { epoch; workflow } -> (
+          match Serialize.parse workflow with
+          | Ok (ewf, _) -> ignore (Engine.migrate ~epoch engine ewf)
+          | Error e -> Alcotest.fail e))
     records;
   if Engine.pending engine > 0 then
     ignore (Engine.drain ~mode:`Sequential engine);
