@@ -24,7 +24,8 @@ let usage () =
     \              [--sessions N] [--batches N] [--pairs N]\n\
     \              [--no-withdrawals] [--seed N] [--domains N]\n\
     \              [--algorithm NAME] [--out FILE] [--trace-out FILE]\n\
-    \              [--baseline FILE] [--shards] [--net] [--tiered] [--evolve]";
+    \              [--baseline FILE] [--shards] [--net] [--tiered] [--evolve]\n\
+    \              [--oracle]";
   exit 2
 
 (* The same workload served over a Unix-domain socket: server thread
@@ -222,6 +223,77 @@ let evolve base_config =
       ("speedup", Json.Number speedup);
     ]
 
+(* Oracle row: utility retained by the serving heuristic (RemoveMinMC)
+   vs the exact ILP multicut, one instance per paper dataset. The
+   interesting number is the gap the anytime refiner can reclaim —
+   exact minus heuristic, as a fraction of the base utility. The exact
+   side runs under a generous budget; if it still falls back, the row
+   records the tier honestly instead of passing the heuristic's own
+   answer off as an optimum. *)
+let oracle base_config =
+  let module Generator = Cdw_workload.Generator in
+  let module Gen_params = Cdw_workload.Gen_params in
+  let module Dataset2 = Cdw_workload.Dataset2 in
+  let module Utility = Cdw_core.Utility in
+  let module Workflow = Cdw_core.Workflow in
+  let module Timing = Cdw_util.Timing in
+  let seed = base_config.Workbench.seed in
+  let datasets =
+    [
+      ("1a", Generator.generate ~seed (Gen_params.dataset1a ~n_constraints:6));
+      ("1b", Generator.generate ~seed (Gen_params.dataset1b ~n_constraints:6));
+      ("1c", Generator.generate ~seed (Gen_params.dataset1c ~n_constraints:6));
+      ("2", Dataset2.base ~seed ());
+      ("3", Generator.generate ~seed (Gen_params.dataset3 ~n_vertices:500));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, (instance : Cdw_workload.Generator.t)) ->
+        let wf = instance.Cdw_workload.Generator.workflow in
+        let cs = instance.Cdw_workload.Generator.constraints in
+        let base_u = Utility.total wf in
+        let solve algo budget =
+          let options =
+            {
+              Algorithms.Options.default with
+              Algorithms.Options.solver_budget_ms = budget;
+            }
+          in
+          let o, ms =
+            Timing.time_f (fun () -> Algorithms.solve ~options algo wf cs)
+          in
+          let retained =
+            if base_u > 0.0 then o.Algorithms.utility_after /. base_u else 1.0
+          in
+          (retained, ms, o.Algorithms.tier)
+        in
+        let h_retained, h_ms, _ = solve Algorithms.Remove_min_mc None in
+        let e_retained, e_ms, e_tier =
+          solve Algorithms.Exact_ilp (Some 10_000.0)
+        in
+        let tier = Option.value ~default:"exact-ilp" e_tier in
+        Printf.printf
+          "oracle %-2s: base %10.0f  min-mc %6.2f%% (%7.1f ms)  %s %6.2f%% \
+           (%7.1f ms)  reclaimable %5.2f%%\n"
+          name base_u (100.0 *. h_retained) h_ms tier (100.0 *. e_retained)
+          e_ms
+          (100.0 *. (e_retained -. h_retained));
+        Json.Object
+          [
+            ("dataset", Json.String name);
+            ("base_utility", Json.Number base_u);
+            ("min_mc_retained", Json.Number h_retained);
+            ("min_mc_ms", Json.Number h_ms);
+            ("exact_retained", Json.Number e_retained);
+            ("exact_ms", Json.Number e_ms);
+            ("exact_tier", Json.String tier);
+            ("reclaimable", Json.Number (e_retained -. h_retained));
+          ])
+      datasets
+  in
+  Json.Array rows
+
 (* Regression guard: compare this run's engine_rps against a previously
    committed result file. Only meaningful when the configs match — a
    --quick baseline says nothing about the acceptance workload — so a
@@ -270,6 +342,7 @@ let () =
   let net = ref false in
   let tier = ref false in
   let evolve_row = ref false in
+  let oracle_row = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -331,6 +404,9 @@ let () =
         parse rest
     | "--evolve" :: rest ->
         evolve_row := true;
+        parse rest
+    | "--oracle" :: rest ->
+        oracle_row := true;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
@@ -455,6 +531,9 @@ let () =
      affected-only migration vs re-solving the world. Extra field only;
      the baseline guard's config is untouched. *)
   let evolve_json = if !evolve_row then Some (evolve !config) else None in
+  (* Oracle row: utility retained, heuristic vs exact ILP, per paper
+     dataset — the refiner's reclaimable headroom (see [oracle]). *)
+  let oracle_json = if !oracle_row then Some (oracle !config) else None in
   let result_json =
     match Workbench.result_json result with
     | Json.Object fields ->
@@ -492,6 +571,11 @@ let () =
         let fields =
           match evolve_json with
           | Some row -> fields @ [ ("evolve", row) ]
+          | None -> fields
+        in
+        let fields =
+          match oracle_json with
+          | Some row -> fields @ [ ("utility_retained", row) ]
           | None -> fields
         in
         Json.Object fields

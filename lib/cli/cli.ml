@@ -583,10 +583,13 @@ let serve_bench_cmd =
   let evolve =
     Arg.(value & opt (some string) None & info [ "evolve" ] ~docv:"SPEC" ~doc:"Mutate the base workflow mid-run (live epoch installs, DESIGN.md \\$(b,16)): a semicolon-separated schedule of steps, each comma-separated key:value items — at:MS (synthetic-stream milliseconds, non-decreasing), add:N/drop:N (structural edge churn), reprice:N (user-edge revaluations), purposes:N (new purpose vertices), seed:N. E.g. --evolve 'at:200,drop:2,seed:7;at:600,add:3,purposes:1,seed:8'. Steps fire at drain boundaries of the synthetic clock; each mutates the base the previous step installed. Requires --traffic; with --connect the mutants ship over the wire as epoch installs.")
   in
+  let refine =
+    Arg.(value & flag & info [ "refine" ] ~doc:"Run the anytime cut refiner between drain windows (DESIGN.md §17): requests are still answered by the session's heuristic solver, and a background exact ILP pass re-solves served users on spare time, installing strictly-better cuts at drain boundaries as journaled $(b,Cut_refined) events. Prints the refine counters (solves, improvements, installs, utility reclaimed). Requires --traffic; in-process only — with --connect, refinement lives server-side.")
+  in
   let run quick vertices stages density sessions batches pairs no_withdrawals
       seed domains shards algo trials connect user_prefix out metrics_out
       journal fsync trace_out prom_out stats_out stats_interval traffic mem_cap
-      evolve =
+      evolve refine =
     let module Serving = Cdw_shard.Serving in
     let module Shard_bench = Cdw_shard.Shard_bench in
     let module Trace = Cdw_obs.Trace in
@@ -624,8 +627,12 @@ let serve_bench_cmd =
     | _, Error msg -> `Error (false, "--evolve: " ^ msg)
     | Ok None, Ok (_ :: _) ->
         `Error (false, "--evolve requires --traffic (the schedule runs on the stream's synthetic clock)")
+    | Ok None, Ok _ when refine ->
+        `Error (false, "--refine requires --traffic (the refiner steps between drain windows)")
     | Ok traffic_spec, Ok evolve_steps -> (
     match connect with
+    | Some _ when refine ->
+        `Error (false, "--refine is in-process only; with --connect, refinement is a server-side concern")
     | Some addr -> (
         match traffic_spec with
         | Some spec ->
@@ -754,7 +761,7 @@ let serve_bench_cmd =
               let trun =
                 Shard_bench.serve_traffic
                   ~mode:(`Parallel config.Workbench.domains)
-                  ~evolve:evolve_steps serving spec ~pairs
+                  ~evolve:evolve_steps ~refine serving spec ~pairs
               in
               (trun, serving)
             with
@@ -840,7 +847,7 @@ let serve_bench_cmd =
        $ pairs $ no_withdrawals $ seed $ domains $ shards $ algo $ trials
        $ connect $ user_prefix $ out $ metrics_out $ journal $ fsync
        $ trace_out $ prom_out $ stats_out $ stats_interval $ traffic
-       $ mem_cap $ evolve))
+       $ mem_cap $ evolve $ refine))
 
 (* ---------------------------------------------------------------- *)
 (* serve                                                              *)

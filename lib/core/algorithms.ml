@@ -3,6 +3,7 @@ module Paths = Cdw_graph.Paths
 module Reach = Cdw_graph.Reach
 module Mincut = Cdw_flow.Mincut
 module Multicut = Cdw_cut.Multicut
+module Ilp_multicut = Cdw_cut.Ilp_multicut
 module Splitmix = Cdw_util.Splitmix
 module Timing = Cdw_util.Timing
 module Trace = Cdw_obs.Trace
@@ -23,6 +24,8 @@ module Options = struct
     utility : (Workflow.t -> float) option;
     utility_before : float option;
     paths_for : path_provider option;
+    node_budget : int option;
+    solver_budget_ms : float option;
   }
 
   let default =
@@ -35,6 +38,8 @@ module Options = struct
       utility = None;
       utility_before = None;
       paths_for = None;
+      node_budget = None;
+      solver_budget_ms = None;
     }
 end
 
@@ -44,6 +49,8 @@ type outcome = {
   utility_before : float;
   utility_after : float;
   candidates : int;
+  tier : string option;
+  bound : float option;
 }
 
 let utility_percent o =
@@ -85,6 +92,8 @@ let on_copy ?(utility = fun wf -> Utility.total wf) ?utility_before wf solve =
     utility_before;
     utility_after = utility copy;
     candidates;
+    tier = None;
+    bound = None;
   }
 
 (* Paths of one constraint on the current live graph. The caps apply
@@ -191,6 +200,58 @@ let min_mc_impl (o : Options.t) wf cs =
       Trace.span "solve.enforce" (fun () ->
           ignore (Valuation.remove_with_cascade copy result.Multicut.edges));
       1)
+
+(* The oracle tier: exact ILP multicut (or its LP-rounding
+   approximation) with lazily generated path constraints, budgeted per
+   request. Exhausting the node/time budget while the caller's own
+   deadline still has slack falls back to RemoveMinMC so serving always
+   answers; [tier]/[bound] on the outcome record which tier did. *)
+let oracle_impl ~approx (o : Options.t) wf cs =
+  let scheme = o.Options.scheme in
+  let deadline =
+    match o.Options.solver_budget_ms with
+    | Some ms -> Float.min o.Options.deadline (Timing.deadline_after_ms ms)
+    | None -> o.Options.deadline
+  in
+  let bound = ref None in
+  let attempt () =
+    on_copy ?utility_before:o.Options.utility_before wf (fun copy ->
+        let g = Workflow.graph copy in
+        let w =
+          Trace.span "solve.weights" (fun () ->
+              Utility.cut_weights ?scheme copy)
+        in
+        let weight e = w.(Digraph.edge_id e) in
+        let pairs = Constraint_set.pairs cs in
+        let r =
+          Trace.span "solve.ilp_multicut" (fun () ->
+              if approx then Ilp_multicut.solve_approx ~deadline g ~weight ~pairs
+              else
+                Ilp_multicut.solve_exact ~deadline
+                  ?node_limit:o.Options.node_budget g ~weight ~pairs)
+        in
+        bound := Some r.Ilp_multicut.lower_bound;
+        Trace.span "solve.enforce" (fun () ->
+            ignore
+              (Valuation.remove_with_cascade copy r.Ilp_multicut.edges));
+        1)
+  in
+  match attempt () with
+  | outcome ->
+      {
+        outcome with
+        tier = Some (if approx then "approx-lp" else "exact-ilp");
+        bound = !bound;
+      }
+  | exception (Timing.Timeout | Failure _)
+    when o.Options.deadline = infinity || Timing.now_ms () < o.Options.deadline
+    ->
+      (* The solver budget (node limit / solver_budget_ms / a numerically
+         stuck simplex) ran out, but the caller's own deadline has slack:
+         answer from the heuristic ladder. A caller-deadline Timeout
+         re-raises. *)
+      let outcome = min_mc_impl o wf cs in
+      { outcome with tier = Some "fallback:remove-min-mc"; bound = None }
 
 (* All constraint paths that must be broken, over the initial graph. *)
 let all_constraint_paths ?max_paths ?deadline ?paths_for wf cs =
@@ -418,6 +479,8 @@ type name =
   | Remove_min_mc
   | Brute_force
   | Brute_force_bnb
+  | Exact_ilp
+  | Approx_lp
 
 let all_names =
   [
@@ -428,6 +491,8 @@ let all_names =
     Remove_min_mc;
     Brute_force;
     Brute_force_bnb;
+    Exact_ilp;
+    Approx_lp;
   ]
 
 let to_string = function
@@ -438,6 +503,8 @@ let to_string = function
   | Remove_min_mc -> "remove-min-mc"
   | Brute_force -> "brute-force"
   | Brute_force_bnb -> "brute-force-bnb"
+  | Exact_ilp -> "exact-ilp"
+  | Approx_lp -> "approx-lp"
 
 let of_string s =
   List.find_opt (fun n -> to_string n = s) all_names
@@ -451,6 +518,8 @@ let solve ?(options = Options.default) name wf cs =
   | Remove_min_mc -> min_mc_impl options wf cs
   | Brute_force -> brute_force_impl options wf cs
   | Brute_force_bnb -> brute_force_bnb_impl options wf cs
+  | Exact_ilp -> oracle_impl ~approx:false options wf cs
+  | Approx_lp -> oracle_impl ~approx:true options wf cs
 
 let run ?rng ?deadline ?max_paths name wf cs =
   let options =

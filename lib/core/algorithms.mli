@@ -72,6 +72,14 @@ module Options : sig
             passes the shared base's utility here when solving from the
             pristine base. *)
     paths_for : path_provider option;
+    node_budget : int option;
+        (** per-round branch-and-bound node cap of [Exact_ilp]
+            ({!Cdw_lp.Ilp.solve}'s [node_limit]); exhausting it falls
+            back to RemoveMinMC *)
+    solver_budget_ms : float option;
+        (** per-request wall-clock budget of [Exact_ilp]/[Approx_lp],
+            *tighter* than [deadline]: exhausting it falls back to
+            RemoveMinMC instead of raising, so serving always answers *)
   }
 
   val default : t
@@ -88,6 +96,15 @@ type outcome = {
   utility_after : float;
   candidates : int;
       (** candidates evaluated (brute-force searches; 1 otherwise) *)
+  tier : string option;
+      (** which tier answered, for [Exact_ilp]/[Approx_lp]:
+          ["exact-ilp"], ["approx-lp"], or ["fallback:remove-min-mc"]
+          when the solver budget ran out. [None] for the other
+          algorithms. *)
+  bound : float option;
+      (** proven lower bound on the optimal cut weight obtained by the
+          solver tier (tight for ["exact-ilp"]); [None] on fallback and
+          for the other algorithms *)
 }
 
 val utility_percent : outcome -> float
@@ -146,6 +163,14 @@ type name =
   | Remove_min_mc
   | Brute_force
   | Brute_force_bnb
+  | Exact_ilp
+      (** exact minimum multicut via {!Cdw_cut.Ilp_multicut} — the
+          ground-truth oracle. Budgeted by [Options.node_budget] /
+          [Options.solver_budget_ms]; on exhaustion answers from
+          RemoveMinMC ([outcome.tier] says which tier did). *)
+  | Approx_lp
+      (** LP-relaxation threshold rounding with a guaranteed ratio
+          (longest discovered path length); same budget/fallback. *)
 
 val all_names : name list
 

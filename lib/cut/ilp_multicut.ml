@@ -1,0 +1,234 @@
+(* Exact multicut as a 0/1 integer program over [Cdw_lp], with lazily
+   generated path constraints — the ground-truth oracle tier.
+
+   Formulation: one binary removal variable x_e per edge, minimize
+   Σ w_e · x_e subject to Σ_{e ∈ p} x_e ≥ 1 for every s→t path p of
+   every pair. Enumerating all paths up front is hopeless (their count
+   is exponential), so constraints are generated lazily: solve the
+   program over the paths discovered so far, look for a surviving s→t
+   path in the residual graph, add its row, repeat. Termination: the
+   incumbent hits every pool path, so any surviving path is new —
+   the pool grows strictly every round and path count is finite. On
+   exit the incumbent is feasible for the *full* problem while its
+   value is the optimum of a relaxation (the pool program), hence it
+   is exactly optimal.
+
+   The approximate tier solves the pool's LP relaxation instead and
+   rounds at threshold 1/L (L = longest pool path): every pool path
+   has ≤ L edges so some variable on it is ≥ 1/L, which makes the
+   rounding feasible for the pool at cost ≤ L · OPT_LP ≤ L · OPT. *)
+
+module Digraph = Cdw_graph.Digraph
+module Timing = Cdw_util.Timing
+module Trace = Cdw_obs.Trace
+module Simplex = Cdw_lp.Simplex
+module Ilp = Cdw_lp.Ilp
+
+type result = {
+  edges : Digraph.edge list;
+  weight : float;
+  lower_bound : float;
+  rounds : int;
+  violated : int list;
+  ratio : float;
+}
+
+let with_removed g edges f =
+  List.iter (fun e -> Digraph.remove_edge g e) edges;
+  let finish () = List.iter (fun e -> Digraph.restore_edge g e) edges in
+  match f () with
+  | x ->
+      finish ();
+      x
+  | exception exn ->
+      finish ();
+      raise exn
+
+(* One surviving s→t path (as an edge list) by BFS, or None. *)
+let find_path g s t =
+  let n = Digraph.n_vertices g in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  seen.(s) <- true;
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while (not (Queue.is_empty queue)) && not seen.(t) do
+    let v = Queue.pop queue in
+    Digraph.iter_out g v (fun e ->
+        let u = Digraph.edge_dst e in
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          parent.(u) <- Some e;
+          Queue.add u queue
+        end)
+  done;
+  if not seen.(t) then None
+  else begin
+    let rec walk v acc =
+      match parent.(v) with
+      | None -> acc
+      | Some e -> walk (Digraph.edge_src e) (e :: acc)
+    in
+    Some (walk t [])
+  end
+
+(* Variable pool: dense indices for the edge ids mentioned by discovered
+   paths — the program never materialises a column for an edge no path
+   uses. *)
+type pool = {
+  var_of_edge : (int, int) Hashtbl.t;
+  mutable edge_of_var : Digraph.edge list; (* reversed *)
+  mutable n_vars : int;
+  mutable paths : int array list; (* reversed; each array = one path *)
+  mutable n_paths : int;
+  mutable max_len : int;
+}
+
+let fresh_pool () =
+  {
+    var_of_edge = Hashtbl.create 64;
+    edge_of_var = [];
+    n_vars = 0;
+    paths = [];
+    n_paths = 0;
+    max_len = 1;
+  }
+
+let var_for pool e =
+  let id = Digraph.edge_id e in
+  match Hashtbl.find_opt pool.var_of_edge id with
+  | Some v -> v
+  | None ->
+      let v = pool.n_vars in
+      Hashtbl.add pool.var_of_edge id v;
+      pool.edge_of_var <- e :: pool.edge_of_var;
+      pool.n_vars <- v + 1;
+      v
+
+let add_path pool path =
+  let row = Array.of_list (List.map (var_for pool) path) in
+  pool.paths <- row :: pool.paths;
+  pool.n_paths <- pool.n_paths + 1;
+  pool.max_len <- max pool.max_len (Array.length row)
+
+(* The pool as a [Simplex.problem]: minimise the (scaled) weights over
+   one covering row per discovered path. *)
+let pool_problem pool ~weight =
+  let edges = Array.of_list (List.rev pool.edge_of_var) in
+  let objective = Array.map weight edges in
+  let constraints =
+    List.rev_map
+      (fun path ->
+        let a = Array.make pool.n_vars 0.0 in
+        Array.iter (fun v -> a.(v) <- 1.0) path;
+        (a, Simplex.Ge, 1.0))
+      pool.paths
+  in
+  ({ Simplex.objective; constraints }, edges)
+
+let chosen_edges edges chosen =
+  let acc = ref [] in
+  Array.iteri (fun v b -> if b then acc := edges.(v) :: !acc) chosen;
+  List.rev !acc
+
+let total_weight weight edges =
+  List.fold_left (fun acc e -> acc +. weight e) 0.0 edges
+
+let validate_pairs pairs =
+  List.iter
+    (fun (s, t) ->
+      if s = t then invalid_arg "Ilp_multicut: pair with s = t")
+    pairs
+
+(* Normalise weights for the solvers: valuation-derived weights span
+   many orders of magnitude, which wrecks simplex tolerances. Scaling
+   the objective does not change the argmin. *)
+let weight_scale g ~weight =
+  let max_weight = ref 0.0 in
+  Digraph.iter_edges
+    (fun e -> max_weight := Float.max !max_weight (weight e))
+    g;
+  if !max_weight > 0.0 then 1.0 /. !max_weight else 1.0
+
+(* The shared lazy-constraint loop. [solve_pool] answers the current
+   pool with (chosen bool array over pool vars, scaled pool optimum). *)
+let lazy_loop ~deadline g ~pairs pool solve_pool =
+  let violated_log = ref [] in
+  let lower = ref 0.0 in
+  let rec loop rounds candidate =
+    Timing.check_deadline deadline;
+    let surviving =
+      Trace.span "ilp_multicut.find_paths" (fun () ->
+          with_removed g candidate (fun () ->
+              List.filter_map (fun (s, t) -> find_path g s t) pairs))
+    in
+    violated_log := List.length surviving :: !violated_log;
+    match surviving with
+    | [] -> (candidate, rounds, List.rev !violated_log, !lower)
+    | paths ->
+        List.iter (add_path pool) paths;
+        let chosen, value =
+          Trace.span "ilp_multicut.solve_pool"
+            ~args:[ ("paths", string_of_int pool.n_paths) ]
+            solve_pool
+        in
+        lower := value;
+        let edges = Array.of_list (List.rev pool.edge_of_var) in
+        loop (rounds + 1) (chosen_edges edges chosen)
+  in
+  loop 0 []
+
+let solve_exact ?(deadline = infinity) ?node_limit g ~weight ~pairs =
+  validate_pairs pairs;
+  let scale = weight_scale g ~weight in
+  let scaled e = weight e *. scale in
+  let pool = fresh_pool () in
+  let solve_pool () =
+    let problem, _ = pool_problem pool ~weight:scaled in
+    match Ilp.solve ~deadline ?node_limit problem with
+    | Ilp.Optimal { x; objective_value } -> (x, objective_value)
+    | Ilp.Infeasible ->
+        (* Removing every pooled edge hits every pooled path. *)
+        assert false
+  in
+  let edges, rounds, violated, _ = lazy_loop ~deadline g ~pairs pool solve_pool in
+  let w = total_weight weight edges in
+  (* The final cut is feasible for the full problem and optimal for the
+     pool relaxation, so its weight *is* the optimum — the bound is
+     tight by construction. *)
+  { edges; weight = w; lower_bound = w; rounds; violated; ratio = 1.0 }
+
+let solve_approx ?(deadline = infinity) g ~weight ~pairs =
+  validate_pairs pairs;
+  let scale = weight_scale g ~weight in
+  let scaled e = weight e *. scale in
+  let pool = fresh_pool () in
+  let solve_pool () =
+    let problem, _ = pool_problem pool ~weight:scaled in
+    match Simplex.solve ~deadline problem with
+    | Simplex.Optimal { x; objective_value } ->
+        let threshold = (1.0 /. float_of_int pool.max_len) -. 1e-9 in
+        (Array.map (fun xe -> xe >= threshold) x, objective_value)
+    | Simplex.Infeasible | Simplex.Unbounded ->
+        (* Covering LPs over non-empty rows are feasible and bounded. *)
+        assert false
+  in
+  let edges, rounds, violated, lower =
+    lazy_loop ~deadline g ~pairs pool solve_pool
+  in
+  (* Threshold rounding can keep redundant edges; re-admission only
+     lowers the weight and preserves feasibility. *)
+  let edges =
+    Trace.span "ilp_multicut.minimalize" (fun () ->
+        Multicut.minimalize g edges ~weight ~pairs)
+  in
+  let w = total_weight weight edges in
+  let lower_bound = if scale > 0.0 then lower /. scale else lower in
+  {
+    edges;
+    weight = w;
+    lower_bound;
+    rounds;
+    violated;
+    ratio = float_of_int pool.max_len;
+  }

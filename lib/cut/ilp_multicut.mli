@@ -1,0 +1,55 @@
+(** Exact minimum multicut as a 0/1 integer program over {!Cdw_lp}, with
+    lazily generated path constraints — the ground-truth oracle behind
+    the [exact-ilp] / [approx-lp] algorithm tier.
+
+    One binary variable x_e per edge; minimise Σ w_e·x_e subject to
+    Σ_{e ∈ p} x_e ≥ 1 for every s→t path p of every pair. Paths are
+    discovered lazily: solve the program over the pool of paths found
+    so far, BFS the residual graph for a surviving pair path, add its
+    constraint row, repeat. Each round strictly grows the pool (the
+    incumbent hits every pooled path, so any survivor is new), and on
+    exit the incumbent is feasible for the full problem at the optimum
+    of a relaxation of it — i.e. exactly optimal.
+
+    Both solvers run on the caller's live graph, temporarily removing
+    and restoring candidate edges; the graph is returned untouched. *)
+
+type result = {
+  edges : Cdw_graph.Digraph.edge list;  (** the cut, in discovery order *)
+  weight : float;  (** Σ weight over [edges], caller's scale *)
+  lower_bound : float;
+      (** proven lower bound on the optimum: equal to [weight] for
+          {!solve_exact}; the final pool LP value for {!solve_approx} *)
+  rounds : int;  (** lazy constraint-generation rounds that solved *)
+  violated : int list;
+      (** surviving (violated) pairs found at each round's start, in
+          round order; the final entry is 0 — how the loop terminated *)
+  ratio : float;
+      (** guaranteed approximation ratio of [weight] vs the optimum:
+          1.0 for {!solve_exact}; the longest pooled path length L for
+          {!solve_approx} (threshold rounding at 1/L) *)
+}
+
+val solve_exact :
+  ?deadline:float ->
+  ?node_limit:int ->
+  Cdw_graph.Digraph.t ->
+  weight:(Cdw_graph.Digraph.edge -> float) ->
+  pairs:(int * int) list ->
+  result
+(** The exact optimum. [node_limit] bounds each round's branch-and-bound
+    tree ({!Cdw_lp.Ilp.solve}); exhausting it (or [deadline]) raises
+    {!Cdw_util.Timing.Timeout} — the serving tier catches that and falls
+    back to the heuristic ladder. Raises [Invalid_argument] on a pair
+    with s = t. *)
+
+val solve_approx :
+  ?deadline:float ->
+  Cdw_graph.Digraph.t ->
+  weight:(Cdw_graph.Digraph.edge -> float) ->
+  pairs:(int * int) list ->
+  result
+(** LP-relaxation threshold rounding at 1/L, minimalized by re-admission
+    ({!Multicut.minimalize}): a cut of weight ≤ L · optimum where L is
+    the longest discovered path (the [ratio] field). Polynomial — no
+    branch-and-bound. *)

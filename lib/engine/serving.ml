@@ -30,6 +30,10 @@ module type S = sig
     (unit, string) result
 
   val sessions : t -> (string * Session.t) list
+  val set_refine : ?budget_ms:float -> ?node_budget:int -> t -> bool -> unit
+  val refine_step : ?max:int -> t -> int
+  val refine_pending : t -> int
+  val refine_stats : t -> Engine.refine_stats option
   val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
   val mem_cap : t -> int option
   val tier_stats : t -> Tier.stats option

@@ -67,6 +67,24 @@ module type S = sig
   val sessions : t -> (string * Session.t) list
   (** Resident sessions only; see {!session_states} for the cold tier. *)
 
+  val set_refine : ?budget_ms:float -> ?node_budget:int -> t -> bool -> unit
+  (** Turn anytime cut refinement on or off ({!Engine.set_refine}).
+      Sharded implementations enable it on every shard. *)
+
+  val refine_step : ?max:int -> t -> int
+  (** Run up to [max] queued background refinement solves and stage the
+      improvements ({!Engine.refine_step}); returns solves run. Sharded
+      implementations fan the step out across their pinned domains —
+      each shard refines its own users. *)
+
+  val refine_pending : t -> int
+  (** Outstanding refinement work (queued + staged), summed across
+      shards where applicable. *)
+
+  val refine_stats : t -> Engine.refine_stats option
+  (** Refinement counters, summed across shards where applicable;
+      [None] when refinement is off. *)
+
   val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
   (** Bound resident-session memory ({!Engine.set_mem_cap}). Sharded
       implementations split the cap evenly across shards. *)

@@ -37,6 +37,8 @@ let short_name = function
   | Algorithms.Remove_min_mc -> "MinMC"
   | Algorithms.Brute_force -> "BruteForce"
   | Algorithms.Brute_force_bnb -> "BruteForceBnB"
+  | Algorithms.Exact_ilp -> "ExactILP"
+  | Algorithms.Approx_lp -> "ApproxLP"
 
 (* ------------------------------------------------------------------ *)
 (* Figures 5 and 6: |N| sweep on datasets 1a/1b/1c.                     *)

@@ -85,8 +85,12 @@ let solve ?(deadline = infinity) ?(node_limit = 200_000)
       match Simplex.solve ~deadline lp with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded ->
-          (* Cannot happen: all variables bounded in [0,1]. *)
-          assert false
+          (* Every free variable carries an explicit x <= 1 row (and
+             simplex keeps x >= 0), so the relaxation is a minimum over
+             a compact box and cannot be unbounded; reaching this means
+             the tableau went numerically off the rails. Fail loudly
+             instead of mis-pruning the subtree. *)
+          failwith "Ilp: bounded relaxation reported unbounded"
       | Simplex.Optimal { x; objective_value } ->
           let bound = objective_value +. fixed_cost problem fixed in
           if bound < !incumbent_value -. int_eps then begin
@@ -94,6 +98,18 @@ let solve ?(deadline = infinity) ?(node_limit = 200_000)
               Array.exists
                 (fun xk -> xk > int_eps && xk < 1.0 -. int_eps)
                 x
+            in
+            let branch_most_fractional () =
+              match most_fractional free x with
+              | None -> ()
+              | Some (j, _) ->
+                  let try_value v =
+                    fixed.(j) <- Some v;
+                    branch fixed;
+                    fixed.(j) <- None
+                  in
+                  try_value true;
+                  try_value false
             in
             if not fractional then begin
               let assignment =
@@ -108,20 +124,33 @@ let solve ?(deadline = infinity) ?(node_limit = 200_000)
                         find 0)
                   fixed
               in
-              incumbent_value := bound;
-              incumbent := Some assignment
+              (* The LP objective still carries the near-integral
+                 residue (each coordinate may sit int_eps off its
+                 integer), so score the *rounded* assignment at its
+                 exact cost — and accept it only if the rounding kept
+                 it feasible; a near-integral point hugging a tight
+                 constraint can round across it, in which case the
+                 subtree still needs branching. *)
+              let rounded =
+                Array.map (fun b -> if b then 1.0 else 0.0) assignment
+              in
+              if Simplex.feasible_value problem rounded then begin
+                let exact =
+                  let acc = ref 0.0 in
+                  Array.iteri
+                    (fun j b ->
+                      if b then acc := !acc +. problem.objective.(j))
+                    assignment;
+                  !acc
+                in
+                if exact < !incumbent_value -. int_eps then begin
+                  incumbent_value := exact;
+                  incumbent := Some assignment
+                end
+              end
+              else branch_most_fractional ()
             end
-            else
-              match most_fractional free x with
-              | None -> ()
-              | Some (j, _) ->
-                  let try_value v =
-                    fixed.(j) <- Some v;
-                    branch fixed;
-                    fixed.(j) <- None
-                  in
-                  try_value true;
-                  try_value false
+            else branch_most_fractional ()
           end
   in
   branch (Array.make n None);

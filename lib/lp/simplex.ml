@@ -214,7 +214,17 @@ let solve ?max_pivots ?(deadline = infinity) problem =
     | `Optimal ->
         let x = Array.make t.n_struct 0.0 in
         Array.iteri
-          (fun i bv -> if bv < t.n_struct then x.(bv) <- t.rows.(i).(t.total))
+          (fun i bv ->
+            if bv < t.n_struct then begin
+              (* Elimination roundoff can leave a basic value a hair
+                 below zero; callers compare coordinates against
+                 thresholds (rounding, integrality tests), so snap such
+                 noise back to the feasible side. Genuinely negative
+                 values (beyond the feasibility tolerance) are left
+                 alone — masking those would hide real infeasibility. *)
+              let v = t.rows.(i).(t.total) in
+              x.(bv) <- (if v < 0.0 && v >= -.feas_eps then 0.0 else v)
+            end)
           t.basis;
         let value =
           Array.fold_left ( +. ) 0.0

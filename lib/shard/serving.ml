@@ -48,6 +48,13 @@ module Single = struct
 
   let sessions t = Engine.sessions t.engine
 
+  let set_refine ?budget_ms ?node_budget t enabled =
+    Engine.set_refine ?budget_ms ?node_budget t.engine enabled
+
+  let refine_step ?max t = Engine.refine_step ?max t.engine
+  let refine_pending t = Engine.refine_pending t.engine
+  let refine_stats t = Engine.refine_stats t.engine
+
   let set_mem_cap ?session_bytes t cap =
     Engine.set_mem_cap ?session_bytes t.engine cap
 
@@ -113,6 +120,13 @@ let restore_session (Packed ((module M), v)) user ~constraints ~removed_ids =
   M.restore_session v user ~constraints ~removed_ids
 
 let sessions (Packed ((module M), v)) = M.sessions v
+
+let set_refine ?budget_ms ?node_budget (Packed ((module M), v)) enabled =
+  M.set_refine ?budget_ms ?node_budget v enabled
+
+let refine_step ?max (Packed ((module M), v)) = M.refine_step ?max v
+let refine_pending (Packed ((module M), v)) = M.refine_pending v
+let refine_stats (Packed ((module M), v)) = M.refine_stats v
 
 let set_mem_cap ?session_bytes (Packed ((module M), v)) cap =
   M.set_mem_cap ?session_bytes v cap

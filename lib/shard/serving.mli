@@ -109,6 +109,24 @@ val restore_session :
   (unit, string) result
 
 val sessions : t -> (string * Cdw_engine.Session.t) list
+
+val set_refine : ?budget_ms:float -> ?node_budget:int -> t -> bool -> unit
+(** Turn anytime cut refinement on or off on every underlying engine
+    ({!Cdw_engine.Engine.set_refine}). *)
+
+val refine_step : ?max:int -> t -> int
+(** Run up to [max] queued refinement solves per shard and stage the
+    improvements; returns solves run. Sharded serving values fan the
+    step out across their pinned domains. *)
+
+val refine_pending : t -> int
+(** Outstanding refinement work (queued + staged), summed across
+    shards. *)
+
+val refine_stats : t -> Cdw_engine.Engine.refine_stats option
+(** Refinement counters, summed across shards; [None] when refinement
+    is off everywhere. *)
+
 val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
 val mem_cap : t -> int option
 val tier_stats : t -> Cdw_engine.Tier.stats option

@@ -81,6 +81,7 @@ type traffic_run = {
   t_drains : int;
   t_epochs : int;  (* --evolve steps that fired (base migrations) *)
   t_tier : Tier.stats option;
+  t_refine : Engine.refine_stats option;
 }
 
 let request_of_op = function
@@ -92,12 +93,18 @@ let request_of_op = function
   | Traffic.Query -> Engine.Add []
 
 let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
-    ?(evolve = []) serving spec ~pairs =
+    ?(evolve = []) ?(refine = false) serving spec ~pairs =
   if window_ms <= 0.0 then
     invalid_arg "Shard_bench.serve_traffic: window_ms must be > 0";
   (match mem_cap_bytes with
   | Some cap -> Serving.set_mem_cap ?session_bytes serving (Some cap)
   | None -> ());
+  (* [refine] rides the drain cadence: the windows below play the role
+     of the production idle loop, stepping the background refiner
+     between drains. Callers that pre-configured budgets via
+     {!Serving.set_refine} keep them — we only flip the default on. *)
+  if refine && Serving.refine_stats serving = None then
+    Serving.set_refine serving true;
   let gen = Traffic.create spec ~pairs in
   let errors = ref 0 in
   let drains = ref 0 in
@@ -141,6 +148,7 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
               count_errors (Serving.drain ?mode serving);
               incr drains;
               fire_due window_end;
+              if refine then ignore (Serving.refine_step ~max:4 serving);
               let skipped =
                 Float.of_int
                   (int_of_float ((at_ms -. window_end) /. window_ms))
@@ -158,7 +166,15 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
     (* Steps scheduled past the stream's end still fire — the schedule
        is a contract, and the post-run state must be on its last
        epoch. *)
-    fire_due infinity
+    fire_due infinity;
+    (* Flush the refiner: solve everything still queued, then one last
+       drain so the staged improvements install (installation is a
+       drain-boundary operation). *)
+    if refine then begin
+      while Serving.refine_step ~max:16 serving > 0 do () done;
+      count_errors (Serving.drain ?mode serving);
+      incr drains
+    end
   in
   let (), ms = Timing.time_f run in
   let n = Traffic.generated gen in
@@ -177,6 +193,7 @@ let serve_traffic ?mode ?(window_ms = 50.0) ?mem_cap_bytes ?session_bytes
     t_drains = !drains;
     t_epochs = !epochs;
     t_tier = Serving.tier_stats serving;
+    t_refine = Serving.refine_stats serving;
   }
 
 let traffic_run_json r =
@@ -195,6 +212,23 @@ let traffic_run_json r =
           n "parked" st.Tier.parked;
         ]
   in
+  let refine =
+    match r.t_refine with
+    | None -> []
+    | Some (rs : Engine.refine_stats) ->
+        [
+          ( "refine",
+            Json.Object
+              [
+                n "computed" rs.Engine.rs_computed;
+                n "improved" rs.Engine.rs_improved;
+                n "refinements" rs.Engine.rs_installed;
+                n "discarded" rs.Engine.rs_discarded;
+                ( "utility_reclaimed",
+                  Json.Number rs.Engine.rs_utility_reclaimed );
+              ] );
+        ]
+  in
   Json.Object
     ([
        n "shards" r.t_shards;
@@ -207,7 +241,7 @@ let traffic_run_json r =
        n "drains" r.t_drains;
      ]
     @ (if r.t_epochs > 0 then [ n "epochs_installed" r.t_epochs ] else [])
-    @ tier)
+    @ tier @ refine)
 
 let pp_traffic ppf r =
   Format.fprintf ppf
@@ -216,7 +250,7 @@ let pp_traffic ppf r =
     r.t_users r.t_shards r.t_ms r.t_rps r.t_p999_ms r.t_drains
     (if r.t_epochs > 0 then Printf.sprintf ", %d epoch installs" r.t_epochs
      else "");
-  match r.t_tier with
+  (match r.t_tier with
   | None -> ()
   | Some (st : Tier.stats) ->
       Format.fprintf ppf
@@ -224,7 +258,16 @@ let pp_traffic ppf r =
          @[<v>  tier: cap %d B, %d B/session, peak %d resident (%d B), %d \
          evictions, %d hydrations@]"
         st.Tier.cap_bytes st.Tier.session_bytes st.Tier.resident_peak
-        st.Tier.resident_bytes_peak st.Tier.evictions st.Tier.hydrations
+        st.Tier.resident_bytes_peak st.Tier.evictions st.Tier.hydrations);
+  match r.t_refine with
+  | None -> ()
+  | Some (rs : Engine.refine_stats) ->
+      Format.fprintf ppf
+        "@,\
+         @[<v>  refine: %d solves, %d improved, %d installed, %d discarded, \
+         %.3f utility reclaimed@]"
+        rs.Engine.rs_computed rs.Engine.rs_improved rs.Engine.rs_installed
+        rs.Engine.rs_discarded rs.Engine.rs_utility_reclaimed
 
 type row = { r_shards : int; r_ms : float; r_rps : float; r_speedup : float }
 

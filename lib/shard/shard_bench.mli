@@ -56,6 +56,8 @@ type traffic_run = {
   t_drains : int;
   t_epochs : int;  (** [evolve] steps that fired (base migrations) *)
   t_tier : Cdw_engine.Tier.stats option;  (** when run under a memory cap *)
+  t_refine : Cdw_engine.Engine.refine_stats option;
+      (** when run with [refine] — the anytime refiner's counters *)
 }
 
 val request_of_op : Cdw_workload.Traffic.op -> Cdw_engine.Engine.request
@@ -69,6 +71,7 @@ val serve_traffic :
   ?mem_cap_bytes:int ->
   ?session_bytes:int ->
   ?evolve:Cdw_workload.Evolve.step list ->
+  ?refine:bool ->
   Serving.t ->
   Cdw_workload.Traffic.spec ->
   pairs:(int * int) array ->
@@ -83,7 +86,12 @@ val serve_traffic :
     at or past its [at_ms] — {!Cdw_workload.Evolve.mutate} of the
     current base, installed live via {!Serving.migrate}; steps left
     when the stream ends fire at the final drain, so the run always
-    lands on the schedule's last epoch. The caller owns the serving
+    lands on the schedule's last epoch. [refine] (default off) turns
+    the anytime refiner on ({!Serving.set_refine} with defaults, unless
+    the caller pre-configured it) and steps it between windows — up to
+    4 background solves per boundary, playing the production idle loop;
+    after the stream ends the queue is flushed and one extra drain
+    installs the last staged improvements. The caller owns the serving
     value (creation is not timed, nor is {!Serving.close}). *)
 
 val traffic_run_json : traffic_run -> Cdw_util.Json.t

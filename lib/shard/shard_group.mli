@@ -179,6 +179,25 @@ val set_journal : t -> (Cdw_engine.Engine.event -> unit) option -> unit
 val sessions : t -> (string * Cdw_engine.Session.t) list
 (** All {e resident} sessions of all shards, sorted by user id. *)
 
+val set_refine : ?budget_ms:float -> ?node_budget:int -> t -> bool -> unit
+(** Turn anytime cut refinement on or off on every shard engine
+    ({!Cdw_engine.Engine.set_refine}). *)
+
+val refine_step : ?max:int -> t -> int
+(** One scattered refinement step: every shard runs up to [max]
+    background exact solves over its own users, on its own pinned
+    domain, concurrently — serialized against group drains by the
+    drain lock. Returns the total solves run. Spawns the pinned
+    domains on first use, like a parallel {!drain}. *)
+
+val refine_pending : t -> int
+(** Outstanding refinement work (queued + staged) summed across
+    shards. *)
+
+val refine_stats : t -> Cdw_engine.Engine.refine_stats option
+(** Refinement counters summed across shards; [None] when refinement
+    is off. *)
+
 val set_mem_cap : ?session_bytes:int -> t -> int option -> unit
 (** Bound resident-session memory across the group: the cap is split
     evenly across shards (the router spreads users near-uniformly) and

@@ -8,6 +8,7 @@ type t =
   | Session_close of { user : string }
   | Drain of { seq : int }
   | Epoch_installed of { epoch : int; workflow : string }
+  | Cut_refined of { user : string; cuts : (string * string) list }
 
 let pairs_json pairs =
   Json.Array
@@ -37,6 +38,10 @@ let to_json = function
       Json.Object
         [ ("t", Json.String "epoch"); ("n", Json.Number (float_of_int epoch));
           ("w", Json.String workflow) ]
+  | Cut_refined { user; cuts } ->
+      Json.Object
+        [ ("t", Json.String "refine"); ("u", Json.String user);
+          ("p", pairs_json cuts) ]
 
 let encode t = Json.to_string ~pretty:false (to_json t)
 
@@ -85,6 +90,10 @@ let of_json json =
       let* epoch = field json "n" Json.to_float in
       let* workflow = field json "w" Json.to_text in
       Ok (Epoch_installed { epoch = int_of_float epoch; workflow })
+  | "refine" ->
+      let* user = field json "u" Json.to_text in
+      let* cuts = decode_pairs json in
+      Ok (Cut_refined { user; cuts })
   | other -> Error (Printf.sprintf "unknown record tag %S" other)
 
 let decode s =
@@ -107,3 +116,5 @@ let pp ppf t =
   | Epoch_installed { epoch; workflow } ->
       Format.fprintf ppf "epoch #%d installed (%d bytes of workflow)" epoch
         (String.length workflow)
+  | Cut_refined { user; cuts } ->
+      Format.fprintf ppf "refine %s [%s]" user (pairs cuts)

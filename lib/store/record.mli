@@ -27,6 +27,13 @@ type t =
           deterministically. The workflow text is newline-heavy, which
           JSON string escaping flattens to the one-frame-per-line WAL
           discipline. *)
+  | Cut_refined of { user : string; cuts : (string * string) list }
+      (** the anytime refiner replaced the user's cut with [cuts] —
+          edge (src name, dst name) pairs, like snapshot cuts: each
+          names an edge live in the base. Sits between a drain's
+          consumed requests and its [Drain] mark; replay applies it on
+          sight ({!Cdw_engine.Engine.apply_refined}), reproducing the
+          live install point. *)
 
 val encode : t -> string
 (** Compact (non-pretty) JSON, newline-free. *)

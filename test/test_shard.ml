@@ -305,6 +305,9 @@ let apply_records ~algorithm ~seed wf records =
       | Record.Session_open { user } -> ignore (Engine.session engine user)
       | Record.Session_close { user } -> Engine.forget engine user
       | Record.Drain _ -> ignore (Engine.drain ~mode:`Sequential engine)
+      | Record.Cut_refined _ ->
+          (* These hand-replay suites never enable refinement. *)
+          Alcotest.fail "hand replay: unexpected Cut_refined record"
       | Record.Epoch_installed { epoch; workflow } -> (
           match Serialize.parse workflow with
           | Ok (ewf, _) -> ignore (Engine.migrate ~epoch engine ewf)
